@@ -1,0 +1,71 @@
+"""Ablation — exact (Fraction) vs float arithmetic inside OMPE.
+
+The protocol is specified over the reals; this implementation defaults
+to exact rationals so the sign (and thus the class) is provably
+correct.  Float mode trades that guarantee for speed; this bench
+quantifies the gap and checks float mode stays correct away from the
+decision boundary.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.ompe import OMPEConfig, OMPEFunction, execute_ompe
+from repro.math.groups import fast_group
+from repro.math.multivariate import MultivariatePolynomial
+
+
+def _function(exact: bool) -> OMPEFunction:
+    polynomial = MultivariatePolynomial.affine(
+        [Fraction(3, 7), Fraction(-2, 5), Fraction(1, 9)], Fraction(1, 11)
+    )
+    return OMPEFunction.from_polynomial(
+        polynomial if exact else polynomial.to_float()
+    )
+
+
+ALPHA_EXACT = (Fraction(1, 3), Fraction(-1, 4), Fraction(2, 5))
+ALPHA_FLOAT = (1 / 3, -0.25, 0.4)
+
+
+def test_exact_mode_bit_exact():
+    config = OMPEConfig(exact=True, security_degree=2, cover_expansion=2,
+                        group=fast_group())
+    outcome = execute_ompe(_function(True), ALPHA_EXACT, config=config, seed=5)
+    polynomial = MultivariatePolynomial.affine(
+        [Fraction(3, 7), Fraction(-2, 5), Fraction(1, 9)], Fraction(1, 11)
+    )
+    assert outcome.value == polynomial(ALPHA_EXACT) * outcome.amplifier
+
+
+def test_float_mode_close_away_from_boundary():
+    config = OMPEConfig(exact=False, security_degree=2, cover_expansion=2,
+                        group=fast_group())
+    outcome = execute_ompe(_function(False), ALPHA_FLOAT, config=config, seed=5)
+    expected = (3 / 7) * (1 / 3) + (-2 / 5) * (-0.25) + (1 / 9) * 0.4 + 1 / 11
+    assert outcome.value / outcome.amplifier == pytest.approx(expected, rel=1e-5)
+
+
+def test_benchmark_exact_mode(benchmark):
+    config = OMPEConfig(exact=True, security_degree=2, cover_expansion=2,
+                        group=fast_group())
+    function = _function(True)
+
+    def run():
+        return execute_ompe(function, ALPHA_EXACT, config=config, seed=1).value
+
+    benchmark(run)
+
+
+def test_benchmark_float_mode(benchmark):
+    config = OMPEConfig(exact=False, security_degree=2, cover_expansion=2,
+                        group=fast_group())
+    function = _function(False)
+
+    def run():
+        return execute_ompe(function, ALPHA_FLOAT, config=config, seed=1).value
+
+    benchmark(run)

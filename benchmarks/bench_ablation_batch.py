@@ -1,0 +1,82 @@
+"""Ablation — batched vs sequential OMPE conversations.
+
+The batched protocol packs k queries into one 6-round conversation;
+sequential execution pays 6 rounds per query.  On a latency-bound link
+(WAN-grade 25 ms RTT) the round amortization dominates; on wall-clock
+compute the two are equivalent.  This quantifies the distributed-
+systems dimension of the Fig. 9 workload.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.ompe import OMPEFunction, execute_ompe, execute_ompe_batch
+from repro.math.multivariate import MultivariatePolynomial
+from repro.net.channel import LinkModel
+from repro.utils.rng import ReproRandom
+
+WAN = LinkModel(latency_s=0.0125, bandwidth_bytes_per_s=12_500_000.0)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    polynomial = MultivariatePolynomial.affine(
+        [Fraction(2), Fraction(-1), Fraction(1, 3)], Fraction(1, 7)
+    )
+    function = OMPEFunction.from_polynomial(polynomial)
+    rng = ReproRandom(1)
+    inputs = [
+        tuple(rng.fraction(-1, 1) for _ in range(3)) for _ in range(8)
+    ]
+    return polynomial, function, inputs
+
+
+def test_batch_correct(workload, light_config):
+    polynomial, function, inputs = workload
+    outcome = execute_ompe_batch(function, inputs, config=light_config, seed=2)
+    for value, amplifier, vector in zip(outcome.values, outcome.amplifiers, inputs):
+        assert value == polynomial(vector) * amplifier
+
+
+def test_simulated_wan_latency_gap(workload, light_config):
+    _, function, inputs = workload
+    batch = execute_ompe_batch(
+        function, inputs, config=light_config, seed=3, link=WAN
+    )
+    sequential = sum(
+        execute_ompe(
+            function, vector, config=light_config, seed=index, link=WAN
+        ).report.simulated_network_s
+        for index, vector in enumerate(inputs)
+    )
+    print(
+        f"\nsimulated WAN time: batch {batch.report.simulated_network_s * 1e3:.1f} ms "
+        f"vs sequential {sequential * 1e3:.1f} ms for {len(inputs)} queries"
+    )
+    assert batch.report.simulated_network_s < sequential
+
+
+def test_benchmark_batch_conversation(benchmark, workload, light_config):
+    _, function, inputs = workload
+
+    def run():
+        return execute_ompe_batch(function, inputs, config=light_config, seed=4)
+
+    outcome = benchmark(run)
+    assert len(outcome.values) == len(inputs)
+
+
+def test_benchmark_sequential_conversations(benchmark, workload, light_config):
+    _, function, inputs = workload
+
+    def run():
+        return [
+            execute_ompe(function, vector, config=light_config, seed=index)
+            for index, vector in enumerate(inputs)
+        ]
+
+    outcomes = benchmark(run)
+    assert len(outcomes) == len(inputs)

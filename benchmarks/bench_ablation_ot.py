@@ -1,0 +1,92 @@
+"""Ablation — OT group size and batch size vs transfer cost.
+
+The k-of-n OT dominates the protocol's cost.  This bench sweeps the
+group size (256 vs 512 bit) and the message count, quantifying the
+"precompute the randomness beforehand" headroom the paper mentions at
+the end of Section VI-B.1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.ot import run_k_of_n
+from repro.crypto.ot.k_of_n import transfer_size_bytes
+from repro.math.groups import default_group, fast_group
+from repro.utils.rng import ReproRandom
+
+MESSAGES = [f"evaluation-{i}".encode() for i in range(24)]
+INDICES = [1, 7, 13, 19]
+
+
+def test_larger_group_costs_more_bytes():
+    _, fast_transfers = run_k_of_n(fast_group(), MESSAGES, INDICES, ReproRandom(1))
+    _, big_transfers = run_k_of_n(default_group(), MESSAGES, INDICES, ReproRandom(1))
+    fast_bytes = transfer_size_bytes(fast_transfers, fast_group().element_bytes)
+    big_bytes = transfer_size_bytes(big_transfers, default_group().element_bytes)
+    assert big_bytes > fast_bytes
+    print(f"\n256-bit group: {fast_bytes} B; 512-bit group: {big_bytes} B")
+
+
+def test_transfer_grows_linearly_in_n():
+    small_messages = MESSAGES[:8]
+    _, small = run_k_of_n(fast_group(), small_messages, [1, 3], ReproRandom(2))
+    _, large = run_k_of_n(fast_group(), MESSAGES, [1, 3], ReproRandom(2))
+    element_bytes = fast_group().element_bytes
+    small_bytes = transfer_size_bytes(small, element_bytes)
+    large_bytes = transfer_size_bytes(large, element_bytes)
+    # 3x the messages → roughly 3x the transfer volume.
+    assert 2.0 < large_bytes / small_bytes < 4.0
+
+
+def test_benchmark_k_of_n_fast_group(benchmark):
+    group = fast_group()
+
+    def run():
+        received, _ = run_k_of_n(group, MESSAGES, INDICES, ReproRandom(3))
+        return received
+
+    received = benchmark(run)
+    assert len(received) == len(INDICES)
+
+
+def test_benchmark_k_of_n_default_group(benchmark):
+    group = default_group()
+
+    def run():
+        received, _ = run_k_of_n(group, MESSAGES, INDICES, ReproRandom(3))
+        return received
+
+    received = benchmark(run)
+    assert len(received) == len(INDICES)
+
+
+def test_fixed_base_correctness():
+    group = fast_group()
+    rng = ReproRandom(5)
+    for _ in range(20):
+        exponent = group.random_exponent(rng)
+        assert group.exp_g(exponent) == pow(group.g, exponent, group.p)
+
+
+def test_benchmark_fixed_base_exp(benchmark):
+    group = fast_group()
+    rng = ReproRandom(6)
+    exponents = [group.random_exponent(rng) for _ in range(100)]
+    group.exp_g(exponents[0])  # warm the table cache
+
+    def run():
+        return [group.exp_g(e) for e in exponents]
+
+    benchmark(run)
+
+
+def test_benchmark_builtin_pow(benchmark):
+    group = fast_group()
+    rng = ReproRandom(6)
+    exponents = [group.random_exponent(rng) for _ in range(100)]
+
+    def run():
+        return [pow(group.g, e, group.p) for e in exponents]
+
+    benchmark(run)

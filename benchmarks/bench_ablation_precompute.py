@@ -1,0 +1,83 @@
+"""Ablation — offline randomness precomputation (paper Section VI-B.1).
+
+"We can further reduce the time cost by generating random polynomials
+before the scheme."  This bench measures the online cost of an OMPE
+query with and without precomputed randomness pools.  Finding: the
+saving is real but modest in this implementation because the k-of-M
+oblivious transfer (not polynomial generation) dominates the online
+cost — a useful datum the paper's remark glosses over.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.ompe import (
+    OMPEConfig,
+    OMPEFunction,
+    ReceiverPool,
+    SenderPool,
+    execute_ompe,
+)
+from repro.math.groups import fast_group
+from repro.math.multivariate import MultivariatePolynomial
+from repro.utils.rng import ReproRandom
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = OMPEConfig(security_degree=2, cover_expansion=3, group=fast_group())
+    polynomial = MultivariatePolynomial.affine(
+        [Fraction(2), Fraction(-3), Fraction(1, 2)], Fraction(1, 4)
+    )
+    function = OMPEFunction.from_polynomial(polynomial)
+    alpha = (Fraction(1, 3), Fraction(1, 4), Fraction(-2, 5))
+    return config, polynomial, function, alpha
+
+
+def test_pooled_run_is_exact(setup):
+    config, polynomial, function, alpha = setup
+    sender_pool = SenderPool(config, 1, 3, ReproRandom(1))
+    receiver_pool = ReceiverPool(config, 3, 1, 3, ReproRandom(2))
+    outcome = execute_ompe(
+        function, alpha, config=config, seed=5,
+        sender_pool=sender_pool, receiver_pool=receiver_pool,
+    )
+    assert outcome.value == polynomial(alpha) * outcome.amplifier
+
+
+def test_pool_exhaustion_detected(setup):
+    from repro.exceptions import OMPEError
+
+    config, _, function, alpha = setup
+    sender_pool = SenderPool(config, 1, 1, ReproRandom(3))
+    execute_ompe(function, alpha, config=config, seed=6, sender_pool=sender_pool)
+    with pytest.raises(OMPEError):
+        execute_ompe(function, alpha, config=config, seed=7, sender_pool=sender_pool)
+
+
+def test_benchmark_online_without_pool(benchmark, setup):
+    config, _, function, alpha = setup
+
+    def run():
+        return execute_ompe(function, alpha, config=config, seed=1).value
+
+    benchmark(run)
+
+
+def test_benchmark_online_with_pool(benchmark, setup):
+    config, _, function, alpha = setup
+    # Fixed rounds so the pools cannot exhaust mid-benchmark.
+    rounds, warmup = 15, 2
+    sender_pool = SenderPool(config, 1, rounds + warmup + 1, ReproRandom(8))
+    receiver_pool = ReceiverPool(config, 3, 1, rounds + warmup + 1, ReproRandom(9))
+
+    def run():
+        return execute_ompe(
+            function, alpha, config=config, seed=1,
+            sender_pool=sender_pool, receiver_pool=receiver_pool,
+        ).value
+
+    benchmark.pedantic(run, rounds=rounds, warmup_rounds=warmup, iterations=1)

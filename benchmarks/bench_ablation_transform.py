@@ -1,0 +1,82 @@
+"""Ablation — monomial transform vs direct kernel evaluation.
+
+DESIGN.md §5: the paper's nonlinear protocol expands the decision
+function into ``C(n+p-1, n-1)`` monomials (τ-transform); an
+algebraically equivalent variant hides the original coordinates and
+lets the sender evaluate the kernel form directly.  Both must produce
+identical labels; their costs diverge with dimension.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classification import classify_nonlinear
+from repro.ml.datasets import interaction_boundary
+from repro.ml.svm import train_svm
+
+
+@pytest.fixture(scope="module")
+def poly_model():
+    data = interaction_boundary("abl-t", 4, 120, 10, margin=0.05, seed=3)
+    model = train_svm(
+        data.X_train, data.y_train, kernel="poly",
+        C=100.0, degree=3, a0=0.25, b0=0.0,
+    )
+    return data, model
+
+
+def test_variants_agree(poly_model, light_config):
+    data, model = poly_model
+    for index in range(4):
+        direct = classify_nonlinear(
+            model, data.X_test[index],
+            config=light_config, seed=index, method="direct",
+        )
+        monomial = classify_nonlinear(
+            model, data.X_test[index],
+            config=light_config, seed=index, method="monomial",
+        )
+        assert direct.label == monomial.label
+
+
+def test_cost_structure_differs(poly_model, light_config):
+    """Monomial mode ships wider vectors; direct mode needs more covers."""
+    data, model = poly_model
+    direct = classify_nonlinear(
+        model, data.X_test[0], config=light_config, seed=9, method="direct"
+    )
+    monomial = classify_nonlinear(
+        model, data.X_test[0], config=light_config, seed=9, method="monomial"
+    )
+    direct_pairs = direct.report.transcript.of_type("ompe/points")[0].payload
+    monomial_pairs = monomial.report.transcript.of_type("ompe/points")[0].payload
+    assert len(monomial_pairs[0][1]) > len(direct_pairs[0][1])
+    assert len(direct_pairs) > len(monomial_pairs)
+    print(
+        f"\ndirect: {len(direct_pairs)} pairs x {len(direct_pairs[0][1])} wide, "
+        f"{direct.total_bytes} B; monomial: {len(monomial_pairs)} pairs x "
+        f"{len(monomial_pairs[0][1])} wide, {monomial.total_bytes} B"
+    )
+
+
+def test_benchmark_direct(benchmark, poly_model, light_config):
+    data, model = poly_model
+
+    def classify():
+        return classify_nonlinear(
+            model, data.X_test[0], config=light_config, seed=1, method="direct"
+        ).label
+
+    benchmark(classify)
+
+
+def test_benchmark_monomial(benchmark, poly_model, light_config):
+    data, model = poly_model
+
+    def classify():
+        return classify_nonlinear(
+            model, data.X_test[0], config=light_config, seed=1, method="monomial"
+        ).label
+
+    benchmark(classify)

@@ -1,0 +1,75 @@
+"""Baseline — OMPE protocol vs Paillier encrypted-domain classification.
+
+The paper dismisses homomorphic-encryption classification (related work
+[15]) as introducing "too much complexity for the computations".  This
+bench puts a number on that claim for linear classification and also
+records the privacy difference (Paillier releases the exact decision
+value; OMPE releases an amplified one).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import classify_paillier
+from repro.core.classification import classify_linear
+from repro.ml.datasets import two_gaussians
+from repro.ml.svm import train_svm
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = two_gaussians("pb", dimension=8, train_size=150, test_size=10, seed=4)
+    model = train_svm(data.X_train, data.y_train, kernel="linear", C=10.0)
+    return data, model
+
+
+def test_labels_agree(setup, light_config):
+    data, model = setup
+    for index in range(3):
+        ompe = classify_linear(
+            model, data.X_test[index], config=light_config, seed=index
+        )
+        paillier = classify_paillier(
+            model, data.X_test[index], key_bits=512, seed=index
+        )
+        assert ompe.label == paillier.label
+
+
+def test_paillier_leaks_exact_value(setup, light_config):
+    data, model = setup
+    sample = data.X_test[0]
+    paillier = classify_paillier(model, sample, key_bits=512, seed=7)
+    assert float(paillier.decision_value) == pytest.approx(
+        model.decision_value(sample), abs=1e-4
+    )
+
+
+def test_benchmark_ompe_classification(benchmark, setup, light_config):
+    data, model = setup
+
+    def classify():
+        return classify_linear(
+            model, data.X_test[0], config=light_config, seed=1
+        ).label
+
+    benchmark(classify)
+
+
+def test_benchmark_paillier_classification(benchmark, setup):
+    data, model = setup
+
+    def classify():
+        return classify_paillier(model, data.X_test[0], key_bits=512, seed=1).label
+
+    benchmark(classify)
+
+
+def test_benchmark_paillier_2048bit_single(benchmark, setup):
+    """Production-grade key size — the cost the paper's complaint is about."""
+    data, model = setup
+
+    def classify():
+        return classify_paillier(model, data.X_test[0], key_bits=1024, seed=1).label
+
+    benchmark.pedantic(classify, rounds=2, iterations=1)

@@ -1,0 +1,51 @@
+"""Extension benches — security/cost trade-off sweeps (DESIGN.md §5).
+
+Not figures from the paper: these quantify the knobs the paper leaves
+implicit (security degree q and cover expansion k) using the security
+estimator and the calibrated cost model, validated by live runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.extensions import run_ext_expansion, run_ext_security
+
+
+@pytest.fixture(scope="module")
+def security_result():
+    result = run_ext_security()
+    print()
+    print(result.to_text())
+    return result
+
+
+@pytest.fixture(scope="module")
+def expansion_result():
+    result = run_ext_expansion()
+    print()
+    print(result.to_text())
+    return result
+
+
+def test_security_sweep_regenerates(security_result):
+    assert len(security_result.rows) == 5
+
+
+def test_security_entropy_vs_cost_shape(security_result):
+    entropy = security_result.column("entropy_bits")
+    measured = security_result.column("measured_bytes")
+    assert entropy == sorted(entropy)
+    assert measured == sorted(measured)
+
+
+def test_expansion_sweep_regenerates(expansion_result):
+    assert len(expansion_result.rows) == 5
+
+
+def test_benchmark_ext_security_single_point(benchmark):
+    def run():
+        return run_ext_security(security_degrees=(2,))
+
+    result = benchmark(run)
+    assert len(result.rows) == 1

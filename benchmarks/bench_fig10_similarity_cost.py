@@ -1,0 +1,51 @@
+"""Fig. 10 — Computational Cost Comparison of Similarity Evaluation.
+
+Regenerates the paper's Fig. 10: one similarity evaluation's cost as
+the hyperplane dimension sweeps 2–8, ordinary vs privacy-preserving.
+Shape claims: the private scheme costs more at every dimension and its
+gap grows with dimension.  The benchmark measures one 4-D private
+evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.similarity import evaluate_similarity_private
+from repro.evaluation.figures import run_fig10
+from repro.ml.svm.model import make_linear_model
+
+
+@pytest.fixture(scope="module")
+def fig10_result(light_config):
+    result = run_fig10(config=light_config)
+    print()
+    print(result.to_text())
+    return result
+
+
+def test_fig10_private_above_ordinary(fig10_result):
+    for row in fig10_result.rows:
+        assert row["private_ms"] > row["ordinary_ms"]
+
+
+def test_fig10_dimension_sweep_complete(fig10_result):
+    assert fig10_result.column("dimension") == [2, 3, 4, 5, 6, 7, 8]
+
+
+def test_fig10_values_agree(fig10_result):
+    for row in fig10_result.rows:
+        assert row["t_private"] == pytest.approx(row["t_plain"], rel=1e-6)
+
+
+def test_benchmark_fig10_one_evaluation(benchmark, light_config):
+    model_a = make_linear_model([1.0, 0.6, -0.4, 0.2], 0.1)
+    model_b = make_linear_model([0.8, -0.3, 0.5, 0.4], -0.2)
+
+    def evaluate():
+        return evaluate_similarity_private(
+            model_a, model_b, config=light_config, seed=1
+        ).t
+
+    value = benchmark(evaluate)
+    assert value > 0

@@ -1,0 +1,47 @@
+"""Fig. 5 — Model Estimation under collusion.
+
+Regenerates the paper's Fig. 5 data: colluding clients pool 2/4/10/20/50
+amplified classification results and fit a linear model; the estimates
+keep rambling (direction errors do not shrink).  The benchmark measures
+one 50-sample estimation attack.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.privacy import ModelEstimationAttack
+from repro.evaluation.figures import run_fig5
+from repro.ml.datasets import two_gaussians
+from repro.ml.svm import train_svm
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    result = run_fig5(train_size=1000)
+    print()
+    print(result.to_text())
+    return result
+
+
+def test_fig5_regenerates(fig5_result):
+    assert fig5_result.column("samples") == [2, 4, 10, 20, 50]
+
+
+def test_fig5_no_convergence(fig5_result):
+    errors = fig5_result.column("direction_error_deg")
+    assert max(errors[1:]) > 2.0  # still rambling after pooling more
+
+
+def test_benchmark_fig5_attack(benchmark):
+    data = two_gaussians("fig5b", dimension=2, train_size=400, test_size=10, seed=1)
+    model = train_svm(data.X_train, data.y_train, kernel="linear", C=10.0)
+    attack = ModelEstimationAttack(model)
+
+    def estimate():
+        return attack.estimate(50, seed=3).direction_error_degrees(
+            model.weight_vector()
+        )
+
+    error = benchmark(estimate)
+    assert error >= 0.0

@@ -1,0 +1,41 @@
+"""Fig. 6 — Decision Function Retrieval (the attack r_a blocks).
+
+Regenerates the paper's Fig. 6 demonstration: with the amplifier
+disabled, n + 1 = 3 unamplified results recover the 2-D classifier
+exactly (the common-tangent construction).  The benchmark measures one
+protocol-backed retrieval.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.privacy import DistanceRetrievalAttack
+from repro.evaluation.figures import run_fig6
+from repro.ml.svm.model import make_linear_model
+
+
+@pytest.fixture(scope="module")
+def fig6_result():
+    result = run_fig6()
+    print()
+    print(result.to_text())
+    return result
+
+
+def test_fig6_exact_recovery(fig6_result):
+    for row in fig6_result.rows:
+        assert row["direction_error_deg"] < 1e-5
+
+
+def test_benchmark_fig6_retrieval(benchmark, light_config):
+    model = make_linear_model([1.1, -0.7], 0.2)
+    attack = DistanceRetrievalAttack(model, config=light_config)
+    queries = np.array([[0.1, 0.2], [0.5, -0.4], [-0.3, 0.7]])
+
+    def retrieve():
+        return attack.run(queries, seed=1, through_protocol=True)
+
+    estimate = benchmark(retrieve)
+    assert estimate.direction_error_degrees([1.1, -0.7]) < 1e-6

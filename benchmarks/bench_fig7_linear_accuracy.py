@@ -1,0 +1,44 @@
+"""Fig. 7 — Accuracy of Linear Data Classification.
+
+Regenerates the paper's Fig. 7 bars: for each dataset, the original
+SVM accuracy and the privacy-preserving protocol's accuracy on the same
+queries — identical by construction (the protocol is exact).  The
+benchmark measures one private linear classification query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classification import classify_linear
+from repro.evaluation.figures import run_fig7
+from repro.evaluation.tables import train_table1_models
+
+
+@pytest.fixture(scope="module")
+def fig7_result(light_config):
+    result = run_fig7(query_limit=20, config=light_config)
+    print()
+    print(result.to_text())
+    return result
+
+
+def test_fig7_bars_match(fig7_result):
+    for row in fig7_result.rows:
+        assert row["private_accuracy"] == row["original_accuracy"]
+
+
+def test_fig7_all_datasets_present(fig7_result):
+    assert len(fig7_result.rows) == 8
+
+
+def test_benchmark_fig7_one_query(benchmark, bench_config):
+    data, linear_model, _ = train_table1_models("breast-cancer")
+
+    def classify():
+        return classify_linear(
+            linear_model, data.X_test[0], config=bench_config, seed=1
+        ).label
+
+    label = benchmark(classify)
+    assert label in (-1.0, 1.0)

@@ -1,0 +1,45 @@
+"""Fig. 8 — Accuracy of Nonlinear Data Classification.
+
+Regenerates the paper's Fig. 8 bars with the polynomial kernel (p = 3,
+a0 = 1/n, b0 = 0): private bars equal original bars.  The benchmark
+measures one private nonlinear classification query (direct-evaluation
+variant).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classification import classify_nonlinear
+from repro.evaluation.figures import run_fig8
+from repro.evaluation.tables import train_table1_models
+
+
+@pytest.fixture(scope="module")
+def fig8_result(light_config):
+    result = run_fig8(query_limit=8, config=light_config)
+    print()
+    print(result.to_text())
+    return result
+
+
+def test_fig8_bars_match(fig8_result):
+    for row in fig8_result.rows:
+        assert row["private_accuracy"] == row["original_accuracy"]
+
+
+def test_fig8_all_datasets_present(fig8_result):
+    assert len(fig8_result.rows) == 8
+
+
+def test_benchmark_fig8_one_query(benchmark, light_config):
+    data, _, polynomial_model = train_table1_models("madelon")
+
+    def classify():
+        return classify_nonlinear(
+            polynomial_model, data.X_test[0],
+            config=light_config, seed=1, method="direct",
+        ).label
+
+    label = benchmark(classify)
+    assert label in (-1.0, 1.0)

@@ -1,0 +1,57 @@
+"""Fig. 9 — Computational Cost Comparison of Classification.
+
+Regenerates the paper's Fig. 9: classification time versus data size
+over the a1a–a9a sweep, four series (linear/nonlinear ×
+original/privacy-preserving).  Shape claims asserted: linear growth in
+data size, privacy-preserving above original, nonlinear above linear.
+The benchmark measures a fixed 8-query private batch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classification import classify_linear_batch
+from repro.evaluation.figures import run_fig9
+from repro.evaluation.tables import train_table1_models
+
+
+@pytest.fixture(scope="module")
+def fig9_result(light_config):
+    result = run_fig9(
+        datasets=["a1a", "a3a", "a5a", "a7a", "a9a"],
+        queries_per_100_rows=0.08,
+        max_queries=30,
+        config=light_config,
+    )
+    print()
+    print(result.to_text())
+    return result
+
+
+def test_fig9_private_above_original(fig9_result):
+    for row in fig9_result.rows:
+        assert row["linear_private_ms"] > row["linear_original_ms"]
+        assert row["nonlinear_private_ms"] > row["nonlinear_original_ms"]
+
+
+def test_fig9_grows_with_size(fig9_result):
+    private = fig9_result.column("linear_private_ms")
+    assert private[-1] > private[0]
+
+
+def test_fig9_nonlinear_above_linear(fig9_result):
+    for row in fig9_result.rows:
+        assert row["nonlinear_private_ms"] > row["linear_private_ms"]
+
+
+def test_benchmark_fig9_linear_batch(benchmark, light_config):
+    data, linear_model, _ = train_table1_models("a1a")
+
+    def batch():
+        return classify_linear_batch(
+            linear_model, data.X_test, config=light_config, seed=0, limit=8
+        )
+
+    outcomes = benchmark(batch)
+    assert len(outcomes) == 8

@@ -1,0 +1,52 @@
+"""Table II — Privacy-preserving Data Similarity Evaluation.
+
+Regenerates the paper's Table II: four drifting diabetes subsets (192
+items each), pairwise compared by the average per-dimension K-S
+statistic and by our private triangle metric (×10³), asserting the two
+orderings agree.  The benchmark measures one full private similarity
+evaluation between two subset models.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.similarity import evaluate_similarity_private
+from repro.evaluation.tables import _diabetes_subsets, run_table2
+from repro.math.statistics import spearman_correlation
+from repro.ml.svm import train_svm
+
+
+@pytest.fixture(scope="module")
+def table2_result(bench_config):
+    result = run_table2(config=bench_config)
+    print()
+    print(result.to_text())
+    return result
+
+
+def test_table2_regenerates(table2_result):
+    assert len(table2_result.rows) == 6
+
+
+def test_table2_trend_matches_ks(table2_result):
+    rho = spearman_correlation(
+        table2_result.column("our_ks_average"),
+        table2_result.column("our_scaled_t"),
+    )
+    assert rho >= 0.7
+
+
+def test_benchmark_table2_one_pair(benchmark, bench_config):
+    """Benchmark: one private similarity evaluation (subset pair S1/S2)."""
+    subsets = _diabetes_subsets()
+    model_a = train_svm(subsets[0][0], subsets[0][1], kernel="linear", C=10.0)
+    model_b = train_svm(subsets[1][0], subsets[1][1], kernel="linear", C=10.0)
+
+    def evaluate():
+        return evaluate_similarity_private(
+            model_a, model_b, config=bench_config, seed=1
+        ).t
+
+    value = benchmark(evaluate)
+    assert value > 0

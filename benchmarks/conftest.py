@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark suite.
+
+Every paper table/figure has a bench here; the benches run the same
+experiment code as :mod:`repro.evaluation` with workloads sized so the
+whole suite finishes in minutes on a laptop.  Regenerated rows are
+printed so ``pytest benchmarks/ --benchmark-only -s`` reproduces the
+paper's evaluation section end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ompe import OMPEConfig
+from repro.math.groups import fast_group
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> OMPEConfig:
+    """Protocol parameters used across benches (paper-scale security
+    degree, fast 256-bit OT group)."""
+    return OMPEConfig(security_degree=2, cover_expansion=3, group=fast_group())
+
+
+@pytest.fixture(scope="session")
+def light_config() -> OMPEConfig:
+    """Reduced parameters for the heaviest sweeps."""
+    return OMPEConfig(security_degree=1, cover_expansion=2, group=fast_group())

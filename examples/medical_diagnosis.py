@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Medical scenario: nonlinear private diagnosis (paper Section I).
+
+A hospital trains a disease classifier from patient records (a
+nonlinear, polynomial-kernel SVM — the paper's p = 3, a0 = 1/n, b0 = 0
+configuration).  A patient privately queries their risk: the hospital
+never sees the record, the patient never sees the model, and — thanks
+to the fresh amplifier per query — even many colluding patients cannot
+reconstruct the classifier (the paper's Fig. 5 property, demonstrated
+at the end).
+
+Run:  python examples/medical_diagnosis.py
+"""
+
+import numpy as np
+
+from repro.core.classification import classify_nonlinear
+from repro.core.ompe import OMPEConfig
+from repro.core.privacy import ModelEstimationAttack
+from repro.ml.datasets import load_dataset
+from repro.ml.datasets.registry import get_spec
+from repro.ml.svm import accuracy, train_svm
+
+
+def main() -> None:
+    config = OMPEConfig()
+
+    # --- Hospital: train on the diabetes analog. ---------------------------
+    spec = get_spec("diabetes")
+    data = load_dataset("diabetes", test_cap=100)
+    model = train_svm(
+        data.X_train, data.y_train, kernel="poly",
+        C=spec.poly_C, degree=3, a0=1.0 / data.dimension, b0=0.0,
+    )
+    test_accuracy = accuracy(model.predict(data.X_test), data.y_test)
+    print(f"Hospital model: polynomial kernel (p=3), "
+          f"{model.n_support} support vectors, test accuracy {test_accuracy:.1%}")
+
+    # --- Patients query privately. ------------------------------------------
+    print("\n--- Private diagnoses (direct-evaluation nonlinear protocol) ---")
+    for i in range(5):
+        record = data.X_test[i]
+        outcome = classify_nonlinear(
+            model, record, config=config, seed=200 + i, method="direct"
+        )
+        plain = 1.0 if model.decision_value(record) >= 0 else -1.0
+        status = "positive" if outcome.label > 0 else "negative"
+        check = "ok" if outcome.label == plain else "MISMATCH"
+        print(f"patient {i + 1}: {status:8s} [{check}]  "
+              f"cost {outcome.total_bytes} B / {outcome.report.rounds} rounds")
+
+    # --- Why the amplifier matters: a collusion attempt fails. --------------
+    print("\n--- Collusion attempt against a linear variant of the model ---")
+    linear_model = train_svm(
+        data.X_train, data.y_train, kernel="linear", C=spec.linear_C
+    )
+    attack = ModelEstimationAttack(linear_model, config=config)
+    true_weights = linear_model.weight_vector()
+    print("pooled samples -> direction error of the colluders' estimate:")
+    for estimate in attack.sweep(seed=9):
+        error = estimate.direction_error_degrees(true_weights)
+        print(f"  {estimate.sample_count:3d} samples: {error:6.1f} degrees off")
+    print("Errors keep rambling (paper Fig. 5): the hospital's model "
+          "stays private even against pooled queries.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""``python -m repro`` — dispatch to the CLI."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early — standard CLI
+        # etiquette is a quiet exit.
+        sys.exit(0)

@@ -1,0 +1,227 @@
+"""Command-line interface for the repro library.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli datasets                     # list dataset analogs
+    python -m repro.cli generate breast-cancer d.libsvm
+    python -m repro.cli train d.libsvm model.json --kernel poly --degree 3
+    python -m repro.cli classify model.json d.libsvm --limit 5 --private
+    python -m repro.cli similarity model_a.json model_b.json --private
+    python -m repro.cli experiment table1            # regenerate a table/figure
+    python -m repro.cli experiment --all
+
+The CLI is a thin layer over the public API; each subcommand maps to
+one documented library call, so it doubles as executable documentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.classification import private_classify
+from repro.core.ompe import OMPEConfig
+from repro.core.similarity import (
+    MetricParams,
+    evaluate_similarity_plain,
+    evaluate_similarity_private,
+    evaluate_similarity_private_nonlinear,
+)
+from repro.evaluation import available_experiments, run_experiment
+from repro.exceptions import ReproError
+from repro.ml.datasets import (
+    available_datasets,
+    load_dataset,
+    read_libsvm,
+    write_libsvm,
+)
+from repro.ml.datasets.registry import get_spec
+from repro.ml.svm import accuracy, load_model, save_model, train_svm
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    print(f"{'name':14s} {'dim':>4s} {'paper test':>10s} {'paper lin':>9s} {'paper poly':>10s}")
+    for name in available_datasets():
+        spec = get_spec(name)
+        print(
+            f"{name:14s} {spec.dimension:4d} {spec.paper_test_size:10d} "
+            f"{spec.paper_linear_accuracy:9.4f} {spec.paper_polynomial_accuracy:10.4f}"
+        )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    data = load_dataset(args.dataset, seed=args.seed)
+    X = np.vstack([data.X_train, data.X_test])
+    y = np.concatenate([data.y_train, data.y_test])
+    write_libsvm(args.output, X, y)
+    print(
+        f"wrote {X.shape[0]} rows x {X.shape[1]} features "
+        f"({data.train_size} train + {data.test_size} test) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    X, y = read_libsvm(args.data)
+    kernel_params = {}
+    if args.kernel in ("poly", "polynomial"):
+        kernel_params = {
+            "degree": args.degree,
+            "a0": args.a0 if args.a0 is not None else 1.0 / X.shape[1],
+            "b0": args.b0,
+        }
+    elif args.kernel == "rbf":
+        kernel_params = {"gamma": args.gamma}
+    model = train_svm(X, y, kernel=args.kernel, C=args.C, **kernel_params)
+    save_model(model, args.model)
+    print(
+        f"trained {args.kernel} model on {X.shape[0]} rows: "
+        f"{model.n_support} support vectors, "
+        f"training accuracy {accuracy(model.predict(X), y):.1%}; "
+        f"saved to {args.model}"
+    )
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    X, y = read_libsvm(args.data, dimension=model.dimension)
+    limit = min(args.limit, X.shape[0]) if args.limit else X.shape[0]
+    config = OMPEConfig(security_degree=args.security_degree)
+    correct = 0
+    for index in range(limit):
+        if args.private:
+            outcome = private_classify(
+                model, X[index], config=config, seed=args.seed + index
+            )
+            label = outcome.label
+            extra = f"  [{outcome.total_bytes} B]"
+        else:
+            label = float(model.predict(X[index : index + 1])[0])
+            extra = ""
+        marker = "ok " if label == y[index] else "ERR"
+        correct += label == y[index]
+        print(f"sample {index}: predicted {label:+.0f}, actual {y[index]:+.0f} {marker}{extra}")
+    print(f"accuracy: {correct / limit:.1%} over {limit} samples "
+          f"({'private protocol' if args.private else 'plain'})")
+    return 0
+
+
+def _cmd_similarity(args: argparse.Namespace) -> int:
+    model_a = load_model(args.model_a)
+    model_b = load_model(args.model_b)
+    params = MetricParams()
+    if args.private:
+        if model_a.is_linear():
+            outcome = evaluate_similarity_private(
+                model_a, model_b, params,
+                config=OMPEConfig(security_degree=args.security_degree),
+                seed=args.seed,
+            )
+        else:
+            outcome = evaluate_similarity_private_nonlinear(
+                model_a, model_b, params,
+                config=OMPEConfig(security_degree=args.security_degree),
+                seed=args.seed,
+            )
+        print(f"similarity T = {outcome.t:.6g} (privacy-preserving; "
+              f"{outcome.total_bytes} B over {outcome.total_rounds} rounds)")
+    else:
+        result = evaluate_similarity_plain(model_a, model_b, params)
+        print(f"similarity T = {result.t:.6g} "
+              f"(plain; L = {result.centroid_distance:.4g}, "
+              f"angle = {result.angle_degrees:.2f} deg)")
+    print("smaller T = more similar models")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    ids = available_experiments() if args.all else [args.experiment]
+    if not args.all and args.experiment is None:
+        print("choose an experiment id or pass --all; available: "
+              + ", ".join(available_experiments()))
+        return 2
+    for experiment_id in ids:
+        result = run_experiment(experiment_id)
+        print(result.to_text())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Privacy-preserving classification and similarity evaluation "
+                    "(ICDCS 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the paper-dataset analogs")
+
+    generate = sub.add_parser("generate", help="generate a dataset analog to LIBSVM format")
+    generate.add_argument("dataset", choices=available_datasets())
+    generate.add_argument("output")
+    generate.add_argument("--seed", type=int, default=2016)
+
+    train = sub.add_parser("train", help="train an SVM from a LIBSVM file")
+    train.add_argument("data")
+    train.add_argument("model")
+    train.add_argument("--kernel", default="linear",
+                       choices=["linear", "poly", "rbf", "sigmoid"])
+    train.add_argument("--C", type=float, default=10.0)
+    train.add_argument("--degree", type=int, default=3)
+    train.add_argument("--a0", type=float, default=None)
+    train.add_argument("--b0", type=float, default=0.0)
+    train.add_argument("--gamma", type=float, default=1.0)
+
+    classify = sub.add_parser("classify", help="classify samples against a model")
+    classify.add_argument("model")
+    classify.add_argument("data")
+    classify.add_argument("--private", action="store_true",
+                          help="use the privacy-preserving protocol")
+    classify.add_argument("--limit", type=int, default=10)
+    classify.add_argument("--seed", type=int, default=0)
+    classify.add_argument("--security-degree", type=int, default=2)
+
+    similarity = sub.add_parser("similarity", help="compare two trained models")
+    similarity.add_argument("model_a")
+    similarity.add_argument("model_b")
+    similarity.add_argument("--private", action="store_true")
+    similarity.add_argument("--seed", type=int, default=0)
+    similarity.add_argument("--security-degree", type=int, default=2)
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    experiment.add_argument("experiment", nargs="?", default=None)
+    experiment.add_argument("--all", action="store_true")
+
+    return parser
+
+
+_HANDLERS = {
+    "datasets": _cmd_datasets,
+    "generate": _cmd_generate,
+    "train": _cmd_train,
+    "classify": _cmd_classify,
+    "similarity": _cmd_similarity,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

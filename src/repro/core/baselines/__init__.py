@@ -1,0 +1,21 @@
+"""Baseline comparators: plaintext schemes and Paillier classification."""
+
+from repro.core.baselines.paillier_classifier import (
+    PaillierClassificationOutcome,
+    classify_paillier,
+)
+from repro.core.baselines.plain import (
+    PlainClassificationOutcome,
+    PlainSimilarityOutcome,
+    classify_plain,
+    similarity_plain,
+)
+
+__all__ = [
+    "PaillierClassificationOutcome",
+    "classify_paillier",
+    "PlainClassificationOutcome",
+    "PlainSimilarityOutcome",
+    "classify_plain",
+    "similarity_plain",
+]

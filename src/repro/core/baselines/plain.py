@@ -1,0 +1,60 @@
+"""Non-private baselines ("original scheme" / "ordinary evaluation").
+
+The paper's Figs. 7–10 compare the privacy-preserving protocols against
+their plaintext counterparts.  These baselines run the *same*
+mathematical computation with no masking, no OT, and no interpolation —
+the denominators of every overhead ratio in the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.similarity.metric import (
+    MetricParams,
+    SimilarityResult,
+    evaluate_similarity_plain,
+)
+from repro.exceptions import ValidationError
+from repro.ml.svm.model import SVMModel
+from repro.utils.timer import Stopwatch
+
+
+@dataclass(frozen=True)
+class PlainClassificationOutcome:
+    """Baseline classification result with wall-clock cost."""
+
+    labels: np.ndarray
+    elapsed_s: float
+
+
+def classify_plain(model: SVMModel, samples: np.ndarray) -> PlainClassificationOutcome:
+    """Classify samples directly with the decision function (no privacy)."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 2:
+        raise ValidationError("samples must be a 2-D array")
+    with Stopwatch() as watch:
+        labels = model.predict(samples)
+    return PlainClassificationOutcome(labels=labels, elapsed_s=watch.elapsed)
+
+
+@dataclass(frozen=True)
+class PlainSimilarityOutcome:
+    """Baseline similarity result with wall-clock cost."""
+
+    result: SimilarityResult
+    elapsed_s: float
+
+
+def similarity_plain(
+    model_a: SVMModel,
+    model_b: SVMModel,
+    params: Optional[MetricParams] = None,
+) -> PlainSimilarityOutcome:
+    """Evaluate the triangle metric in the clear, timed."""
+    with Stopwatch() as watch:
+        result = evaluate_similarity_plain(model_a, model_b, params)
+    return PlainSimilarityOutcome(result=result, elapsed_s=watch.elapsed)

@@ -1,0 +1,48 @@
+"""Privacy-preserving classification protocols (paper Section IV)."""
+
+from repro.core.classification.linear import (
+    ClassificationOutcome,
+    classify_linear,
+    classify_linear_batch,
+    predicted_labels,
+)
+from repro.core.classification.nonlinear import (
+    classify_nonlinear,
+    classify_nonlinear_batch,
+)
+from repro.core.classification.polynomialize import (
+    PolynomializedModel,
+    classify_polynomialized,
+    polynomialize,
+    polynomialize_rbf,
+    polynomialize_sigmoid,
+)
+from repro.core.classification.session import PrivateClassificationSession
+from repro.core.classification.transform import MonomialTransform
+from repro.exceptions import ValidationError
+from repro.ml.svm.model import SVMModel
+
+
+def private_classify(model: SVMModel, sample, **kwargs) -> ClassificationOutcome:
+    """Classify one sample, dispatching on the model's kernel."""
+    if model.is_linear():
+        return classify_linear(model, sample, **kwargs)
+    return classify_nonlinear(model, sample, **kwargs)
+
+
+__all__ = [
+    "ClassificationOutcome",
+    "classify_linear",
+    "classify_linear_batch",
+    "classify_nonlinear",
+    "classify_nonlinear_batch",
+    "predicted_labels",
+    "MonomialTransform",
+    "PrivateClassificationSession",
+    "PolynomializedModel",
+    "classify_polynomialized",
+    "polynomialize",
+    "polynomialize_rbf",
+    "polynomialize_sigmoid",
+    "private_classify",
+]

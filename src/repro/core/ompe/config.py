@@ -1,0 +1,85 @@
+"""Configuration shared by the OMPE sender and receiver.
+
+The paper's parameters (Sections III-C and IV):
+
+* ``q`` — the security degree: the receiver hides each coordinate in a
+  random degree-``q`` polynomial and the sender masks with ``h(u)`` of
+  degree ``deg(P) * q``, so the interpolation needs
+  ``m = deg(P) * q + 1`` covers.
+* ``cover_expansion`` (the paper's ``k``) — the receiver sends
+  ``M = m * cover_expansion`` point/vector pairs, of which only ``m``
+  are real covers; the rest are disguises.
+* ``exact`` — Fraction arithmetic (bit-exact protocol, default) versus
+  float (fast mode; see the arithmetic ablation bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import ValidationError
+from repro.math.groups import SchnorrGroup, fast_group
+
+
+@dataclass(frozen=True)
+class OMPEConfig:
+    """Parameters of one OMPE execution (shared by both parties)."""
+
+    security_degree: int = 2
+    cover_expansion: int = 3
+    exact: bool = True
+    coefficient_bound: int = 8
+    node_bound: int = 4
+    group: Optional[SchnorrGroup] = None
+
+    def __post_init__(self) -> None:
+        if self.security_degree < 1:
+            raise ValidationError(
+                f"security_degree must be at least 1, got {self.security_degree}"
+            )
+        if self.cover_expansion < 2:
+            raise ValidationError(
+                f"cover_expansion must be at least 2 (covers must hide among "
+                f"disguises), got {self.cover_expansion}"
+            )
+        if self.coefficient_bound < 1 or self.node_bound < 1:
+            raise ValidationError("bounds must be at least 1")
+
+    def resolved_group(self) -> SchnorrGroup:
+        """The OT group (a shared 256-bit group unless overridden)."""
+        return self.group if self.group is not None else fast_group()
+
+    def cover_count(self, function_degree: int) -> int:
+        """``m = deg(P) * q + 1`` interpolation covers."""
+        if function_degree < 1:
+            raise ValidationError(
+                f"function degree must be at least 1, got {function_degree}"
+            )
+        return function_degree * self.security_degree + 1
+
+    def pair_count(self, function_degree: int) -> int:
+        """``M = m * k`` total transmitted pairs."""
+        return self.cover_count(function_degree) * self.cover_expansion
+
+
+def draw_amplifier(rng, exact: bool = True, decades: int = 2):
+    """Draw the positive amplifier ``r_a`` (paper Section IV-A.1).
+
+    The paper only requires ``r_a > 0``; we draw it *log-uniformly*
+    across ``[10^-decades, 10^decades]`` (mantissa in [1, 10), uniform
+    exponent).  A heavy-tailed scale is what makes the Fig. 5
+    collusion attack "keep rambling": a narrow uniform amplifier would
+    let least-squares average the noise away, while a four-decade
+    spread keeps pooled regressions dominated by a handful of samples.
+    """
+    from fractions import Fraction
+
+    exponent = rng.randint(-decades, decades)
+    if exact:
+        mantissa = rng.positive_fraction(1, 10)
+        base = Fraction(10)
+    else:
+        mantissa = rng.uniform(1.0, 10.0)
+        base = 10.0
+    return mantissa * base**exponent

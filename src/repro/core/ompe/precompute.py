@@ -1,0 +1,209 @@
+"""Offline precomputation for OMPE (paper Section VI-B.1).
+
+The paper notes the privacy overhead "can be further reduced by
+generating random polynomials before the scheme".  Everything random in
+an OMPE run is independent of the actual query:
+
+* **Sender**: the masking polynomial ``h(u)`` (only its degree depends
+  on the function), the amplifier ``r_a``, and the offset ``r_b``.
+* **Receiver**: the hiding polynomials can be precomputed as
+  *zero-constant* polynomials ``ĝ_i`` (at query time
+  ``g_i(v) = t̃_i + ĝ_i(v)`` fixes the constant term), plus the nodes
+  ``v_1..v_M``, the cover positions, and the full disguise vectors.
+
+:class:`SenderPool` and :class:`ReceiverPool` pre-generate batches of
+these bundles; the sender/receiver classes pop from them during the
+online phase.  ``benchmarks/bench_ablation_precompute.py`` measures the
+online-latency reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.ompe.config import OMPEConfig, draw_amplifier
+from repro.exceptions import OMPEError, ValidationError
+from repro.math.polynomials import Number, Polynomial
+from repro.utils.rng import ReproRandom
+
+
+@dataclass(frozen=True)
+class SenderBundle:
+    """One precomputed sender randomness bundle."""
+
+    mask: Polynomial
+    amplifier: Number
+    offset: Number
+
+
+@dataclass(frozen=True)
+class ReceiverBundle:
+    """One precomputed receiver randomness bundle.
+
+    ``zero_hiders[i]`` is a degree-q polynomial with zero constant term;
+    the online phase adds the secret coordinate.  ``disguises`` maps the
+    non-cover positions to ready-made disguise vectors.
+    """
+
+    zero_hiders: Tuple[Polynomial, ...]
+    nodes: Tuple[Number, ...]
+    cover_positions: Tuple[int, ...]
+    disguises: Tuple[Optional[Tuple[Number, ...]], ...]
+
+
+class SenderPool:
+    """Pre-generates sender bundles for a fixed function degree."""
+
+    def __init__(
+        self,
+        config: OMPEConfig,
+        function_degree: int,
+        count: int,
+        rng: Optional[ReproRandom] = None,
+        amplify: bool = True,
+        offset: bool = False,
+    ) -> None:
+        if count < 1:
+            raise ValidationError(f"count must be at least 1, got {count}")
+        if function_degree < 1:
+            raise ValidationError(
+                f"function_degree must be at least 1, got {function_degree}"
+            )
+        self.config = config
+        self.function_degree = function_degree
+        rng = rng or ReproRandom()
+        mask_degree = function_degree * config.security_degree
+        self._bundles: List[SenderBundle] = []
+        for index in range(count):
+            draw = rng.fork("bundle", index)
+            mask = Polynomial.random(
+                mask_degree,
+                draw.fork("mask"),
+                constant_term=0,
+                coefficient_bound=config.coefficient_bound,
+                exact=config.exact,
+            )
+            amplifier: Number = 1
+            if amplify:
+                amplifier = draw_amplifier(draw.fork("amplifier"), exact=config.exact)
+            offset_value: Number = 0
+            if offset:
+                offset_draw = draw.fork("offset")
+                offset_value = (
+                    offset_draw.nonzero_fraction(
+                        -config.coefficient_bound, config.coefficient_bound
+                    )
+                    if config.exact
+                    else offset_draw.uniform(
+                        -config.coefficient_bound, config.coefficient_bound
+                    )
+                )
+            self._bundles.append(
+                SenderBundle(mask=mask, amplifier=amplifier, offset=offset_value)
+            )
+
+    def __len__(self) -> int:
+        return len(self._bundles)
+
+    def pop(self) -> SenderBundle:
+        """Consume one bundle (each must be used at most once)."""
+        if not self._bundles:
+            raise OMPEError("sender precomputation pool exhausted")
+        return self._bundles.pop()
+
+
+class ReceiverPool:
+    """Pre-generates receiver bundles for a fixed (arity, degree) shape."""
+
+    def __init__(
+        self,
+        config: OMPEConfig,
+        arity: int,
+        function_degree: int,
+        count: int,
+        rng: Optional[ReproRandom] = None,
+    ) -> None:
+        if count < 1:
+            raise ValidationError(f"count must be at least 1, got {count}")
+        if arity < 1:
+            raise ValidationError(f"arity must be at least 1, got {arity}")
+        self.config = config
+        self.arity = arity
+        self.function_degree = function_degree
+        rng = rng or ReproRandom()
+        pair_count = config.pair_count(function_degree)
+        cover_count = config.cover_count(function_degree)
+        self._bundles: List[ReceiverBundle] = []
+        for index in range(count):
+            draw = rng.fork("bundle", index)
+            zero_hiders = tuple(
+                Polynomial.random(
+                    config.security_degree,
+                    draw.fork("g", position),
+                    constant_term=0,
+                    coefficient_bound=config.coefficient_bound,
+                    exact=config.exact,
+                )
+                for position in range(arity)
+            )
+            if config.exact:
+                nodes = tuple(
+                    draw.fork("nodes").distinct_fractions(
+                        pair_count, -config.node_bound, config.node_bound
+                    )
+                )
+            else:
+                node_draw = draw.fork("nodes")
+                seen = set()
+                node_list: List[float] = []
+                while len(node_list) < pair_count:
+                    value = node_draw.uniform(-config.node_bound, config.node_bound)
+                    if abs(value) > 1e-9 and value not in seen:
+                        seen.add(value)
+                        node_list.append(value)
+                nodes = tuple(node_list)
+            positions = tuple(
+                draw.fork("positions").sample_indices(pair_count, cover_count)
+            )
+            position_set = set(positions)
+            disguise_draw = draw.fork("disguises")
+            disguises: List[Optional[Tuple[Number, ...]]] = []
+            for pair_index, node in enumerate(nodes):
+                if pair_index in position_set:
+                    disguises.append(None)
+                    continue
+                constants = [
+                    disguise_draw.fraction(-1, 1)
+                    if config.exact
+                    else disguise_draw.uniform(-1.0, 1.0)
+                    for _ in range(arity)
+                ]
+                fakes = [
+                    Polynomial.random(
+                        config.security_degree,
+                        disguise_draw.fork("poly", pair_index, position),
+                        constant_term=constant,
+                        coefficient_bound=config.coefficient_bound,
+                        exact=config.exact,
+                    )
+                    for position, constant in enumerate(constants)
+                ]
+                disguises.append(tuple(g(node) for g in fakes))
+            self._bundles.append(
+                ReceiverBundle(
+                    zero_hiders=zero_hiders,
+                    nodes=nodes,
+                    cover_positions=positions,
+                    disguises=tuple(disguises),
+                )
+            )
+
+    def __len__(self) -> int:
+        return len(self._bundles)
+
+    def pop(self) -> ReceiverBundle:
+        """Consume one bundle (each must be used at most once)."""
+        if not self._bundles:
+            raise OMPEError("receiver precomputation pool exhausted")
+        return self._bundles.pop()

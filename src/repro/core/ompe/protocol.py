@@ -1,0 +1,103 @@
+"""End-to-end OMPE execution.
+
+:func:`execute_ompe` runs both roles in-process through a measured
+channel and returns the receiver's secret output plus a full
+:class:`~repro.net.runner.ProtocolReport` (transcript, timings,
+simulated network time).  This is the single entry point the
+classification and similarity protocols build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.core.ompe.config import OMPEConfig
+from repro.core.ompe.function import OMPEFunction
+from repro.core.ompe.receiver import OMPEReceiver
+from repro.core.ompe.sender import OMPESender
+from repro.math.polynomials import Number
+from repro.net.channel import LinkModel
+from repro.net.party import connect_parties
+from repro.net.runner import ProtocolReport, finish_report
+from repro.utils.rng import ReproRandom
+from repro.utils.timer import TimingRecorder
+
+
+@dataclass(frozen=True)
+class OMPEOutcome:
+    """Result of one OMPE run.
+
+    ``value`` is the receiver's output ``r_a P(α) + r_b``.  The sender's
+    secret randomizers are *not* part of the receiver's view; they are
+    surfaced here (from the sender object) only for tests and for
+    higher protocols where the same party plays the sender in a later
+    phase (similarity evaluation needs ``r_am``, ``r_aw``, ``r_b``).
+    """
+
+    value: Number
+    amplifier: Number
+    offset: Number
+    report: ProtocolReport
+
+
+def execute_ompe(
+    function: OMPEFunction,
+    input_vector: Sequence[Number],
+    config: Optional[OMPEConfig] = None,
+    seed: Optional[int] = None,
+    amplify: bool = True,
+    offset: bool = False,
+    link: Optional[LinkModel] = None,
+    sender_name: str = "alice",
+    receiver_name: str = "bob",
+    sender_pool=None,
+    receiver_pool=None,
+) -> OMPEOutcome:
+    """Run the full OMPE protocol between two in-process parties.
+
+    ``sender_pool`` / ``receiver_pool`` are optional
+    :mod:`repro.core.ompe.precompute` pools; when given, the parties
+    draw their randomness from the pools instead of generating it
+    online (the paper's Section VI-B.1 optimization).
+    """
+    config = config or OMPEConfig()
+    root = ReproRandom(seed)
+    timings = TimingRecorder()
+    sender = OMPESender(
+        sender_name,
+        function,
+        config,
+        rng=root.fork("sender"),
+        amplify=amplify,
+        offset=offset,
+        timings=timings,
+        pool=sender_pool,
+    )
+    receiver = OMPEReceiver(
+        receiver_name,
+        input_vector,
+        config,
+        rng=root.fork("receiver"),
+        timings=timings,
+        pool=receiver_pool,
+    )
+    channel = connect_parties(sender, receiver, link=link) if link else connect_parties(
+        sender, receiver
+    )
+
+    receiver.send_request()
+    sender.handle_request()
+    receiver.handle_params()
+    sender.handle_points()
+    receiver.handle_ot_setups()
+    sender.handle_choices()
+    value = receiver.finish()
+
+    report = finish_report(value, channel, timings)
+    return OMPEOutcome(
+        value=value,
+        amplifier=sender.amplifier,
+        offset=sender.offset_value,
+        report=report,
+    )

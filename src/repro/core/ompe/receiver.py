@@ -1,0 +1,211 @@
+"""OMPE receiver (the paper's Bob / client side).
+
+Implements the receiver steps of Sections III-C and IV-A:
+
+1. Announce the arity; learn the interpolation parameters ``(p, m, M)``.
+2. Hide the input ``α`` in random degree-``q`` polynomials
+   ``g_i(v)`` with ``g_i(0) = α_i``, pick ``M`` distinct nonzero nodes,
+   select ``m`` cover positions where ``z_i = G(v_i)``, fill the rest
+   with disguises, and send all ``M`` pairs.
+
+   Disguises here are drawn as evaluations of *fresh* random hiding
+   polynomials (with random constant terms), so covers and disguises
+   are identically distributed — strictly stronger camouflage than the
+   paper's "randomly selected" values, and testable
+   (:mod:`repro.core.privacy.analysis`).
+3. Run ``m``-out-of-``M`` OT to learn the cover evaluations only.
+4. Lagrange-interpolate ``B(v)`` and output the secret
+   ``B(0) = r_a P(α) + r_b``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.ompe.config import OMPEConfig
+from repro.core.ompe.function import as_exact_vector
+from repro.crypto.ot.k_of_n import KOfNReceiver
+from repro.exceptions import OMPEError, ProtocolAbort
+from repro.math.interpolation import lagrange_at_zero
+from repro.math.polynomials import Number, Polynomial
+from repro.net.party import Party
+from repro.utils.rng import ReproRandom
+from repro.utils.serialization import decode_value
+from repro.utils.timer import TimingRecorder
+
+
+class OMPEReceiver(Party):
+    """Holds the input ``α``; learns only ``r_a P(α) + r_b``."""
+
+    def __init__(
+        self,
+        name: str,
+        input_vector: Sequence[Number],
+        config: OMPEConfig,
+        rng: Optional[ReproRandom] = None,
+        timings: Optional[TimingRecorder] = None,
+        pool=None,
+    ) -> None:
+        super().__init__(name, rng)
+        if pool is not None and pool.arity != len(tuple(input_vector)):
+            raise OMPEError(
+                f"precomputation pool was built for arity {pool.arity}, "
+                f"input has {len(tuple(input_vector))}"
+            )
+        self.pool = pool
+        vector = tuple(input_vector)
+        if not vector:
+            raise OMPEError("input vector must be non-empty")
+        self.input_vector = as_exact_vector(vector) if config.exact else tuple(
+            float(v) for v in vector
+        )
+        self.config = config
+        self.timings = timings or TimingRecorder()
+        self._cover_count: int = 0
+        self._pair_count: int = 0
+        self._nodes: List[Number] = []
+        self._cover_positions: List[int] = []
+        self._ot_receiver: Optional[KOfNReceiver] = None
+
+    # -- step 1 --------------------------------------------------------------
+
+    def send_request(self) -> None:
+        """Announce the arity."""
+        self.send("ompe/request", len(self.input_vector))
+
+    # -- step 2 ---------------------------------------------------------------
+
+    def _random_node(self, draw: ReproRandom) -> Number:
+        if self.config.exact:
+            return draw.nonzero_fraction(-self.config.node_bound, self.config.node_bound)
+        while True:
+            value = draw.uniform(-self.config.node_bound, self.config.node_bound)
+            if abs(value) > 1e-9:
+                return value
+
+    def _hiding_polynomials(
+        self, draw: ReproRandom, constants: Sequence[Number]
+    ) -> List[Polynomial]:
+        return [
+            Polynomial.random(
+                self.config.security_degree,
+                draw.fork("g", index),
+                constant_term=constant,
+                coefficient_bound=self.config.coefficient_bound,
+                exact=self.config.exact,
+            )
+            for index, constant in enumerate(constants)
+        ]
+
+    def handle_params(self) -> None:
+        """Receive ``(p, m, M)``; send the ``M`` disguised pairs."""
+        degree, cover_count, pair_count = self.receive("ompe/params")
+        if cover_count != self.config.cover_count(degree):
+            raise ProtocolAbort(
+                f"sender announced m={cover_count}, config implies "
+                f"{self.config.cover_count(degree)}"
+            )
+        if pair_count != self.config.pair_count(degree):
+            raise ProtocolAbort(
+                f"sender announced M={pair_count}, config implies "
+                f"{self.config.pair_count(degree)}"
+            )
+        self._cover_count = cover_count
+        self._pair_count = pair_count
+        if self.pool is not None:
+            if self.pool.function_degree != degree:
+                raise ProtocolAbort(
+                    f"precomputation pool was built for degree "
+                    f"{self.pool.function_degree}, sender announced {degree}"
+                )
+            with self.timings.measure("receiver/randomize"):
+                bundle = self.pool.pop()
+                hiders = [
+                    hider.shift(constant)
+                    for hider, constant in zip(bundle.zero_hiders, self.input_vector)
+                ]
+                pairs = []
+                for index, node in enumerate(bundle.nodes):
+                    disguise = bundle.disguises[index]
+                    if disguise is None:
+                        vector = tuple(g(node) for g in hiders)
+                    else:
+                        vector = disguise
+                    pairs.append((node, vector))
+                self._nodes = list(bundle.nodes)
+                self._cover_positions = list(bundle.cover_positions)
+            self.send("ompe/points", tuple(pairs))
+            return
+        with self.timings.measure("receiver/randomize"):
+            draw = self.rng.fork("hide")
+            hiders = self._hiding_polynomials(draw.fork("covers"), self.input_vector)
+            if self.config.exact:
+                nodes = draw.fork("nodes").distinct_fractions(
+                    pair_count,
+                    -self.config.node_bound,
+                    self.config.node_bound,
+                    exclude_zero=True,
+                )
+            else:
+                node_draw = draw.fork("nodes")
+                seen = set()
+                nodes = []
+                while len(nodes) < pair_count:
+                    value = self._random_node(node_draw)
+                    if value not in seen:
+                        seen.add(value)
+                        nodes.append(value)
+            positions = draw.fork("positions").sample_indices(pair_count, cover_count)
+            position_set = set(positions)
+            pairs: List[Tuple[Number, tuple]] = []
+            disguise_draw = draw.fork("disguises")
+            for index, node in enumerate(nodes):
+                if index in position_set:
+                    vector = tuple(g(node) for g in hiders)
+                else:
+                    # Fresh hiding polynomials with random constant terms:
+                    # disguises are identically distributed with covers.
+                    constants = [
+                        disguise_draw.fraction(-1, 1)
+                        if self.config.exact
+                        else disguise_draw.uniform(-1.0, 1.0)
+                        for _ in self.input_vector
+                    ]
+                    fakes = self._hiding_polynomials(
+                        disguise_draw.fork("poly", index), constants
+                    )
+                    vector = tuple(g(node) for g in fakes)
+                pairs.append((node, vector))
+            self._nodes = nodes
+            self._cover_positions = positions
+        self.send("ompe/points", tuple(pairs))
+
+    # -- steps 3 and 4 ----------------------------------------------------------
+
+    def handle_ot_setups(self) -> None:
+        """Blind the cover positions into OT choices."""
+        setups = self.receive("ompe/ot-setups")
+        with self.timings.measure("receiver/ot"):
+            self._ot_receiver = KOfNReceiver(
+                self.config.resolved_group(), self.rng.fork("ot")
+            )
+            choices = self._ot_receiver.choose(
+                setups, self._cover_positions, self._pair_count
+            )
+        self.send("ompe/ot-choices", choices)
+
+    def finish(self) -> Number:
+        """Retrieve cover evaluations, interpolate, return ``B(0)``."""
+        if self._ot_receiver is None:
+            raise OMPEError("finish before handle_ot_setups")
+        transfers = self.receive("ompe/ot-transfers")
+        with self.timings.measure("receiver/ot"):
+            payloads = self._ot_receiver.retrieve(transfers)
+        with self.timings.measure("receiver/interpolate"):
+            values = [decode_value(blob) for blob in payloads]
+            nodes = [self._nodes[i] for i in self._cover_positions]
+            if not self.config.exact:
+                values = [float(v) for v in values]
+            secret = lagrange_at_zero(nodes, values)
+        return secret

@@ -1,0 +1,46 @@
+"""Privacy-preserving similarity evaluation (paper Section V)."""
+
+from repro.core.similarity.boundary import (
+    centroid,
+    kernel_boundary_points,
+    linear_boundary_points,
+    model_boundary_points,
+)
+from repro.core.similarity.linear import (
+    PrivateSimilarityOutcome,
+    build_t_squared_polynomial,
+    evaluate_similarity_private,
+)
+from repro.core.similarity.matching import MatchingResult, run_matching
+from repro.core.similarity.metric import (
+    MetricParams,
+    SimilarityResult,
+    cosine_similarity,
+    evaluate_similarity_plain,
+    normal_inner_product,
+    triangle_t_squared,
+)
+from repro.core.similarity.nonlinear import (
+    evaluate_similarity_private_nonlinear,
+    exact_normal_inner,
+)
+
+__all__ = [
+    "centroid",
+    "kernel_boundary_points",
+    "linear_boundary_points",
+    "model_boundary_points",
+    "PrivateSimilarityOutcome",
+    "build_t_squared_polynomial",
+    "evaluate_similarity_private",
+    "MatchingResult",
+    "run_matching",
+    "MetricParams",
+    "SimilarityResult",
+    "cosine_similarity",
+    "evaluate_similarity_plain",
+    "normal_inner_product",
+    "triangle_t_squared",
+    "evaluate_similarity_private_nonlinear",
+    "exact_normal_inner",
+]

@@ -1,0 +1,189 @@
+"""Boundary points of bounded decision surfaces (paper Eq. 5).
+
+The similarity metric treats a trained model as a *bounded* hyperplane
+inside the data box ``[α, β]^n``.  Its boundary points are the
+intersections of the decision surface with the box edges: treat one
+coordinate as a variable ``u`` and fix every other coordinate at ``α``
+or ``β`` — ``n · 2^(n-1)`` one-dimensional problems.
+
+* Linear models: each problem is one linear equation (Eq. 5).
+* Kernel models: each problem is a univariate root search of
+  ``d(t(u)) = 0`` along the edge, solved by sign-change scanning plus
+  bisection (the paper's "equations with nonlinear form").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import RootFindingError, SimilarityError, ValidationError
+from repro.ml.svm.model import SVMModel
+
+Point = Tuple[float, ...]
+
+#: Tolerance for deduplicating boundary points and accepting solutions.
+_EPS = 1e-9
+
+
+def _corner_assignments(count: int, lower: float, upper: float):
+    return itertools.product((lower, upper), repeat=count)
+
+
+def _dedupe(points: List[Point]) -> List[Point]:
+    unique: List[Point] = []
+    for point in points:
+        if not any(
+            max(abs(a - b) for a, b in zip(point, seen)) < _EPS for seen in unique
+        ):
+            unique.append(point)
+    return unique
+
+
+def linear_boundary_points(
+    weights: Sequence[float],
+    bias: float,
+    lower: float = -1.0,
+    upper: float = 1.0,
+) -> List[Point]:
+    """All box-edge intersections of the hyperplane ``w·t + b = 0``.
+
+    Solves Eq. (5) for every axis/corner combination; infeasible
+    equations (``w_j = 0`` or solution outside ``[lower, upper]``) are
+    skipped.  Raises :class:`SimilarityError` when the plane misses the
+    box entirely.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 1 or weights.size == 0:
+        raise ValidationError("weights must be a non-empty 1-D vector")
+    if lower >= upper:
+        raise ValidationError(f"lower ({lower}) must be below upper ({upper})")
+    n = weights.size
+    points: List[Point] = []
+    for axis in range(n):
+        w_axis = weights[axis]
+        if abs(w_axis) < _EPS:
+            continue
+        others = [i for i in range(n) if i != axis]
+        for corner in _corner_assignments(n - 1, lower, upper):
+            residual = bias + float(
+                np.dot(weights[others], np.asarray(corner, dtype=float))
+            )
+            u = -residual / w_axis
+            if lower - _EPS <= u <= upper + _EPS:
+                point = [0.0] * n
+                point[axis] = min(max(u, lower), upper)
+                for position, index in enumerate(others):
+                    point[index] = corner[position]
+                points.append(tuple(point))
+    points = _dedupe(points)
+    if not points:
+        raise SimilarityError(
+            "the hyperplane does not intersect the bounded data space"
+        )
+    return points
+
+
+def _roots_on_segment(
+    scalar_function: Callable[[float], float],
+    lower: float,
+    upper: float,
+    resolution: int,
+) -> List[float]:
+    """All roots of a continuous function on [lower, upper] via scanning."""
+    if resolution < 2:
+        raise ValidationError(f"resolution must be at least 2, got {resolution}")
+    xs = np.linspace(lower, upper, resolution)
+    values = [scalar_function(float(x)) for x in xs]
+    roots: List[float] = []
+    for left, right, f_left, f_right in zip(xs, xs[1:], values, values[1:]):
+        if abs(f_left) < _EPS:
+            roots.append(float(left))
+            continue
+        if f_left * f_right < 0.0:
+            roots.append(_bisect(scalar_function, float(left), float(right)))
+    if abs(values[-1]) < _EPS:
+        roots.append(float(xs[-1]))
+    return roots
+
+
+def _bisect(
+    scalar_function: Callable[[float], float],
+    left: float,
+    right: float,
+    iterations: int = 80,
+) -> float:
+    f_left = scalar_function(left)
+    if f_left == 0.0:
+        return left
+    for _ in range(iterations):
+        middle = 0.5 * (left + right)
+        f_middle = scalar_function(middle)
+        if abs(f_middle) < _EPS or (right - left) < 1e-14:
+            return middle
+        if f_left * f_middle < 0.0:
+            right = middle
+        else:
+            left, f_left = middle, f_middle
+    return 0.5 * (left + right)
+
+
+def kernel_boundary_points(
+    model: SVMModel,
+    lower: float = -1.0,
+    upper: float = 1.0,
+    resolution: int = 64,
+) -> List[Point]:
+    """Box-edge intersections of a kernel decision surface ``d(t) = 0``.
+
+    Scans every edge of the hypercube for sign changes of the decision
+    function and refines each crossing by bisection — the nonlinear
+    generalization of Eq. (5).
+    """
+    if lower >= upper:
+        raise ValidationError(f"lower ({lower}) must be below upper ({upper})")
+    n = model.dimension
+    points: List[Point] = []
+    for axis in range(n):
+        others = [i for i in range(n) if i != axis]
+        for corner in _corner_assignments(n - 1, lower, upper):
+            template = np.zeros(n)
+            for position, index in enumerate(others):
+                template[index] = corner[position]
+
+            def along_edge(u: float) -> float:
+                template[axis] = u
+                return model.decision_value(template)
+
+            for root in _roots_on_segment(along_edge, lower, upper, resolution):
+                point = template.copy()
+                point[axis] = root
+                points.append(tuple(float(v) for v in point))
+    points = _dedupe(points)
+    if not points:
+        raise SimilarityError(
+            "the decision surface does not intersect the bounded data space"
+        )
+    return points
+
+
+def centroid(points: Sequence[Point]) -> Tuple[float, ...]:
+    """Arithmetic mean of the boundary points (the paper's ``m``)."""
+    if not points:
+        raise SimilarityError("centroid of an empty point set")
+    array = np.asarray(points, dtype=float)
+    return tuple(float(v) for v in array.mean(axis=0))
+
+
+def model_boundary_points(
+    model: SVMModel,
+    lower: float = -1.0,
+    upper: float = 1.0,
+    resolution: int = 64,
+) -> List[Point]:
+    """Boundary points for any model (exact for linear, scanned otherwise)."""
+    if model.is_linear():
+        return linear_boundary_points(model.weight_vector(), model.bias, lower, upper)
+    return kernel_boundary_points(model, lower, upper, resolution)

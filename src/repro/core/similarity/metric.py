@@ -1,0 +1,170 @@
+"""The isosceles-triangle similarity metric (paper Section V-A).
+
+Two bounded hyperplanes are compared by an isosceles triangle whose
+legs are the centroid distance ``L`` and whose vertex angle is the
+normals' included angle ``θ``:
+
+    T² = ¼ (L⁴ + L₀⁴)(sin²θ + sin²θ₀)          (Eq. 4)
+
+The public constants ``L₀`` and ``θ₀`` keep the metric strictly
+positive so a null area cannot be attributed to either factor alone.
+This module computes the metric *in the clear* — the baseline and the
+ground truth the private protocol must reproduce — for both linear
+models (dot products) and kernel models (feature-space inner products
+via the kernel trick, Section V-C).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.similarity.boundary import centroid, model_boundary_points
+from repro.exceptions import SimilarityError, ValidationError
+from repro.ml.svm.model import SVMModel
+
+
+@dataclass(frozen=True)
+class MetricParams:
+    """Public parameters of the metric.
+
+    ``l0`` and ``sin_theta0`` are the paper's small constants
+    (``L₀`` and ``sin θ₀``); both public, both strictly positive.
+    ``lower``/``upper`` bound the data space; ``resolution`` controls
+    the kernel boundary-point scan.
+    """
+
+    l0: float = 0.01
+    sin_theta0: float = 0.01
+    lower: float = -1.0
+    upper: float = 1.0
+    resolution: int = 64
+
+    def __post_init__(self) -> None:
+        if self.l0 <= 0 or self.sin_theta0 <= 0:
+            raise ValidationError("l0 and sin_theta0 must be strictly positive")
+        if not 0 < self.sin_theta0 < 1:
+            raise ValidationError("sin_theta0 must lie in (0, 1)")
+        if self.lower >= self.upper:
+            raise ValidationError("lower must be below upper")
+
+    @property
+    def minimum_t_squared(self) -> float:
+        """The metric's floor ``¼ L₀⁴ sin²θ₀`` (identical models)."""
+        return 0.25 * self.l0**4 * self.sin_theta0**2
+
+
+@dataclass(frozen=True)
+class SimilarityResult:
+    """Plain (non-private) similarity computation output."""
+
+    t_squared: float
+    centroid_distance: float
+    cosine: float
+
+    @property
+    def t(self) -> float:
+        """The triangle-area similarity value ``T`` (smaller = closer)."""
+        return math.sqrt(self.t_squared)
+
+    @property
+    def angle_degrees(self) -> float:
+        """Included angle of the two normals, in degrees."""
+        return math.degrees(math.acos(min(1.0, max(-1.0, self.cosine))))
+
+
+def cosine_similarity(first: np.ndarray, second: np.ndarray) -> float:
+    """Cosine of the angle between two normal vectors."""
+    first = np.asarray(first, dtype=float)
+    second = np.asarray(second, dtype=float)
+    norm_product = float(np.linalg.norm(first) * np.linalg.norm(second))
+    if norm_product == 0.0:
+        raise SimilarityError("cosine undefined for zero normals")
+    return float(np.dot(first, second)) / norm_product
+
+
+def triangle_t_squared(
+    squared_distance: float,
+    squared_cosine: float,
+    params: MetricParams,
+) -> float:
+    """Eq. (4)/(6): ``¼ (L⁴ + L₀⁴)(sin²θ + sin²θ₀)``."""
+    if squared_distance < 0:
+        raise ValidationError("squared_distance must be non-negative")
+    squared_cosine = min(1.0, max(0.0, squared_cosine))
+    sin_squared = 1.0 - squared_cosine
+    return 0.25 * (squared_distance**2 + params.l0**4) * (
+        sin_squared + params.sin_theta0**2
+    )
+
+
+def evaluate_similarity_plain(
+    model_a: SVMModel,
+    model_b: SVMModel,
+    params: Optional[MetricParams] = None,
+) -> SimilarityResult:
+    """Compute the metric in the clear (the paper's "ordinary" scheme).
+
+    Linear models use Euclidean geometry; kernel models use the
+    feature-space inner products of Section V-C (both models must share
+    the same kernel).
+    """
+    params = params or MetricParams()
+    if model_a.is_linear() != model_b.is_linear():
+        raise SimilarityError("cannot compare linear and kernel models")
+
+    points_a = model_boundary_points(
+        model_a, params.lower, params.upper, params.resolution
+    )
+    points_b = model_boundary_points(
+        model_b, params.lower, params.upper, params.resolution
+    )
+    m_a = np.asarray(centroid(points_a))
+    m_b = np.asarray(centroid(points_b))
+
+    if model_a.is_linear():
+        squared_distance = float(np.sum((m_a - m_b) ** 2))
+        cosine = cosine_similarity(model_a.weight_vector(), model_b.weight_vector())
+        squared_cosine = cosine * cosine
+    else:
+        if model_a.kernel_spec != model_b.kernel_spec:
+            raise SimilarityError(
+                "kernel similarity requires both models to share a kernel: "
+                f"{model_a.kernel_spec} vs {model_b.kernel_spec}"
+            )
+        kernel = model_a.kernel
+        k_mm_a = kernel(m_a, m_a)
+        k_mm_b = kernel(m_b, m_b)
+        k_mm_ab = kernel(m_a, m_b)
+        squared_distance = max(0.0, k_mm_a + k_mm_b - 2.0 * k_mm_ab)
+        k_ww_a = normal_inner_product(model_a, model_a)
+        k_ww_b = normal_inner_product(model_b, model_b)
+        k_ww_ab = normal_inner_product(model_a, model_b)
+        if k_ww_a <= 0 or k_ww_b <= 0:
+            raise SimilarityError("degenerate feature-space normal")
+        squared_cosine = (k_ww_ab * k_ww_ab) / (k_ww_a * k_ww_b)
+        cosine = math.copysign(math.sqrt(min(1.0, squared_cosine)), k_ww_ab)
+
+    t_squared = triangle_t_squared(squared_distance, squared_cosine, params)
+    return SimilarityResult(
+        t_squared=t_squared,
+        centroid_distance=math.sqrt(squared_distance),
+        cosine=cosine,
+    )
+
+
+def normal_inner_product(model_a: SVMModel, model_b: SVMModel) -> float:
+    """Feature-space inner product of two models' normals.
+
+    ``⟨n_A, n_B⟩ = Σ_s Σ_s' c_s c_s' K(x_s, x_s')`` with the shared
+    kernel — the quantity the paper writes as ``K(w_A, w_B)``.
+    """
+    if model_a.kernel_spec != model_b.kernel_spec:
+        raise SimilarityError("normal inner product needs a shared kernel")
+    gram = model_a.kernel.gram(model_a.support_vectors, model_b.support_vectors)
+    return float(
+        model_a.dual_coefficients @ gram @ model_b.dual_coefficients
+    )

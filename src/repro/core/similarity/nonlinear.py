@@ -1,0 +1,240 @@
+"""Privacy-preserving nonlinear similarity evaluation (paper Section V-C).
+
+The metric lifts to kernel feature space: centroid distance becomes
+
+    L² = K(m_A, m_A) + K(m_B, m_B) − 2 K(m_A, m_B)
+
+and the normals' cosine uses the feature-space inner products of the
+models' dual representations,
+
+    ⟨n_A, n_B⟩ = Σ_s Σ_s' c_s c_s' K(x_s, x_s')
+
+(the paper writes this ``K(w_A, w_B)``).  Steps mirror the linear
+protocol; the two dot-product OMPEs become kernel OMPEs:
+
+* OMPE #1 — sender function ``y ↦ K(m_A, y)`` (degree ``p``), Bob's
+  input his centroid ``m_B``: Bob gets ``x₁ = r_am K(m_A, m_B)``.
+* OMPE #2 — sender function over Bob's *packed model*
+  ``(c_1..c_k, x_1..x_k) ↦ Σ_j c_j · f_A(x_j)`` where
+  ``f_A(x) = Σ_s c_s^A K(x_s^A, x)`` (degree ``p + 1``): Bob gets
+  ``x₂ = r_aw ⟨n_A, n_B⟩ + r_b`` without revealing his support vectors
+  or dual coefficients.
+* OMPE #3 — identical Eq. (7) polynomial with kernel-space constants.
+
+Both models must share the same polynomial kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.ompe import OMPEConfig, OMPEFunction, execute_ompe
+from repro.core.similarity.boundary import centroid, kernel_boundary_points
+from repro.core.similarity.exact import (
+    exact_poly_kernel,
+    snap,
+    snap_vector,
+)
+from repro.core.similarity.linear import (
+    PrivateSimilarityOutcome,
+    build_t_squared_polynomial,
+)
+from repro.core.similarity.metric import MetricParams
+from repro.exceptions import SimilarityError, ValidationError
+from repro.math.polynomials import Number
+from repro.ml.svm.model import SVMModel
+from repro.net.channel import Channel
+from repro.net.runner import ProtocolReport
+from repro.utils.rng import ReproRandom
+
+
+def _polynomial_kernel_params(model: SVMModel) -> Tuple[Fraction, Fraction, int]:
+    name, params = model.kernel_spec
+    if name not in ("poly", "polynomial"):
+        raise ValidationError(
+            "nonlinear similarity requires polynomial-kernel models"
+        )
+    return (
+        snap(params.get("a0", 1.0)),
+        snap(params.get("b0", 0.0)),
+        int(params.get("degree", 3)),
+    )
+
+
+def _pack_model(model: SVMModel) -> Tuple[Fraction, ...]:
+    """Pack Bob's dual coefficients and support vectors into one vector."""
+    packed: List[Fraction] = [snap(c) for c in model.dual_coefficients]
+    for row in model.support_vectors:
+        packed.extend(snap_vector(row))
+    return tuple(packed)
+
+
+def _normal_inner_function(
+    model_a: SVMModel,
+    a0: Fraction,
+    b0: Fraction,
+    degree: int,
+    peer_sv_count: int,
+    dimension: int,
+) -> OMPEFunction:
+    """Sender function computing ``⟨n_A, n_B⟩`` from Bob's packed model."""
+    alice_duals = [snap(c) for c in model_a.dual_coefficients]
+    alice_svs = [snap_vector(row) for row in model_a.support_vectors]
+
+    def evaluate(packed: Sequence[Number]) -> Number:
+        duals = packed[:peer_sv_count]
+        total = Fraction(0) if isinstance(packed[0], Fraction) else 0.0
+        for j in range(peer_sv_count):
+            start = peer_sv_count + j * dimension
+            vector = packed[start : start + dimension]
+            f_a = sum(
+                (
+                    dual * exact_poly_kernel(sv, vector, a0, b0, degree)
+                    for dual, sv in zip(alice_duals, alice_svs)
+                ),
+                Fraction(0),
+            )
+            total = total + duals[j] * f_a
+        return total
+
+    return OMPEFunction.from_callable(
+        arity=peer_sv_count * (dimension + 1),
+        total_degree=degree + 1,
+        evaluate=evaluate,
+    )
+
+
+def exact_normal_inner(
+    model_a: SVMModel, model_b: SVMModel
+) -> Fraction:
+    """Exact (snapped) feature-space inner product of the two normals."""
+    a0, b0, degree = _polynomial_kernel_params(model_a)
+    total = Fraction(0)
+    duals_a = [snap(c) for c in model_a.dual_coefficients]
+    svs_a = [snap_vector(row) for row in model_a.support_vectors]
+    duals_b = [snap(c) for c in model_b.dual_coefficients]
+    svs_b = [snap_vector(row) for row in model_b.support_vectors]
+    for ca, xa in zip(duals_a, svs_a):
+        for cb, xb in zip(duals_b, svs_b):
+            total += ca * cb * exact_poly_kernel(xa, xb, a0, b0, degree)
+    return total
+
+
+def evaluate_similarity_private_nonlinear(
+    model_a: SVMModel,
+    model_b: SVMModel,
+    params: Optional[MetricParams] = None,
+    config: Optional[OMPEConfig] = None,
+    seed: Optional[int] = None,
+) -> PrivateSimilarityOutcome:
+    """Run the full private nonlinear (polynomial-kernel) similarity protocol."""
+    params = params or MetricParams()
+    config = config or OMPEConfig()
+    if model_a.kernel_spec != model_b.kernel_spec:
+        raise SimilarityError(
+            "both models must share the same kernel configuration"
+        )
+    a0, b0, degree = _polynomial_kernel_params(model_a)
+    if model_a.dimension != model_b.dimension:
+        raise SimilarityError("models must share input dimensionality")
+    root = ReproRandom(seed)
+
+    # Step 1 — local geometry (kernel boundary scan), snapped.
+    m_a = snap_vector(
+        centroid(
+            kernel_boundary_points(
+                model_a, params.lower, params.upper, params.resolution
+            )
+        )
+    )
+    m_b = snap_vector(
+        centroid(
+            kernel_boundary_points(
+                model_b, params.lower, params.upper, params.resolution
+            )
+        )
+    )
+
+    # Step 2 — Bob sends K(m_B, m_B) and ⟨n_B, n_B⟩ in the clear.
+    k_mm_b = exact_poly_kernel(m_b, m_b, a0, b0, degree)
+    k_ww_b = exact_normal_inner(model_b, model_b)
+    clear_channel = Channel("bob", "alice")
+    clear_channel.send("bob", "similarity/kernel-norms", (k_mm_b, k_ww_b))
+    k_mm_b, k_ww_b = clear_channel.receive("alice", "similarity/kernel-norms")
+    clear_report = ProtocolReport(
+        result=None,
+        transcript=clear_channel.transcript,
+        simulated_network_s=clear_channel.simulated_time,
+    )
+    k_ww_a = exact_normal_inner(model_a, model_a)
+    if k_ww_a <= 0 or k_ww_b <= 0:
+        raise SimilarityError("degenerate feature-space normal")
+
+    # Step 3 — OMPE #1: x1 = r_am K(m_A, m_B).
+    centroid_function = OMPEFunction.from_callable(
+        arity=model_a.dimension,
+        total_degree=degree,
+        evaluate=lambda y: exact_poly_kernel(m_a, y, a0, b0, degree),
+    )
+    run1 = execute_ompe(
+        centroid_function,
+        m_b,
+        config=config,
+        seed=root.fork("run1").seed,
+        amplify=True,
+        offset=False,
+        sender_name="alice",
+        receiver_name="bob",
+    )
+
+    # Step 4 — OMPE #2: x2 = r_aw ⟨n_A, n_B⟩ + r_b over Bob's packed model.
+    packed = _pack_model(model_b)
+    normal_function = _normal_inner_function(
+        model_a, a0, b0, degree, model_b.n_support, model_b.dimension
+    )
+    run2 = execute_ompe(
+        normal_function,
+        packed,
+        config=config,
+        seed=root.fork("run2").seed,
+        amplify=True,
+        offset=True,
+        sender_name="alice",
+        receiver_name="bob",
+    )
+
+    # Step 5 — OMPE #3: Eq. (7) with kernel-space constants.
+    c1 = exact_poly_kernel(m_a, m_a, a0, b0, degree) + k_mm_b
+    c2 = snap(params.l0) ** 4
+    c3 = 1 / (k_ww_a * k_ww_b)
+    c4 = 1 + snap(params.sin_theta0) ** 2
+    d1 = 1 / run1.amplifier
+    d2 = 1 / run2.amplifier**2
+    d3 = -run2.offset
+    t_squared_polynomial = build_t_squared_polynomial(c1, c2, c3, c4, d1, d2, d3)
+    run3 = execute_ompe(
+        OMPEFunction.from_polynomial(t_squared_polynomial),
+        (run1.value, run2.value),
+        config=config,
+        seed=root.fork("run3").seed,
+        amplify=False,
+        offset=False,
+        sender_name="alice",
+        receiver_name="bob",
+    )
+
+    t_squared = run3.value
+    if t_squared < 0:
+        raise SimilarityError(f"negative T² ({t_squared}) — protocol corrupted")
+    return PrivateSimilarityOutcome(
+        t=math.sqrt(float(t_squared)),
+        t_squared=t_squared,
+        reports={
+            "clear": clear_report,
+            "centroid_ompe": run1.report,
+            "normal_ompe": run2.report,
+            "area_ompe": run3.report,
+        },
+    )

@@ -1,0 +1,21 @@
+"""Cryptographic substrate: OT family, Paillier, KDF wrapping."""
+
+from repro.crypto.hashing import kdf, unwrap_message, wrap_message
+from repro.crypto.paillier import (
+    FixedPointCodec,
+    PaillierCipher,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_keypair,
+)
+
+__all__ = [
+    "kdf",
+    "unwrap_message",
+    "wrap_message",
+    "FixedPointCodec",
+    "PaillierCipher",
+    "PaillierPrivateKey",
+    "PaillierPublicKey",
+    "generate_keypair",
+]

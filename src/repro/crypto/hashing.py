@@ -1,0 +1,81 @@
+"""Hash-based key derivation and one-time-pad wrapping for OT payloads.
+
+The Naor–Pinkas oblivious transfer lets two parties agree on a group
+element that only the legitimate receiver can compute.  To transport an
+arbitrary-length application message (here: encoded protocol values) we
+derive a keystream from that group element with SHA-256 in counter mode
+and XOR it over the payload, with an appended integrity tag so a wrong
+key is detected rather than silently decoding garbage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Optional
+
+from repro.exceptions import DecryptionError, ValidationError
+
+#: Length of the integrity tag appended to wrapped messages.
+TAG_BYTES = 16
+
+
+def kdf(key_material: bytes, length: int, context: bytes = b"") -> bytes:
+    """Derive ``length`` pseudorandom bytes from ``key_material``.
+
+    SHA-256 in counter mode:  ``H(counter || context || key_material)``.
+    """
+    if length < 0:
+        raise ValidationError(f"length must be non-negative, got {length}")
+    blocks = []
+    counter = 0
+    while sum(len(b) for b in blocks) < length:
+        digest = hashlib.sha256()
+        digest.update(counter.to_bytes(8, "big"))
+        digest.update(context)
+        digest.update(key_material)
+        blocks.append(digest.digest())
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def _xor(data: bytes, keystream: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(data, keystream))
+
+
+def wrap_message(key_material: bytes, plaintext: bytes, context: bytes = b"") -> bytes:
+    """Encrypt-and-tag ``plaintext`` under a key derived from ``key_material``."""
+    keystream = kdf(key_material, len(plaintext), context + b"|stream")
+    ciphertext = _xor(plaintext, keystream)
+    mac_key = kdf(key_material, 32, context + b"|mac")
+    tag = hmac.new(mac_key, ciphertext, hashlib.sha256).digest()[:TAG_BYTES]
+    return ciphertext + tag
+
+
+def unwrap_message(
+    key_material: bytes, wrapped: bytes, context: bytes = b""
+) -> Optional[bytes]:
+    """Decrypt a wrapped message; returns ``None`` when the tag fails.
+
+    The OT receiver calls this on every slot but only the chosen slots
+    authenticate — a ``None`` therefore is the *expected* result for
+    unchosen slots, not an error.
+    """
+    if len(wrapped) < TAG_BYTES:
+        raise DecryptionError("wrapped message shorter than its tag")
+    ciphertext, tag = wrapped[:-TAG_BYTES], wrapped[-TAG_BYTES:]
+    mac_key = kdf(key_material, 32, context + b"|mac")
+    expected = hmac.new(mac_key, ciphertext, hashlib.sha256).digest()[:TAG_BYTES]
+    if not hmac.compare_digest(tag, expected):
+        return None
+    keystream = kdf(key_material, len(ciphertext), context + b"|stream")
+    return _xor(ciphertext, keystream)
+
+
+def hash_to_bytes(*parts: bytes) -> bytes:
+    """Collision-resistant hash of a sequence of byte strings."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(len(part).to_bytes(8, "big"))
+        digest.update(part)
+    return digest.digest()

@@ -1,0 +1,21 @@
+"""Oblivious transfer protocols: 1-of-2, 1-of-n, and k-of-n."""
+
+from repro.crypto.ot.base import OTChoice, OTSetup, OTTransfer
+from repro.crypto.ot.k_of_n import KOfNReceiver, KOfNSender, run_k_of_n
+from repro.crypto.ot.one_of_n import OneOfNReceiver, OneOfNSender, run_one_of_n
+from repro.crypto.ot.one_of_two import OneOfTwoReceiver, OneOfTwoSender, run_one_of_two
+
+__all__ = [
+    "OTChoice",
+    "OTSetup",
+    "OTTransfer",
+    "KOfNReceiver",
+    "KOfNSender",
+    "run_k_of_n",
+    "OneOfNReceiver",
+    "OneOfNSender",
+    "run_one_of_n",
+    "OneOfTwoReceiver",
+    "OneOfTwoSender",
+    "run_one_of_two",
+]

@@ -1,0 +1,182 @@
+"""1-out-of-n oblivious transfer (Naor–Pinkas style).
+
+Construction (semi-honest, random-oracle model, CDH assumption):
+
+* **Setup.** The sender samples a public group element ``w`` with an
+  unknown discrete log (derived from a random exponent it immediately
+  forgets — here simply a random element) and a session id.
+* **Choice.** To select index ``σ``, the receiver samples a secret
+  exponent ``k`` and sends ``V = g^k · w^σ``.  Since ``g^k`` is uniform,
+  ``V`` is uniform in the group whatever ``σ`` is — the receiver's
+  choice is *perfectly* hidden.
+* **Transfer.** For every slot ``i`` the sender samples ``r_i`` and
+  derives ``key_i = (V · w^{-i})^{r_i}``, sending ``g^{r_i}`` and the
+  message wrapped under ``key_i``.
+* **Retrieve.** For ``i = σ``, ``V · w^{-σ} = g^k``, so the receiver
+  computes ``key_σ = (g^{r_σ})^k``.  For ``i ≠ σ`` the key equals
+  ``g^{k r_i} w^{(σ-i) r_i}`` and computing it requires solving CDH on
+  ``(w, g^{r_i})`` — infeasible for the honest-but-curious receiver.
+
+This is the workhorse primitive: the paper's ``m``-out-of-``M`` step
+runs ``m`` parallel sessions of this protocol
+(:mod:`repro.crypto.ot.k_of_n`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.crypto.hashing import unwrap_message, wrap_message
+from repro.crypto.ot.base import (
+    OTChoice,
+    OTSetup,
+    OTTransfer,
+    validate_index,
+    validate_messages,
+)
+from repro.exceptions import ObliviousTransferError
+from repro.math.groups import SchnorrGroup
+from repro.utils.rng import ReproRandom
+
+
+def _slot_context(session: bytes, slot: int) -> bytes:
+    return session + b"|slot:" + str(slot).encode("ascii")
+
+
+class OneOfNSender:
+    """Sender side of the 1-out-of-n OT."""
+
+    def __init__(self, group: SchnorrGroup, rng: ReproRandom) -> None:
+        self.group = group
+        self._rng = rng
+        self._setup: Optional[OTSetup] = None
+
+    def setup(self) -> OTSetup:
+        """Publish the session's public parameters."""
+        session = self._rng.bytes(16)
+        w = self.group.random_element(self._rng)
+        self._setup = OTSetup(session=session, blinding_points=(w,))
+        return self._setup
+
+    def transfer(self, messages: Sequence[bytes], choice: OTChoice) -> OTTransfer:
+        """Wrap every message so only the chosen slot is recoverable."""
+        if self._setup is None:
+            raise ObliviousTransferError("transfer before setup")
+        if choice.session != self._setup.session:
+            raise ObliviousTransferError("choice belongs to a different session")
+        if len(choice.blinded_keys) != 1:
+            raise ObliviousTransferError("1-of-n choice must carry one blinded key")
+        payload = validate_messages(messages)
+        group = self.group
+        (w,) = self._setup.blinding_points
+        blinded = choice.blinded_keys[0]
+        if not group.contains(blinded):
+            raise ObliviousTransferError("blinded key is not a group element")
+        w_inverse = group.inv(w)
+        ephemeral_points: List[int] = []
+        wrapped: List[bytes] = []
+        shifted = blinded  # V · w^{-i}, updated incrementally per slot.
+        for slot, message in enumerate(payload):
+            r = group.random_exponent(self._rng)
+            ephemeral_points.append(group.exp_g(r))
+            key_point = group.exp(shifted, r)
+            key_bytes = group.encode_element(key_point)
+            wrapped.append(
+                wrap_message(key_bytes, message, _slot_context(self._setup.session, slot))
+            )
+            shifted = group.mul(shifted, w_inverse)
+        return OTTransfer(
+            session=self._setup.session,
+            ephemeral_points=tuple(ephemeral_points),
+            wrapped=tuple(wrapped),
+        )
+
+
+class OneOfNReceiver:
+    """Receiver side of the 1-out-of-n OT."""
+
+    def __init__(self, group: SchnorrGroup, rng: ReproRandom) -> None:
+        self.group = group
+        self._rng = rng
+        self._secret: Optional[int] = None
+        self._index: Optional[int] = None
+        self._session: Optional[bytes] = None
+
+    def choose(self, setup: OTSetup, index: int, count: int) -> OTChoice:
+        """Blind the selection ``index`` among ``count`` slots."""
+        validate_index(index, count)
+        if len(setup.blinding_points) != 1:
+            raise ObliviousTransferError("1-of-n setup must carry one blinding point")
+        (w,) = setup.blinding_points
+        if not self.group.contains(w):
+            raise ObliviousTransferError("blinding point is not a group element")
+        self._secret = self.group.random_exponent(self._rng)
+        self._index = index
+        self._session = setup.session
+        blinded = self.group.mul(
+            self.group.exp_g(self._secret),
+            self.group.exp(w, index),
+        )
+        return OTChoice(session=setup.session, blinded_keys=(blinded,))
+
+    def retrieve(self, transfer: OTTransfer) -> bytes:
+        """Unwrap the chosen message; aborts if it fails to authenticate."""
+        if self._secret is None or self._index is None:
+            raise ObliviousTransferError("retrieve before choose")
+        if transfer.session != self._session:
+            raise ObliviousTransferError("transfer belongs to a different session")
+        if self._index >= transfer.message_count:
+            raise ObliviousTransferError(
+                f"chosen index {self._index} outside transfer of "
+                f"{transfer.message_count} messages"
+            )
+        point = transfer.ephemeral_points[self._index]
+        if not self.group.contains(point):
+            raise ObliviousTransferError("ephemeral point is not a group element")
+        key_point = self.group.exp(point, self._secret)
+        key_bytes = self.group.encode_element(key_point)
+        plaintext = unwrap_message(
+            key_bytes,
+            transfer.wrapped[self._index],
+            _slot_context(transfer.session, self._index),
+        )
+        if plaintext is None:
+            raise ObliviousTransferError("chosen slot failed to authenticate")
+        return plaintext
+
+    def attempt_all(self, transfer: OTTransfer) -> List[Optional[bytes]]:
+        """Adversarial probe: try to unwrap *every* slot with our key.
+
+        Used by the privacy analysis to demonstrate that all non-chosen
+        slots fail authentication (returns ``None`` entries).
+        """
+        if self._secret is None:
+            raise ObliviousTransferError("retrieve before choose")
+        results: List[Optional[bytes]] = []
+        for slot in range(transfer.message_count):
+            key_point = self.group.exp(transfer.ephemeral_points[slot], self._secret)
+            key_bytes = self.group.encode_element(key_point)
+            results.append(
+                unwrap_message(
+                    key_bytes, transfer.wrapped[slot], _slot_context(transfer.session, slot)
+                )
+            )
+        return results
+
+
+def run_one_of_n(
+    group: SchnorrGroup,
+    messages: Sequence[bytes],
+    index: int,
+    rng: ReproRandom,
+) -> Tuple[bytes, OTTransfer]:
+    """Convenience one-shot execution (both roles locally).
+
+    Returns the retrieved message and the transfer (for accounting).
+    """
+    sender = OneOfNSender(group, rng.fork("sender"))
+    receiver = OneOfNReceiver(group, rng.fork("receiver"))
+    setup = sender.setup()
+    choice = receiver.choose(setup, index, len(messages))
+    transfer = sender.transfer(messages, choice)
+    return receiver.retrieve(transfer), transfer

@@ -1,0 +1,197 @@
+"""Terminal rendering of the regenerated figures (no plotting deps).
+
+The paper's figures are line/bar charts; this module renders their
+regenerated data as Unicode charts so
+``python -m repro.evaluation.report --plots`` shows the shapes directly
+in a terminal, matplotlib-free.  Pure functions over
+:class:`~repro.evaluation.harness.ExperimentResult` columns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ValidationError
+
+#: Glyph ramp for bar charts.
+_BLOCKS = "▏▎▍▌▋▊▉█"
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str = "",
+    value_format: str = "{:.3g}",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValidationError("labels and values must pair up")
+    if not labels:
+        raise ValidationError("nothing to plot")
+    if width < 4:
+        raise ValidationError(f"width must be at least 4, got {width}")
+    peak = max(values)
+    if peak <= 0:
+        raise ValidationError("bar chart needs at least one positive value")
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        fraction = max(0.0, value / peak)
+        cells = fraction * width
+        full = int(cells)
+        remainder = cells - full
+        bar = "█" * full
+        if remainder > 1e-9 and full < width:
+            bar += _BLOCKS[min(7, int(remainder * 8))]
+        rendered_value = value_format.format(value)
+        lines.append(f"{str(label).rjust(label_width)} | {bar} {rendered_value}")
+    return "\n".join(lines)
+
+
+def render_grouped_bars(
+    labels: Sequence[str],
+    series: Sequence[Sequence[float]],
+    series_names: Sequence[str],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Grouped bars (e.g. Fig. 7's original-vs-private pairs)."""
+    if len(series) != len(series_names):
+        raise ValidationError("series and series_names must pair up")
+    if not series:
+        raise ValidationError("nothing to plot")
+    for row in series:
+        if len(row) != len(labels):
+            raise ValidationError("every series must cover every label")
+    peak = max(max(row) for row in series)
+    if peak <= 0:
+        raise ValidationError("bar chart needs at least one positive value")
+    label_width = max(
+        max(len(str(label)) for label in labels),
+        max(len(str(name)) for name in series_names) + 2,
+    )
+    lines = [title] if title else []
+    for index, label in enumerate(labels):
+        lines.append(str(label))
+        for name, row in zip(series_names, series):
+            fraction = max(0.0, row[index] / peak)
+            bar = "█" * int(fraction * width)
+            lines.append(
+                f"{('  ' + str(name)).rjust(label_width)} | {bar} {row[index]:.3g}"
+            )
+    return "\n".join(lines)
+
+
+def render_line_chart(
+    xs: Sequence[float],
+    series: Sequence[Sequence[float]],
+    series_names: Sequence[str],
+    height: int = 12,
+    width: int = 60,
+    title: str = "",
+    log_y: bool = False,
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    Each series gets a distinct marker; ``log_y`` handles the orders-of-
+    magnitude spreads of the cost figures (Figs. 9/10).
+    """
+    if len(series) != len(series_names):
+        raise ValidationError("series and series_names must pair up")
+    if not series or not xs:
+        raise ValidationError("nothing to plot")
+    for row in series:
+        if len(row) != len(xs):
+            raise ValidationError("every series must cover every x")
+    if height < 3 or width < 8:
+        raise ValidationError("chart too small")
+
+    def transform(value: float) -> float:
+        if not log_y:
+            return value
+        if value <= 0:
+            raise ValidationError("log_y requires positive values")
+        return math.log10(value)
+
+    flattened = [transform(v) for row in series for v in row]
+    y_low, y_high = min(flattened), max(flattened)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    x_low, x_high = min(xs), max(xs)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    for series_index, row in enumerate(series):
+        marker = markers[series_index % len(markers)]
+        for x, value in zip(xs, row):
+            column = int((x - x_low) / (x_high - x_low) * (width - 1))
+            level = (transform(value) - y_low) / (y_high - y_low)
+            line = height - 1 - int(level * (height - 1))
+            grid[line][column] = marker
+    lines = [title] if title else []
+    top = f"10^{y_high:.2g}" if log_y else f"{y_high:.3g}"
+    bottom = f"10^{y_low:.2g}" if log_y else f"{y_low:.3g}"
+    lines.append(f"y: {bottom} .. {top}" + ("  (log scale)" if log_y else ""))
+    for row_cells in grid:
+        lines.append("|" + "".join(row_cells))
+    lines.append("+" + "-" * width)
+    lines.append(f" x: {x_low:.3g} .. {x_high:.3g}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series_names)
+    )
+    lines.append(f" {legend}")
+    return "\n".join(lines)
+
+
+def render_experiment(result, width: int = 50) -> Optional[str]:
+    """Chart an ExperimentResult when its shape has a natural rendering."""
+    if result.experiment_id in ("fig7", "fig8"):
+        return render_grouped_bars(
+            result.column("dataset"),
+            [result.column("original_accuracy"), result.column("private_accuracy")],
+            ["original", "private"],
+            width=width,
+            title=result.title,
+        )
+    if result.experiment_id == "fig9":
+        return render_line_chart(
+            result.column("data_size_kb"),
+            [
+                result.column("linear_original_ms"),
+                result.column("nonlinear_original_ms"),
+                result.column("linear_private_ms"),
+                result.column("nonlinear_private_ms"),
+            ],
+            ["lin-orig", "nl-orig", "lin-priv", "nl-priv"],
+            title=result.title,
+            log_y=True,
+        )
+    if result.experiment_id == "fig10":
+        return render_line_chart(
+            result.column("dimension"),
+            [result.column("ordinary_ms"), result.column("private_ms")],
+            ["ordinary", "private"],
+            title=result.title,
+            log_y=True,
+        )
+    if result.experiment_id == "fig5":
+        return render_bar_chart(
+            [str(s) for s in result.column("samples")],
+            result.column("direction_error_deg"),
+            width=width,
+            title=result.title + " — direction error (deg) vs pooled samples",
+        )
+    if result.experiment_id == "table2":
+        return render_grouped_bars(
+            result.column("pair"),
+            [result.column("our_ks_average"),
+             [v / 40.0 for v in result.column("our_scaled_t")]],
+            ["K-S avg", "T/40"],
+            width=width,
+            title=result.title,
+        )
+    return None

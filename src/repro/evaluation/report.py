@@ -1,0 +1,79 @@
+"""Report generation: run every experiment and render the results.
+
+``python -m repro.evaluation.report`` regenerates all tables/figures
+and prints them; :func:`write_experiments_markdown` produces the
+paper-vs-measured record used to refresh EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.evaluation import extensions, figures, tables  # noqa: F401 (registry side effects)
+from repro.evaluation.harness import (
+    ExperimentResult,
+    available_experiments,
+    run_experiment,
+)
+
+
+def run_all(
+    experiment_ids: Optional[Sequence[str]] = None, **kwargs
+) -> Dict[str, ExperimentResult]:
+    """Run all (or the selected) experiments, returning results by id."""
+    ids = list(experiment_ids) if experiment_ids is not None else available_experiments()
+    return {experiment_id: run_experiment(experiment_id, **kwargs) for experiment_id in ids}
+
+
+def render_text(results: Dict[str, ExperimentResult]) -> str:
+    """Render all results as plain text."""
+    return "\n\n".join(results[key].to_text() for key in sorted(results))
+
+
+def render_markdown(result: ExperimentResult) -> str:
+    """Render one experiment as a GitHub-flavored markdown table."""
+    columns = list(result.columns)
+    lines = [f"### {result.experiment_id} — {result.title}", ""]
+    lines.append("| " + " | ".join(columns) + " |")
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in result.rows:
+        rendered = []
+        for column in columns:
+            value = row[column]
+            rendered.append(f"{value:.4g}" if isinstance(value, float) else str(value))
+        lines.append("| " + " | ".join(rendered) + " |")
+    if result.notes:
+        lines.extend(["", f"*{result.notes}*"])
+    return "\n".join(lines)
+
+
+def write_experiments_markdown(
+    path: str, results: Optional[Dict[str, ExperimentResult]] = None
+) -> None:
+    """Write a paper-vs-measured markdown report to ``path``."""
+    results = results or run_all()
+    sections = [render_markdown(results[key]) for key in sorted(results)]
+    body = "# Regenerated evaluation results\n\n" + "\n\n".join(sections) + "\n"
+    Path(path).write_text(body, encoding="utf-8")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """CLI entry point: run and print everything (``--plots`` adds charts)."""
+    import sys
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    results = run_all()
+    print(render_text(results))
+    if "--plots" in argv:
+        from repro.evaluation.plotting import render_experiment
+
+        for key in sorted(results):
+            chart = render_experiment(results[key])
+            if chart:
+                print()
+                print(chart)
+
+
+if __name__ == "__main__":
+    main()

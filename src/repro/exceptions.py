@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at protocol boundaries.  The
+sub-hierarchy mirrors the package layout: math errors, cryptographic
+errors, protocol errors, and data/model errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong type, range, or shape)."""
+
+
+class MathError(ReproError):
+    """Base class for mathematical failures."""
+
+
+class InterpolationError(MathError):
+    """Interpolation is impossible (duplicate nodes, too few points)."""
+
+
+class RootFindingError(MathError):
+    """A root finder failed to bracket or converge on a root."""
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class KeyGenerationError(CryptoError):
+    """Key material could not be generated with the given parameters."""
+
+
+class DecryptionError(CryptoError):
+    """A ciphertext failed to decrypt or authenticate."""
+
+
+class ProtocolError(ReproError):
+    """Base class for interactive-protocol failures."""
+
+
+class ProtocolAbort(ProtocolError):
+    """A party aborted the protocol (malformed or out-of-order message)."""
+
+
+class ObliviousTransferError(ProtocolError):
+    """An oblivious-transfer sub-protocol failed."""
+
+
+class OMPEError(ProtocolError):
+    """The oblivious multivariate polynomial evaluation failed."""
+
+
+class TrainingError(ReproError):
+    """SVM training did not converge or received unusable data."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, parsed, or validated."""
+
+
+class SimilarityError(ReproError):
+    """The similarity-evaluation pipeline failed (e.g. no boundary points)."""

@@ -1,0 +1,125 @@
+"""Exact linear algebra over rationals.
+
+Gaussian elimination with :class:`fractions.Fraction` entries — no
+rounding, no conditioning concerns.  Used by the Fig. 6 retrieval
+attack in exact mode (with unamplified protocol values, ``n + 1``
+queries determine ``(w, b)`` *exactly*, not just to float precision)
+and available as a general substrate utility.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import MathError, ValidationError
+
+Matrix = List[List[Fraction]]
+
+
+def _to_matrix(rows: Sequence[Sequence]) -> Matrix:
+    if not rows:
+        raise ValidationError("matrix must be non-empty")
+    width = len(rows[0])
+    if width == 0:
+        raise ValidationError("matrix rows must be non-empty")
+    matrix: Matrix = []
+    for row in rows:
+        if len(row) != width:
+            raise ValidationError("matrix rows must have equal length")
+        matrix.append([Fraction(value) for value in row])
+    return matrix
+
+
+def exact_solve(
+    coefficients: Sequence[Sequence], constants: Sequence
+) -> Tuple[Fraction, ...]:
+    """Solve the square system ``A x = b`` exactly.
+
+    Raises :class:`MathError` when the system is singular.
+    """
+    matrix = _to_matrix(coefficients)
+    n = len(matrix)
+    if any(len(row) != n for row in matrix):
+        raise ValidationError("exact_solve requires a square matrix")
+    vector = [Fraction(value) for value in constants]
+    if len(vector) != n:
+        raise ValidationError("constants must match the matrix size")
+
+    # Forward elimination with partial (nonzero) pivoting.
+    for column in range(n):
+        pivot_row = next(
+            (r for r in range(column, n) if matrix[r][column] != 0), None
+        )
+        if pivot_row is None:
+            raise MathError("singular system: no pivot available")
+        if pivot_row != column:
+            matrix[column], matrix[pivot_row] = matrix[pivot_row], matrix[column]
+            vector[column], vector[pivot_row] = vector[pivot_row], vector[column]
+        pivot = matrix[column][column]
+        for row in range(column + 1, n):
+            factor = matrix[row][column] / pivot
+            if factor == 0:
+                continue
+            for k in range(column, n):
+                matrix[row][k] -= factor * matrix[column][k]
+            vector[row] -= factor * vector[column]
+
+    # Back substitution.
+    solution = [Fraction(0)] * n
+    for row in range(n - 1, -1, -1):
+        accumulated = vector[row]
+        for k in range(row + 1, n):
+            accumulated -= matrix[row][k] * solution[k]
+        solution[row] = accumulated / matrix[row][row]
+    return tuple(solution)
+
+
+def exact_determinant(coefficients: Sequence[Sequence]) -> Fraction:
+    """Determinant via fraction-exact elimination."""
+    matrix = _to_matrix(coefficients)
+    n = len(matrix)
+    if any(len(row) != n for row in matrix):
+        raise ValidationError("determinant requires a square matrix")
+    determinant = Fraction(1)
+    for column in range(n):
+        pivot_row = next(
+            (r for r in range(column, n) if matrix[r][column] != 0), None
+        )
+        if pivot_row is None:
+            return Fraction(0)
+        if pivot_row != column:
+            matrix[column], matrix[pivot_row] = matrix[pivot_row], matrix[column]
+            determinant = -determinant
+        pivot = matrix[column][column]
+        determinant *= pivot
+        for row in range(column + 1, n):
+            factor = matrix[row][column] / pivot
+            if factor == 0:
+                continue
+            for k in range(column, n):
+                matrix[row][k] -= factor * matrix[column][k]
+    return determinant
+
+
+def fit_affine_exact(
+    points: Sequence[Sequence], values: Sequence
+) -> Tuple[Tuple[Fraction, ...], Fraction]:
+    """Recover ``(w, b)`` from exactly ``n + 1`` samples of ``w·x + b``.
+
+    The Fig. 6 attack in exact arithmetic: each sample contributes one
+    linear equation.  Raises :class:`MathError` when the query points
+    are affinely dependent (no unique hyperplane).
+    """
+    points = [list(point) for point in points]
+    if not points:
+        raise ValidationError("points must be non-empty")
+    dimension = len(points[0])
+    if len(points) != dimension + 1:
+        raise ValidationError(
+            f"exact recovery needs exactly n+1 = {dimension + 1} points, "
+            f"got {len(points)}"
+        )
+    system = [[Fraction(value) for value in point] + [Fraction(1)] for point in points]
+    solution = exact_solve(system, values)
+    return solution[:-1], solution[-1]

@@ -1,0 +1,22 @@
+"""Machine-learning substrate: kernels, SVM training, datasets."""
+
+from repro.ml.kernels import (
+    Kernel,
+    linear_kernel,
+    make_kernel,
+    polynomial_kernel,
+    rbf_kernel,
+    sigmoid_kernel,
+)
+from repro.ml.svm import SVMModel, train_svm
+
+__all__ = [
+    "Kernel",
+    "linear_kernel",
+    "make_kernel",
+    "polynomial_kernel",
+    "rbf_kernel",
+    "sigmoid_kernel",
+    "SVMModel",
+    "train_svm",
+]

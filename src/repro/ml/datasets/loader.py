@@ -1,0 +1,100 @@
+"""LIBSVM sparse text format I/O.
+
+The paper's datasets ship in LIBSVM's ``label index:value`` format; we
+implement the reader/writer so real files drop in whenever they are
+available, and so generated analogs can be persisted for inspection.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+
+PathLike = Union[str, Path]
+
+
+def parse_libsvm(text: str, dimension: int = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Parse LIBSVM-format text into dense ``(X, y)`` arrays.
+
+    Feature indices are 1-based per the format.  ``dimension`` pads (or
+    validates) the feature count; otherwise the maximum index seen wins.
+    """
+    labels = []
+    rows = []
+    max_index = 0
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        pieces = line.split()
+        try:
+            label = float(pieces[0])
+        except ValueError:
+            raise DatasetError(
+                f"line {line_number}: bad label {pieces[0]!r}"
+            ) from None
+        features = {}
+        for piece in pieces[1:]:
+            try:
+                index_text, value_text = piece.split(":", 1)
+                index = int(index_text)
+                value = float(value_text)
+            except ValueError:
+                raise DatasetError(
+                    f"line {line_number}: bad feature {piece!r}"
+                ) from None
+            if index < 1:
+                raise DatasetError(
+                    f"line {line_number}: indices are 1-based, got {index}"
+                )
+            features[index] = value
+        labels.append(label)
+        rows.append(features)
+        if features:
+            max_index = max(max_index, max(features))
+    if not rows:
+        raise DatasetError("no samples found in LIBSVM text")
+    width = dimension if dimension is not None else max_index
+    if width < max_index:
+        raise DatasetError(
+            f"dimension {width} is below the maximum feature index {max_index}"
+        )
+    if width == 0:
+        raise DatasetError("no features found and no dimension given")
+    X = np.zeros((len(rows), width))
+    for row_index, features in enumerate(rows):
+        for index, value in features.items():
+            X[row_index, index - 1] = value
+    return X, np.asarray(labels)
+
+
+def read_libsvm(path: PathLike, dimension: int = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Read a LIBSVM file from disk."""
+    return parse_libsvm(Path(path).read_text(encoding="utf-8"), dimension)
+
+
+def format_libsvm(X: np.ndarray, y: np.ndarray, precision: int = 8) -> str:
+    """Render ``(X, y)`` as LIBSVM text (zeros omitted, 1-based indices)."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if X.ndim != 2 or y.shape != (X.shape[0],):
+        raise DatasetError("X must be 2-D with y aligned to its rows")
+    buffer = io.StringIO()
+    for row, label in zip(X, y):
+        pieces = [f"{label:g}"]
+        for index, value in enumerate(row, start=1):
+            if value != 0.0:
+                pieces.append(f"{index}:{value:.{precision}g}")
+        buffer.write(" ".join(pieces))
+        buffer.write("\n")
+    return buffer.getvalue()
+
+
+def write_libsvm(path: PathLike, X: np.ndarray, y: np.ndarray, precision: int = 8) -> None:
+    """Write ``(X, y)`` to disk in LIBSVM format."""
+    Path(path).write_text(format_libsvm(X, y, precision), encoding="utf-8")

@@ -1,0 +1,276 @@
+"""Registry of synthetic analogs for the paper's 17 LIBSVM datasets.
+
+Table I of the paper lists, per dataset, the linear and polynomial
+(p = 3, a0 = 1/n, b0 = 0) accuracies plus the testing size and feature
+dimensionality.  Each :class:`DatasetSpec` here records the paper's
+numbers (ground truth for EXPERIMENTS.md) and a recipe that generates a
+seeded synthetic analog reproducing the *relationship* between the two
+kernels under the harness's fixed hyperparameters (see DESIGN.md §4
+for why the real files cannot be used and which mechanism backs each
+row):
+
+* ``interaction`` — pure/blended cubic interaction surfaces (linear
+  kernel near chance, polynomial kernel strong): splice, madelon,
+  german.numer, diabetes, australian.
+* ``linear`` — linear separators with tuned label noise (both kernels
+  comparable): the a1a–a9a family, ionosphere, breast-cancer.
+* ``scaled-signal`` — low-amplitude signal among full-range nuisance
+  features (linear strong, homogeneous cubic collapses): cod-rna.
+
+Sizes are scaled down by default — the paper's cod-rna has 59 535 test
+rows, which is pointless for a pure-Python protocol demo — but the
+``size_scale`` knob restores larger splits for stress runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import DatasetError
+from repro.ml.datasets.synthetic import (
+    Dataset,
+    interaction_boundary,
+    linear_boundary,
+    scaled_signal_boundary,
+)
+
+#: Default cap on generated test rows (paper sizes reach 59 535).
+_DEFAULT_TEST_CAP = 400
+
+#: The paper fixes p = 3, a0 = 1/n, b0 = 0 across datasets but does not
+#: report its soft-margin C; per standard LIBSVM practice each spec
+#: carries a tuned C (defaults below).
+TABLE1_LINEAR_C = 10.0
+TABLE1_POLY_C = 100.0
+TABLE1_POLY_DEGREE = 3
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata + generation recipe for one paper dataset.
+
+    ``paper_linear_accuracy`` / ``paper_polynomial_accuracy`` are the
+    Table I values (fractions); ``family`` selects the synthetic
+    boundary family and ``family_params`` tunes it.  ``analog_dimension``
+    shrinks very wide datasets (madelon's 500 features) to a width the
+    pure-Python SMO handles while preserving the boundary structure.
+    """
+
+    name: str
+    dimension: int
+    paper_test_size: int
+    paper_linear_accuracy: float
+    paper_polynomial_accuracy: float
+    family: str
+    family_params: dict = field(default_factory=dict)
+    analog_dimension: Optional[int] = None
+    train_size: int = 300
+    linear_C: float = TABLE1_LINEAR_C
+    poly_C: float = TABLE1_POLY_C
+
+    def generate(
+        self,
+        seed: int = 2016,
+        test_cap: int = _DEFAULT_TEST_CAP,
+        size_scale: float = 1.0,
+    ) -> Dataset:
+        """Generate the seeded synthetic analog."""
+        test_size = min(self.paper_test_size, max(1, int(test_cap * size_scale)))
+        train = max(8, int(self.train_size * size_scale))
+        dimension = self.analog_dimension or self.dimension
+        params = dict(self.family_params)
+        if self.family == "linear":
+            return linear_boundary(
+                self.name, dimension, train, test_size, seed=seed, **params
+            )
+        if self.family == "interaction":
+            return interaction_boundary(
+                self.name, dimension, train, test_size, seed=seed, **params
+            )
+        if self.family == "scaled-signal":
+            return scaled_signal_boundary(
+                self.name, dimension, train, test_size, seed=seed, **params
+            )
+        raise DatasetError(f"{self.name}: unknown family {self.family!r}")
+
+
+def _make_specs() -> Dict[str, DatasetSpec]:
+    specs = [
+        DatasetSpec(
+            name="splice",
+            dimension=60,
+            paper_test_size=2175,
+            paper_linear_accuracy=0.5857,
+            paper_polynomial_accuracy=0.7678,
+            family="interaction",
+            family_params={"noise": 0.10, "margin": 0.02},
+            analog_dimension=8,
+            train_size=350,
+            poly_C=2000.0,
+        ),
+        DatasetSpec(
+            name="madelon",
+            dimension=500,
+            paper_test_size=2000,
+            paper_linear_accuracy=0.616,
+            paper_polynomial_accuracy=1.0,
+            family="interaction",
+            family_params={"noise": 0.0, "margin": 0.08},
+            analog_dimension=6,
+            train_size=400,
+            poly_C=2000.0,
+        ),
+        DatasetSpec(
+            name="diabetes",
+            dimension=8,
+            paper_test_size=768,
+            paper_linear_accuracy=0.7734,
+            paper_polynomial_accuracy=0.8020,
+            family="interaction",
+            family_params={"noise": 0.13, "linear_mix": 0.5, "margin": 0.03},
+            analog_dimension=6,
+            train_size=450,
+            poly_C=100.0,
+        ),
+        DatasetSpec(
+            name="german.numer",
+            dimension=24,
+            paper_test_size=1000,
+            paper_linear_accuracy=0.785,
+            paper_polynomial_accuracy=0.961,
+            family="interaction",
+            family_params={"noise": 0.015, "linear_mix": 0.2, "margin": 0.08},
+            analog_dimension=8,
+            train_size=400,
+            poly_C=1000.0,
+        ),
+        DatasetSpec(
+            name="australian",
+            dimension=14,
+            paper_test_size=690,
+            paper_linear_accuracy=0.8565,
+            paper_polynomial_accuracy=0.9246,
+            family="interaction",
+            family_params={"noise": 0.02, "linear_mix": 0.35, "margin": 0.1},
+            analog_dimension=8,
+            train_size=400,
+            poly_C=500.0,
+        ),
+        # cod-rna reproduces the paper's polynomial *collapse*: the
+        # degenerate fixed configuration (homogeneous kernel, small C)
+        # leaves the cubic machine majority-voting, exactly the 54.25%
+        # the paper reports.  A cross-validated C would partially
+        # recover; the Table I harness keeps the paper's shape.
+        DatasetSpec(
+            name="cod-rna",
+            dimension=8,
+            paper_test_size=59535,
+            paper_linear_accuracy=0.9464,
+            paper_polynomial_accuracy=0.5425,
+            family="scaled-signal",
+            family_params={
+                "signal_dimensions": 2,
+                "signal_scale": 0.12,
+                "noise": 0.02,
+            },
+            train_size=400,
+            poly_C=1.0,
+        ),
+        DatasetSpec(
+            name="ionosphere",
+            dimension=34,
+            paper_test_size=351,
+            paper_linear_accuracy=0.9516,
+            paper_polynomial_accuracy=0.9601,
+            family="linear",
+            family_params={"noise": 0.035, "margin": 0.08},
+            analog_dimension=8,
+            train_size=300,
+            poly_C=50.0,
+        ),
+        DatasetSpec(
+            name="breast-cancer",
+            dimension=10,
+            paper_test_size=683,
+            paper_linear_accuracy=0.9721,
+            paper_polynomial_accuracy=0.9868,
+            family="linear",
+            family_params={"noise": 0.015, "margin": 0.08},
+            train_size=300,
+            poly_C=5.0,
+        ),
+    ]
+    # a1a..a9a: the paper reports the family as one band (82.51–84.69%)
+    # with sizes 1605–32561 and 123 features; both kernels tie.
+    sizes = [1605, 2265, 3185, 4781, 6414, 11220, 16100, 22696, 32561]
+    for index, size in enumerate(sizes, start=1):
+        fraction = (index - 1) / 8
+        accuracy = 0.8251 + (0.8469 - 0.8251) * fraction
+        specs.append(
+            DatasetSpec(
+                name=f"a{index}a",
+                dimension=123,
+                paper_test_size=size,
+                paper_linear_accuracy=round(accuracy, 4),
+                paper_polynomial_accuracy=round(accuracy, 4),
+                family="linear",
+                family_params={
+                    "noise": round(0.16 - 0.02 * fraction, 4),
+                    "margin": 0.08,
+                },
+                analog_dimension=5,
+                train_size=350,
+                poly_C=100.0,
+            )
+        )
+    return {spec.name: spec for spec in specs}
+
+
+_SPECS: Dict[str, DatasetSpec] = _make_specs()
+
+
+def available_datasets() -> List[str]:
+    """Names of all registered paper-dataset analogs (17 total)."""
+    return sorted(_SPECS)
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a dataset spec by name."""
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {available_datasets()}"
+        ) from None
+
+
+def load_dataset(
+    name: str,
+    seed: int = 2016,
+    test_cap: int = _DEFAULT_TEST_CAP,
+    size_scale: float = 1.0,
+) -> Dataset:
+    """Generate the synthetic analog of a paper dataset by name."""
+    return get_spec(name).generate(seed=seed, test_cap=test_cap, size_scale=size_scale)
+
+
+def table1_dataset_names() -> List[str]:
+    """The distinct rows of Table I, in the paper's (accuracy) order."""
+    return [
+        "splice",
+        "madelon",
+        "diabetes",
+        "german.numer",
+        "a1a",
+        "a9a",
+        "australian",
+        "cod-rna",
+        "ionosphere",
+        "breast-cancer",
+    ]
+
+
+def a_family_names() -> List[str]:
+    """a1a..a9a — the size-sweep family used for the paper's Fig. 9."""
+    return [f"a{i}a" for i in range(1, 10)]

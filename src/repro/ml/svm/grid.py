@@ -1,0 +1,122 @@
+"""K-fold cross-validation and soft-margin grid search.
+
+The paper fixes kernel parameters (p = 3, a0 = 1/n, b0 = 0) but never
+reports its soft-margin C; LIBSVM practice is to cross-validate it.
+This module provides the standard machinery: stratified k-fold
+splitting, CV accuracy for a parameter set, and a C grid search — the
+tool used to pick the per-dataset C values recorded in
+``repro.ml.datasets.registry``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import TrainingError, ValidationError
+from repro.ml.svm.metrics import accuracy
+from repro.ml.svm.smo import train_svm
+
+
+def stratified_folds(
+    y: np.ndarray, folds: int, seed: int = 0
+) -> List[np.ndarray]:
+    """Split indices into ``folds`` class-balanced folds.
+
+    Each fold receives a proportional share of every class, so small
+    datasets never produce a single-class training split.
+    """
+    y = np.asarray(y, dtype=float)
+    if folds < 2:
+        raise ValidationError(f"folds must be at least 2, got {folds}")
+    if y.shape[0] < 2 * folds:
+        raise ValidationError(
+            f"{y.shape[0]} samples cannot fill {folds} folds meaningfully"
+        )
+    rng = np.random.default_rng(seed)
+    assignments: List[List[int]] = [[] for _ in range(folds)]
+    for label in np.unique(y):
+        indices = np.where(y == label)[0]
+        rng.shuffle(indices)
+        for position, index in enumerate(indices):
+            assignments[position % folds].append(int(index))
+    return [np.asarray(sorted(fold)) for fold in assignments]
+
+
+def cross_validate(
+    X: np.ndarray,
+    y: np.ndarray,
+    kernel: str = "linear",
+    C: float = 1.0,
+    folds: int = 5,
+    seed: int = 0,
+    **kernel_params,
+) -> Tuple[float, List[float]]:
+    """K-fold CV accuracy; returns (mean, per-fold scores).
+
+    A fold whose training split fails to converge contributes a score
+    of 0 rather than aborting the sweep — grid search should rank such
+    a configuration last, not crash.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if X.shape[0] != y.shape[0]:
+        raise ValidationError("X and y must have the same number of rows")
+    fold_indices = stratified_folds(y, folds, seed)
+    scores: List[float] = []
+    for hold_out in fold_indices:
+        mask = np.ones(X.shape[0], dtype=bool)
+        mask[hold_out] = False
+        try:
+            model = train_svm(
+                X[mask], y[mask], kernel=kernel, C=C, seed=seed, **kernel_params
+            )
+            scores.append(accuracy(model.predict(X[hold_out]), y[hold_out]))
+        except TrainingError:
+            scores.append(0.0)
+    return float(np.mean(scores)), scores
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """Outcome of a C grid search."""
+
+    best_C: float
+    best_score: float
+    scores: Dict[float, float]
+
+    def ranking(self) -> List[Tuple[float, float]]:
+        """(C, score) pairs, best first (ties broken toward smaller C)."""
+        return sorted(self.scores.items(), key=lambda item: (-item[1], item[0]))
+
+
+def grid_search_C(
+    X: np.ndarray,
+    y: np.ndarray,
+    kernel: str = "linear",
+    C_grid: Optional[Sequence[float]] = None,
+    folds: int = 5,
+    seed: int = 0,
+    **kernel_params,
+) -> GridSearchResult:
+    """Pick the soft-margin C by cross-validated accuracy.
+
+    The default grid is the LIBSVM guide's exponential sweep.
+    """
+    grid = list(C_grid) if C_grid is not None else [2.0**k for k in range(-3, 11, 2)]
+    if not grid:
+        raise ValidationError("C grid must be non-empty")
+    if any(c <= 0 for c in grid):
+        raise ValidationError("every C must be positive")
+    scores: Dict[float, float] = {}
+    for C in grid:
+        mean_score, _ = cross_validate(
+            X, y, kernel=kernel, C=C, folds=folds, seed=seed, **kernel_params
+        )
+        scores[C] = mean_score
+    best_C, best_score = max(
+        scores.items(), key=lambda item: (item[1], -item[0])
+    )
+    return GridSearchResult(best_C=best_C, best_score=best_score, scores=scores)

@@ -1,0 +1,199 @@
+"""Multiclass SVM via one-vs-one and one-vs-rest reductions.
+
+The paper's protocols are binary (SVM hyperplanes); related work [15]
+(the Paillier baseline) handles multi-class.  These reductions close
+the gap: a multiclass model is a set of binary models plus a voting
+rule, and because the private protocol releases exactly one *sign* per
+binary model, private multiclass classification is simply one protocol
+run per member model plus local voting — no new leakage beyond the
+votes themselves.
+
+* **one-vs-one**: ``K(K-1)/2`` pairwise models, majority vote.
+* **one-vs-rest**: ``K`` models, argmax of decision values — note the
+  private variant cannot use argmax (the values are amplified by
+  incomparable ``r_a``), so OvR voting falls back to positive-sign
+  counting with ties broken by training prevalence; OvO needs no such
+  compromise and is the recommended private reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import TrainingError, ValidationError
+from repro.ml.svm.model import SVMModel
+from repro.ml.svm.smo import train_svm
+
+
+@dataclass
+class MulticlassModel:
+    """A set of binary models implementing a K-class classifier.
+
+    ``strategy`` is ``"ovo"`` or ``"ovr"``.  For OvO, ``members`` maps
+    ``(class_a, class_b)`` (with ``class_a < class_b``) to the binary
+    model trained with ``class_a -> +1`` and ``class_b -> -1``.  For
+    OvR, ``members`` maps ``(class_k, None)`` to the model with
+    ``class_k -> +1``, rest ``-> -1``.
+    """
+
+    classes: Tuple[float, ...]
+    strategy: str
+    members: Dict[Tuple[float, Optional[float]], SVMModel]
+    prevalence: Dict[float, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("ovo", "ovr"):
+            raise ValidationError(f"unknown strategy {self.strategy!r}")
+        if len(self.classes) < 2:
+            raise ValidationError("a multiclass model needs at least 2 classes")
+
+    @property
+    def n_members(self) -> int:
+        """Number of binary member models."""
+        return len(self.members)
+
+    @property
+    def dimension(self) -> int:
+        """Input dimensionality."""
+        return next(iter(self.members.values())).dimension
+
+    # -- plaintext prediction ------------------------------------------------
+
+    def predict_one(self, sample: Sequence[float]) -> float:
+        """Classify one sample in the clear."""
+        sample = np.asarray(sample, dtype=float)
+        votes = self._votes(
+            {
+                key: (model.decision_value(sample) >= 0.0)
+                for key, model in self.members.items()
+            }
+        )
+        return self._decide(votes)
+
+    def predict(self, samples: np.ndarray) -> np.ndarray:
+        """Vectorized plaintext prediction."""
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 2:
+            raise ValidationError("samples must be a 2-D array")
+        return np.asarray([self.predict_one(row) for row in samples])
+
+    # -- voting ---------------------------------------------------------------
+
+    def _votes(self, signs: Dict[Tuple[float, Optional[float]], bool]) -> Dict[float, int]:
+        votes: Dict[float, int] = {label: 0 for label in self.classes}
+        for (first, second), positive in signs.items():
+            if self.strategy == "ovo":
+                winner = first if positive else second
+                votes[winner] += 1
+            else:
+                if positive:
+                    votes[first] += 1
+        return votes
+
+    def _decide(self, votes: Dict[float, int]) -> float:
+        best = max(votes.values())
+        tied = [label for label, count in votes.items() if count == best]
+        if len(tied) == 1:
+            return tied[0]
+        # Ties (including the OvR all-negative case) break toward the
+        # most prevalent training class, then the smallest label.
+        return max(
+            sorted(tied),
+            key=lambda label: (self.prevalence.get(label, 0), -label),
+        )
+
+
+def train_multiclass(
+    X: np.ndarray,
+    y: np.ndarray,
+    strategy: str = "ovo",
+    kernel: str = "linear",
+    C: float = 1.0,
+    seed: int = 0,
+    **kernel_params,
+) -> MulticlassModel:
+    """Train a multiclass model by the chosen reduction."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if X.shape[0] != y.shape[0]:
+        raise ValidationError("X and y must have the same number of rows")
+    classes = tuple(sorted(float(c) for c in np.unique(y)))
+    if len(classes) < 2:
+        raise TrainingError("training data must contain at least 2 classes")
+    prevalence = {label: int(np.sum(y == label)) for label in classes}
+    members: Dict[Tuple[float, Optional[float]], SVMModel] = {}
+    if strategy == "ovo":
+        for first, second in combinations(classes, 2):
+            mask = (y == first) | (y == second)
+            binary_labels = np.where(y[mask] == first, 1.0, -1.0)
+            members[(first, second)] = train_svm(
+                X[mask], binary_labels, kernel=kernel, C=C, seed=seed,
+                **kernel_params,
+            )
+    elif strategy == "ovr":
+        for label in classes:
+            binary_labels = np.where(y == label, 1.0, -1.0)
+            members[(label, None)] = train_svm(
+                X, binary_labels, kernel=kernel, C=C, seed=seed, **kernel_params
+            )
+    else:
+        raise ValidationError(f"unknown strategy {strategy!r}")
+    return MulticlassModel(
+        classes=classes,
+        strategy=strategy,
+        members=members,
+        prevalence=prevalence,
+    )
+
+
+@dataclass(frozen=True)
+class PrivateMulticlassOutcome:
+    """Result of a private multiclass classification.
+
+    ``votes`` is what the client can legitimately derive (one sign per
+    member model); ``total_bytes`` aggregates all member protocol runs.
+    """
+
+    label: float
+    votes: Dict[float, int]
+    total_bytes: int
+    total_rounds: int
+
+
+def private_classify_multiclass(
+    model: MulticlassModel,
+    sample: Sequence[float],
+    config=None,
+    seed: Optional[int] = None,
+) -> PrivateMulticlassOutcome:
+    """Classify one sample against every member model privately.
+
+    Each member run releases only an amplified decision value; the
+    client extracts the sign (its vote) and tallies locally.
+    """
+    from repro.core.classification import private_classify
+    from repro.utils.rng import ReproRandom
+
+    root = ReproRandom(seed)
+    signs: Dict[Tuple[float, Optional[float]], bool] = {}
+    total_bytes = 0
+    total_rounds = 0
+    for index, (key, member) in enumerate(sorted(model.members.items(),
+                                                 key=lambda item: str(item[0]))):
+        outcome = private_classify(
+            member, sample, config=config, seed=root.fork("member", index).seed
+        )
+        signs[key] = outcome.label > 0
+        total_bytes += outcome.report.total_bytes
+        total_rounds += outcome.report.rounds
+    votes = model._votes(signs)
+    return PrivateMulticlassOutcome(
+        label=model._decide(votes),
+        votes=votes,
+        total_bytes=total_bytes,
+        total_rounds=total_rounds,
+    )

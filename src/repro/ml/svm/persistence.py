@@ -1,0 +1,101 @@
+"""Model persistence: save/load trained SVMs as JSON.
+
+A trained model is the trainer's asset (the very thing the protocols
+protect), so a distributed deployment needs to persist and reload it.
+The format is a small versioned JSON document carrying the support
+vectors, dual coefficients, bias, and kernel spec — everything
+:class:`~repro.ml.svm.model.SVMModel` needs to be reconstructed
+bit-for-bit (floats are serialized exactly via ``float.hex``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.ml.kernels import linear_kernel, make_kernel
+from repro.ml.svm.model import SVMModel
+
+PathLike = Union[str, Path]
+
+#: Format version written into every document.
+FORMAT_VERSION = 1
+
+
+def _encode_floats(array: np.ndarray):
+    return [[float.hex(float(v)) for v in row] for row in np.atleast_2d(array)]
+
+
+def _decode_float(text: str) -> float:
+    try:
+        return float.fromhex(text)
+    except (ValueError, TypeError):
+        raise ValidationError(f"bad float encoding {text!r}") from None
+
+
+def model_to_dict(model: SVMModel) -> dict:
+    """Serialize a model to a JSON-compatible dictionary."""
+    name, params = model.kernel_spec
+    return {
+        "format": "repro-svm",
+        "version": FORMAT_VERSION,
+        "kernel": {"name": name, "params": dict(params)},
+        "bias": float.hex(float(model.bias)),
+        "support_vectors": _encode_floats(model.support_vectors),
+        "dual_coefficients": [
+            float.hex(float(v)) for v in model.dual_coefficients
+        ],
+    }
+
+
+def model_from_dict(document: dict) -> SVMModel:
+    """Reconstruct a model from :func:`model_to_dict` output."""
+    if not isinstance(document, dict):
+        raise ValidationError("model document must be a dictionary")
+    if document.get("format") != "repro-svm":
+        raise ValidationError("not a repro-svm document")
+    if document.get("version") != FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported model format version {document.get('version')!r}"
+        )
+    try:
+        kernel_info = document["kernel"]
+        name = kernel_info["name"]
+        params = dict(kernel_info.get("params", {}))
+        bias = _decode_float(document["bias"])
+        support_vectors = np.asarray(
+            [[_decode_float(v) for v in row] for row in document["support_vectors"]]
+        )
+        dual_coefficients = np.asarray(
+            [_decode_float(v) for v in document["dual_coefficients"]]
+        )
+    except (KeyError, TypeError) as error:
+        raise ValidationError(f"malformed model document: {error}") from None
+    kernel = linear_kernel() if name == "linear" else make_kernel(name, **params)
+    return SVMModel(
+        support_vectors=support_vectors,
+        dual_coefficients=dual_coefficients,
+        bias=bias,
+        kernel=kernel,
+        kernel_spec=(name, params),
+    )
+
+
+def save_model(model: SVMModel, path: PathLike) -> None:
+    """Write a model to a JSON file."""
+    Path(path).write_text(
+        json.dumps(model_to_dict(model), indent=2), encoding="utf-8"
+    )
+
+
+def load_model(path: PathLike) -> SVMModel:
+    """Read a model from a JSON file."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ValidationError(f"invalid JSON in {path}: {error}") from None
+    return model_from_dict(document)

@@ -1,0 +1,25 @@
+"""Distributed-systems substrate: parties, channels, transcripts."""
+
+from repro.net.channel import Channel, LinkModel
+from repro.net.faults import CorruptingChannel, DroppingChannel, DuplicatingChannel
+from repro.net.message import Message, measure_size
+from repro.net.network import Network
+from repro.net.party import Party, connect_parties
+from repro.net.runner import ProtocolReport, finish_report
+from repro.net.transcript import Transcript
+
+__all__ = [
+    "Channel",
+    "CorruptingChannel",
+    "DroppingChannel",
+    "DuplicatingChannel",
+    "LinkModel",
+    "Message",
+    "measure_size",
+    "Network",
+    "Party",
+    "connect_parties",
+    "ProtocolReport",
+    "finish_report",
+    "Transcript",
+]

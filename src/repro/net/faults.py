@@ -1,0 +1,202 @@
+"""Fault-injecting channel wrappers for robustness testing.
+
+The in-memory :class:`~repro.net.channel.Channel` is reliable and
+ordered; real deployments are not.  These wrappers let the test suite
+(and operators evaluating the protocols) inject the classic failure
+modes — message drops, duplication, and payload corruption — and verify
+that the protocols *abort loudly* (typed errors) rather than hang or
+silently return wrong answers.  They wrap an existing channel rather
+than subclassing it, so any protocol code written against the channel
+interface runs unmodified.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.exceptions import ProtocolError, ValidationError
+from repro.net.channel import Channel
+from repro.utils.rng import ReproRandom
+
+
+class DroppingChannel:
+    """Drops each sent message independently with a fixed probability.
+
+    A dropped message simply never arrives; the peer's next ``receive``
+    raises :class:`ProtocolError` (empty inbox) — the library's
+    fail-loud contract for lost messages in a synchronous protocol.
+    """
+
+    def __init__(
+        self,
+        inner: Channel,
+        drop_probability: float,
+        rng: Optional[ReproRandom] = None,
+    ) -> None:
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValidationError(
+                f"drop_probability must be in [0, 1], got {drop_probability}"
+            )
+        self.inner = inner
+        self.drop_probability = drop_probability
+        self._rng = rng or ReproRandom()
+        self.dropped = 0
+
+    @property
+    def parties(self):
+        return self.inner.parties
+
+    @property
+    def transcript(self):
+        return self.inner.transcript
+
+    @property
+    def simulated_time(self):
+        return self.inner.simulated_time
+
+    def send(self, sender: str, msg_type: str, payload: Any):
+        if self._rng.uniform(0.0, 1.0) < self.drop_probability:
+            self.dropped += 1
+            return None
+        return self.inner.send(sender, msg_type, payload)
+
+    def receive(self, recipient: str, expected_type: Optional[str] = None) -> Any:
+        return self.inner.receive(recipient, expected_type)
+
+    def pending(self, recipient: str) -> int:
+        return self.inner.pending(recipient)
+
+    def assert_drained(self) -> None:
+        self.inner.assert_drained()
+
+
+class DuplicatingChannel:
+    """Delivers each message twice with a fixed probability.
+
+    Duplicates desynchronize a lock-step protocol: the extra copy is
+    consumed by a later ``receive`` expecting a different type, which
+    raises — again, loud failure over silent confusion.
+    """
+
+    def __init__(
+        self,
+        inner: Channel,
+        duplicate_probability: float,
+        rng: Optional[ReproRandom] = None,
+    ) -> None:
+        if not 0.0 <= duplicate_probability <= 1.0:
+            raise ValidationError(
+                f"duplicate_probability must be in [0, 1], got {duplicate_probability}"
+            )
+        self.inner = inner
+        self.duplicate_probability = duplicate_probability
+        self._rng = rng or ReproRandom()
+        self.duplicated = 0
+
+    @property
+    def parties(self):
+        return self.inner.parties
+
+    @property
+    def transcript(self):
+        return self.inner.transcript
+
+    @property
+    def simulated_time(self):
+        return self.inner.simulated_time
+
+    def send(self, sender: str, msg_type: str, payload: Any):
+        message = self.inner.send(sender, msg_type, payload)
+        if self._rng.uniform(0.0, 1.0) < self.duplicate_probability:
+            self.duplicated += 1
+            self.inner.send(sender, msg_type, payload)
+        return message
+
+    def receive(self, recipient: str, expected_type: Optional[str] = None) -> Any:
+        return self.inner.receive(recipient, expected_type)
+
+    def pending(self, recipient: str) -> int:
+        return self.inner.pending(recipient)
+
+    def assert_drained(self) -> None:
+        self.inner.assert_drained()
+
+
+class CorruptingChannel:
+    """Applies a payload-mutating function to each message with a
+    fixed probability.
+
+    The mutator receives the payload and returns a corrupted version;
+    the default flips the first byte of any ``bytes`` payload it finds
+    (recursing through tuples), modelling bit rot that checksummed
+    transports would normally catch.
+    """
+
+    def __init__(
+        self,
+        inner: Channel,
+        corrupt_probability: float,
+        mutator: Optional[Callable[[Any], Any]] = None,
+        rng: Optional[ReproRandom] = None,
+    ) -> None:
+        if not 0.0 <= corrupt_probability <= 1.0:
+            raise ValidationError(
+                f"corrupt_probability must be in [0, 1], got {corrupt_probability}"
+            )
+        self.inner = inner
+        self.corrupt_probability = corrupt_probability
+        self.mutator = mutator or _flip_first_byte
+        self._rng = rng or ReproRandom()
+        self.corrupted = 0
+
+    @property
+    def parties(self):
+        return self.inner.parties
+
+    @property
+    def transcript(self):
+        return self.inner.transcript
+
+    @property
+    def simulated_time(self):
+        return self.inner.simulated_time
+
+    def send(self, sender: str, msg_type: str, payload: Any):
+        if self._rng.uniform(0.0, 1.0) < self.corrupt_probability:
+            self.corrupted += 1
+            payload = self.mutator(payload)
+        return self.inner.send(sender, msg_type, payload)
+
+    def receive(self, recipient: str, expected_type: Optional[str] = None) -> Any:
+        return self.inner.receive(recipient, expected_type)
+
+    def pending(self, recipient: str) -> int:
+        return self.inner.pending(recipient)
+
+    def assert_drained(self) -> None:
+        self.inner.assert_drained()
+
+
+def _flip_first_byte(payload: Any) -> Any:
+    """Flip one bit in the first ``bytes`` leaf of the payload."""
+    if isinstance(payload, (bytes, bytearray)) and len(payload) > 0:
+        mutated = bytearray(payload)
+        mutated[0] ^= 0x01
+        return bytes(mutated)
+    if isinstance(payload, tuple):
+        items = list(payload)
+        for index, item in enumerate(items):
+            mutated = _flip_first_byte(item)
+            if mutated is not item:
+                items[index] = mutated
+                return tuple(items)
+        return payload
+    if hasattr(payload, "__dataclass_fields__"):
+        import dataclasses
+
+        for field in payload.__dataclass_fields__:
+            value = getattr(payload, field)
+            mutated = _flip_first_byte(value)
+            if mutated is not value:
+                return dataclasses.replace(payload, **{field: mutated})
+    return payload

@@ -1,0 +1,86 @@
+"""Protocol messages and wire-size accounting.
+
+Every value exchanged by the protocols travels as a :class:`Message`
+through a :class:`~repro.net.channel.Channel`.  Messages carry an
+estimated wire size so the harness can report communication costs (the
+distributed-systems dimension of the paper's evaluation) without a real
+network.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any
+
+from repro.exceptions import ValidationError
+from repro.utils.serialization import encoded_size
+
+_COUNTER = itertools.count(1)
+
+
+def measure_size(payload: Any) -> int:
+    """Estimate the serialized size of a payload in bytes.
+
+    Handles the protocol's actual vocabulary: bytes, scalars (int /
+    float / Fraction), tuples/lists of payloads, dataclasses (field by
+    field), dicts, and ``None``.  Integers count their true byte length
+    (group elements are big).
+    """
+    if payload is None:
+        return 1
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, (int, float, Fraction)):
+        return encoded_size(payload)
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, (tuple, list)):
+        return 4 + sum(measure_size(item) for item in payload)
+    if isinstance(payload, dict):
+        return 4 + sum(
+            measure_size(key) + measure_size(value) for key, value in payload.items()
+        )
+    if hasattr(payload, "__dataclass_fields__"):
+        return sum(
+            measure_size(getattr(payload, name))
+            for name in payload.__dataclass_fields__
+        )
+    raise ValidationError(
+        f"cannot measure wire size of {type(payload).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class Message:
+    """One directed protocol message.
+
+    Attributes
+    ----------
+    sender, recipient:
+        Party names.
+    msg_type:
+        Short protocol-step label (e.g. ``"ompe/points"``).
+    payload:
+        The value itself (kept as a Python object; sizes are estimated).
+    size_bytes:
+        Estimated wire size.
+    sequence:
+        Global monotonically increasing id (ordering in transcripts).
+    """
+
+    sender: str
+    recipient: str
+    msg_type: str
+    payload: Any
+    size_bytes: int = field(default=-1)
+    sequence: int = field(default_factory=lambda: next(_COUNTER))
+
+    def __post_init__(self) -> None:
+        if not self.msg_type:
+            raise ValidationError("msg_type must be non-empty")
+        if self.size_bytes < 0:
+            object.__setattr__(self, "size_bytes", measure_size(self.payload))

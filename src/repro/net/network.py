@@ -1,0 +1,103 @@
+"""Multi-party network: a registry of parties and measured channels.
+
+The two-party protocols run over a single
+:class:`~repro.net.channel.Channel`; distributed scenarios (the N-party
+partner matching of :mod:`repro.core.similarity.matching`) need many
+pairwise channels with aggregate accounting.  :class:`Network` owns
+the channels, lazily creating one per party pair, and aggregates bytes,
+messages, and simulated time across all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.exceptions import ProtocolError, ValidationError
+from repro.net.channel import Channel, LinkModel
+from repro.net.transcript import Transcript
+
+
+class Network:
+    """A set of named parties and the measured channels between them."""
+
+    def __init__(self, link: Optional[LinkModel] = None) -> None:
+        self.link = link or LinkModel()
+        self._parties: List[str] = []
+        self._channels: Dict[FrozenSet[str], Channel] = {}
+
+    # -- membership ----------------------------------------------------------
+
+    def add_party(self, name: str) -> None:
+        """Register a party name (idempotent rejection of duplicates)."""
+        if not name:
+            raise ValidationError("party name must be non-empty")
+        if name in self._parties:
+            raise ValidationError(f"party {name!r} already registered")
+        self._parties.append(name)
+
+    @property
+    def parties(self) -> Tuple[str, ...]:
+        """Registered party names, in registration order."""
+        return tuple(self._parties)
+
+    def _require_member(self, name: str) -> None:
+        if name not in self._parties:
+            raise ProtocolError(f"{name!r} is not a registered party")
+
+    # -- channels ---------------------------------------------------------------
+
+    def channel_between(self, first: str, second: str) -> Channel:
+        """The (lazily created) channel between two registered parties."""
+        self._require_member(first)
+        self._require_member(second)
+        if first == second:
+            raise ValidationError("a channel needs two distinct parties")
+        key = frozenset((first, second))
+        channel = self._channels.get(key)
+        if channel is None:
+            channel = Channel(first, second, link=self.link)
+            self._channels[key] = channel
+        return channel
+
+    def channels(self) -> List[Channel]:
+        """All channels created so far."""
+        return list(self._channels.values())
+
+    # -- aggregate accounting ------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes across every channel."""
+        return sum(c.transcript.total_bytes() for c in self._channels.values())
+
+    @property
+    def total_messages(self) -> int:
+        """Messages across every channel."""
+        return sum(len(c.transcript) for c in self._channels.values())
+
+    @property
+    def total_simulated_time(self) -> float:
+        """Sum of per-channel simulated transfer time (serial model)."""
+        return sum(c.simulated_time for c in self._channels.values())
+
+    def merged_transcript(self) -> Transcript:
+        """All messages from all channels, ordered by global sequence."""
+        merged = Transcript()
+        messages = [
+            message
+            for channel in self._channels.values()
+            for message in channel.transcript
+        ]
+        for message in sorted(messages, key=lambda m: m.sequence):
+            merged.record(message)
+        return merged
+
+    def summary(self) -> dict:
+        """Aggregate cost summary."""
+        return {
+            "parties": len(self._parties),
+            "channels": len(self._channels),
+            "messages": self.total_messages,
+            "total_bytes": self.total_bytes,
+            "simulated_time_s": self.total_simulated_time,
+        }

@@ -1,0 +1,60 @@
+"""Party base class for two-party protocols.
+
+A :class:`Party` owns a name, a deterministic random stream, and a
+channel endpoint.  Protocol roles (OMPE sender/receiver, trainer,
+client) subclass it and speak through :meth:`send` / :meth:`receive`,
+so every byte they exchange lands in the shared transcript.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.exceptions import ProtocolError
+from repro.net.channel import Channel
+from repro.utils.rng import ReproRandom
+
+
+class Party:
+    """One endpoint of a two-party protocol."""
+
+    def __init__(self, name: str, rng: Optional[ReproRandom] = None) -> None:
+        if not name:
+            raise ProtocolError("party name must be non-empty")
+        self.name = name
+        self.rng = rng or ReproRandom()
+        self._channel: Optional[Channel] = None
+
+    # -- wiring ------------------------------------------------------------
+
+    def connect(self, channel: Channel) -> None:
+        """Attach this party to a channel (must be one of its endpoints)."""
+        if self.name not in channel.parties:
+            raise ProtocolError(
+                f"{self.name!r} is not an endpoint of channel {channel.parties}"
+            )
+        self._channel = channel
+
+    @property
+    def channel(self) -> Channel:
+        if self._channel is None:
+            raise ProtocolError(f"{self.name} is not connected to a channel")
+        return self._channel
+
+    # -- messaging -----------------------------------------------------------
+
+    def send(self, msg_type: str, payload: Any) -> None:
+        """Send a message to the peer."""
+        self.channel.send(self.name, msg_type, payload)
+
+    def receive(self, expected_type: Optional[str] = None) -> Any:
+        """Receive the next message from the peer."""
+        return self.channel.receive(self.name, expected_type)
+
+
+def connect_parties(first: Party, second: Party, **channel_kwargs) -> Channel:
+    """Create a channel between two parties and attach both ends."""
+    channel = Channel(first.name, second.name, **channel_kwargs)
+    first.connect(channel)
+    second.connect(channel)
+    return channel

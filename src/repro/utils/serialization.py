@@ -1,0 +1,107 @@
+"""Canonical byte encodings for protocol values.
+
+The oblivious-transfer layer transports opaque byte strings, while the
+OMPE layer manipulates exact rationals and rational vectors.  This
+module provides a stable, self-describing codec between the two so a
+value round-trips bit-exactly across the simulated network.
+
+Wire format (all integers big-endian):
+
+* ``int``      -> ``b"I" + varbytes(sign_magnitude)``
+* ``Fraction`` -> ``b"F" + varbytes(numerator) + varbytes(denominator)``
+* ``float``    -> ``b"D" + 8-byte IEEE 754``
+* ``tuple``    -> ``b"T" + u32 count + items``
+
+where ``varbytes(x)`` is ``u32 length + payload`` and integers use a
+leading sign byte.
+"""
+
+from __future__ import annotations
+
+import struct
+from fractions import Fraction
+from typing import Tuple, Union
+
+from repro.exceptions import ValidationError
+
+Scalar = Union[int, float, Fraction]
+Encodable = Union[Scalar, Tuple]
+
+
+def _encode_int(value: int) -> bytes:
+    sign = b"\x01" if value < 0 else b"\x00"
+    magnitude = abs(value)
+    payload = magnitude.to_bytes((magnitude.bit_length() + 7) // 8 or 1, "big")
+    body = sign + payload
+    return struct.pack(">I", len(body)) + body
+
+
+def _decode_int(data: bytes, offset: int) -> Tuple[int, int]:
+    (length,) = struct.unpack_from(">I", data, offset)
+    offset += 4
+    body = data[offset : offset + length]
+    if len(body) != length:
+        raise ValidationError("truncated integer payload")
+    sign = -1 if body[0] == 1 else 1
+    return sign * int.from_bytes(body[1:], "big"), offset + length
+
+
+def encode_value(value: Encodable) -> bytes:
+    """Encode a scalar or (nested) tuple of scalars to canonical bytes."""
+    if isinstance(value, bool):
+        raise ValidationError("booleans are not protocol values")
+    if isinstance(value, int):
+        return b"I" + _encode_int(value)
+    if isinstance(value, Fraction):
+        return b"F" + _encode_int(value.numerator) + _encode_int(value.denominator)
+    if isinstance(value, float):
+        return b"D" + struct.pack(">d", value)
+    if isinstance(value, tuple):
+        parts = [b"T", struct.pack(">I", len(value))]
+        parts.extend(encode_value(item) for item in value)
+        return b"".join(parts)
+    raise ValidationError(f"cannot encode {type(value).__name__} as a protocol value")
+
+
+def _decode_at(data: bytes, offset: int) -> Tuple[Encodable, int]:
+    if offset >= len(data):
+        raise ValidationError("truncated protocol value")
+    tag = data[offset : offset + 1]
+    offset += 1
+    if tag == b"I":
+        return _decode_int(data, offset)
+    if tag == b"F":
+        numerator, offset = _decode_int(data, offset)
+        denominator, offset = _decode_int(data, offset)
+        if denominator == 0:
+            raise ValidationError("fraction with zero denominator")
+        return Fraction(numerator, denominator), offset
+    if tag == b"D":
+        (value,) = struct.unpack_from(">d", data, offset)
+        return value, offset + 8
+    if tag == b"T":
+        (count,) = struct.unpack_from(">I", data, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _decode_at(data, offset)
+            items.append(item)
+        return tuple(items), offset
+    raise ValidationError(f"unknown protocol value tag {tag!r}")
+
+
+def decode_value(data: bytes) -> Encodable:
+    """Decode bytes produced by :func:`encode_value`.
+
+    Raises :class:`ValidationError` on trailing garbage, so the codec is
+    injective in both directions.
+    """
+    value, offset = _decode_at(data, 0)
+    if offset != len(data):
+        raise ValidationError("trailing bytes after protocol value")
+    return value
+
+
+def encoded_size(value: Encodable) -> int:
+    """Size in bytes of the canonical encoding (communication accounting)."""
+    return len(encode_value(value))

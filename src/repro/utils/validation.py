@@ -1,0 +1,86 @@
+"""Lightweight argument validation helpers.
+
+These helpers raise :class:`repro.exceptions.ValidationError` with
+descriptive messages, keeping call sites one line long.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Sequence, Tuple, Type, TypeVar, Union
+
+from repro.exceptions import ValidationError
+
+_T = TypeVar("_T")
+
+
+def ensure_type(value: _T, expected: Union[Type, Tuple[Type, ...]], name: str) -> _T:
+    """Raise unless ``value`` is an instance of ``expected``."""
+    if not isinstance(value, expected):
+        raise ValidationError(
+            f"{name} must be {expected!r}, got {type(value).__name__}"
+        )
+    return value
+
+
+def ensure_positive(value, name: str):
+    """Raise unless ``value`` is a strictly positive real number."""
+    if not isinstance(value, Real):
+        raise ValidationError(f"{name} must be a real number, got {type(value).__name__}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def ensure_non_negative(value, name: str):
+    """Raise unless ``value`` is a non-negative real number."""
+    if not isinstance(value, Real):
+        raise ValidationError(f"{name} must be a real number, got {type(value).__name__}")
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def ensure_in_range(value, low, high, name: str):
+    """Raise unless ``low <= value <= high``."""
+    if not isinstance(value, Real):
+        raise ValidationError(f"{name} must be a real number, got {type(value).__name__}")
+    if not low <= value <= high:
+        raise ValidationError(f"{name} must lie in [{low}, {high}], got {value}")
+    return value
+
+
+def ensure_probability(value, name: str):
+    """Raise unless ``value`` is a probability in [0, 1]."""
+    return ensure_in_range(value, 0.0, 1.0, name)
+
+
+def ensure_vector(values: Sequence, name: str, length: int = None) -> tuple:
+    """Validate a non-empty numeric vector, optionally of fixed length.
+
+    Returns the values as a tuple so callers get an immutable copy.
+    """
+    try:
+        items = tuple(values)
+    except TypeError:
+        raise ValidationError(f"{name} must be an iterable of numbers") from None
+    if not items:
+        raise ValidationError(f"{name} must be non-empty")
+    if length is not None and len(items) != length:
+        raise ValidationError(
+            f"{name} must have length {length}, got {len(items)}"
+        )
+    for index, item in enumerate(items):
+        if not isinstance(item, Real):
+            raise ValidationError(
+                f"{name}[{index}] must be a real number, got {type(item).__name__}"
+            )
+    return items
+
+
+def ensure_same_length(first: Sequence, second: Sequence, names: str) -> None:
+    """Raise unless the two sequences have equal length."""
+    if len(first) != len(second):
+        raise ValidationError(
+            f"{names} must have equal length, got {len(first)} and {len(second)}"
+        )

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ompe import OMPEConfig
+from repro.math.groups import SchnorrGroup, fast_group
+from repro.utils.rng import ReproRandom
+
+
+@pytest.fixture
+def rng() -> ReproRandom:
+    """A deterministic random stream, fresh per test."""
+    return ReproRandom(20160627)
+
+
+@pytest.fixture(scope="session")
+def group() -> SchnorrGroup:
+    """The shared 256-bit OT group (fast; generated once per session)."""
+    return fast_group()
+
+
+@pytest.fixture(scope="session")
+def fast_config(group) -> OMPEConfig:
+    """A small-parameter OMPE config for fast protocol tests."""
+    return OMPEConfig(security_degree=2, cover_expansion=2, group=group)

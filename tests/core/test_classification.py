@@ -1,0 +1,230 @@
+"""Tests for the privacy-preserving classification protocols (Section IV)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.classification import (
+    MonomialTransform,
+    classify_linear,
+    classify_linear_batch,
+    classify_nonlinear,
+    classify_nonlinear_batch,
+    predicted_labels,
+    private_classify,
+)
+from repro.exceptions import ValidationError
+from repro.ml.datasets import interaction_boundary, two_gaussians
+from repro.ml.svm import accuracy, train_svm
+from repro.ml.svm.model import make_linear_model
+from repro.math.multivariate import MultivariatePolynomial
+
+
+@pytest.fixture(scope="module")
+def linear_setup():
+    data = two_gaussians(
+        "cls-lin", dimension=3, train_size=100, test_size=30, separation=1.4, seed=5
+    )
+    model = train_svm(data.X_train, data.y_train, kernel="linear", C=10.0)
+    return data, model
+
+
+@pytest.fixture(scope="module")
+def poly_setup():
+    data = interaction_boundary("cls-poly", 3, 120, 20, margin=0.05, seed=6)
+    model = train_svm(
+        data.X_train, data.y_train, kernel="poly",
+        C=200.0, degree=3, a0=1.0 / 3, b0=0.0,
+    )
+    return data, model
+
+
+class TestMonomialTransform:
+    def test_arity_matches_paper_formula(self):
+        import math
+
+        transform = MonomialTransform(dimension=4, degree=3)
+        assert transform.arity == math.comb(4 + 3 - 1, 4 - 1)
+
+    def test_transform_sample_values(self):
+        transform = MonomialTransform(dimension=2, degree=2)
+        tau = transform.transform_sample((Fraction(2), Fraction(3)))
+        assert sorted(tau) == [4, 6, 9]
+
+    def test_linearized_polynomial_equivalence(self):
+        """d(τ(t)) must equal d(t) for every t — the IV-B identity."""
+        polynomial = MultivariatePolynomial(
+            2, {(3, 0): Fraction(2), (1, 2): Fraction(-1), (0, 0): Fraction(5)}
+        )
+        transform = MonomialTransform(dimension=2, degree=3)
+        linearized = transform.linearize_polynomial(polynomial)
+        assert linearized.total_degree == 1
+        for point in [(Fraction(1, 2), Fraction(-1, 3)), (Fraction(0), Fraction(2))]:
+            assert linearized(transform.transform_sample(point)) == polynomial(point)
+
+    def test_homogeneous_mismatch_rejected(self):
+        polynomial = MultivariatePolynomial(2, {(1, 0): Fraction(1)})  # degree 1
+        transform = MonomialTransform(dimension=2, degree=3, homogeneous=True)
+        with pytest.raises(ValidationError):
+            transform.linearize_polynomial(polynomial)
+
+    def test_mixed_basis_accepts_lower_degrees(self):
+        polynomial = MultivariatePolynomial(
+            2, {(1, 0): Fraction(1), (2, 1): Fraction(2)}
+        )
+        transform = MonomialTransform(dimension=2, degree=3, homogeneous=False)
+        linearized = transform.linearize_polynomial(polynomial)
+        point = (Fraction(1, 2), Fraction(1, 5))
+        assert linearized(transform.transform_sample(point)) == polynomial(point)
+
+    def test_cap_enforced(self):
+        with pytest.raises(ValidationError):
+            MonomialTransform(dimension=200, degree=4)
+
+    def test_sample_length_check(self):
+        transform = MonomialTransform(dimension=2, degree=2)
+        with pytest.raises(ValidationError):
+            transform.transform_sample((1,))
+
+    def test_arity_mismatch_rejected(self):
+        transform = MonomialTransform(dimension=3, degree=2)
+        with pytest.raises(ValidationError):
+            transform.linearize_polynomial(MultivariatePolynomial(2, {(2, 0): 1}))
+
+
+class TestLinearClassification:
+    def test_labels_match_plain(self, linear_setup, fast_config):
+        data, model = linear_setup
+        for index in range(10):
+            outcome = classify_linear(
+                model, data.X_test[index], config=fast_config, seed=100 + index
+            )
+            expected = 1.0 if model.decision_value(data.X_test[index]) >= 0 else -1.0
+            assert outcome.label == expected
+
+    def test_value_is_amplified_not_raw(self, linear_setup, fast_config):
+        data, model = linear_setup
+        outcome = classify_linear(model, data.X_test[0], config=fast_config, seed=1)
+        true_value = model.exact_decision_value(
+            tuple(Fraction(v) for v in data.X_test[0])
+        )
+        assert outcome.randomized_value != true_value
+        assert (outcome.randomized_value > 0) == (true_value > 0)
+
+    def test_unamplified_reveals_exact_value(self, linear_setup, fast_config):
+        data, model = linear_setup
+        outcome = classify_linear(
+            model, data.X_test[0], config=fast_config, seed=1, amplify=False
+        )
+        true_value = model.exact_decision_value(
+            tuple(Fraction(v) for v in data.X_test[0])
+        )
+        assert outcome.randomized_value == true_value
+
+    def test_batch_accuracy_matches_plain(self, linear_setup, fast_config):
+        data, model = linear_setup
+        outcomes = classify_linear_batch(
+            model, data.X_test, config=fast_config, seed=0, limit=15
+        )
+        private = accuracy(predicted_labels(outcomes), data.y_test[:15])
+        plain = accuracy(model.predict(data.X_test[:15]), data.y_test[:15])
+        assert private == plain
+
+    def test_rejects_nonlinear_model(self, poly_setup, fast_config):
+        _, model = poly_setup
+        with pytest.raises(ValidationError):
+            classify_linear(model, [0.0, 0.0, 0.0], config=fast_config)
+
+    def test_batch_shape_check(self, linear_setup, fast_config):
+        _, model = linear_setup
+        with pytest.raises(ValidationError):
+            classify_linear_batch(model, np.zeros(3), config=fast_config)
+
+    def test_boundary_sample_positive(self, fast_config):
+        model = make_linear_model([1.0, 0.0], 0.0)
+        outcome = classify_linear(model, [0.0, 0.5], config=fast_config, seed=3)
+        assert outcome.label == 1.0  # d = 0 resolves to +1 per the paper
+
+
+class TestNonlinearClassification:
+    def test_direct_labels_match_plain(self, poly_setup, fast_config):
+        data, model = poly_setup
+        for index in range(5):
+            outcome = classify_nonlinear(
+                model, data.X_test[index],
+                config=fast_config, seed=index, method="direct",
+            )
+            expected = 1.0 if model.decision_value(data.X_test[index]) >= 0 else -1.0
+            assert outcome.label == expected
+
+    def test_monomial_equals_direct(self, poly_setup, fast_config):
+        data, model = poly_setup
+        for index in range(3):
+            direct = classify_nonlinear(
+                model, data.X_test[index],
+                config=fast_config, seed=50 + index, method="direct",
+            )
+            monomial = classify_nonlinear(
+                model, data.X_test[index],
+                config=fast_config, seed=50 + index, method="monomial",
+            )
+            assert direct.label == monomial.label
+
+    def test_monomial_sends_wider_vectors(self, poly_setup, fast_config):
+        data, model = poly_setup
+        direct = classify_nonlinear(
+            model, data.X_test[0], config=fast_config, seed=7, method="direct"
+        )
+        monomial = classify_nonlinear(
+            model, data.X_test[0], config=fast_config, seed=7, method="monomial"
+        )
+        direct_points = direct.report.transcript.of_type("ompe/points")[0].payload
+        monomial_points = monomial.report.transcript.of_type("ompe/points")[0].payload
+        assert len(monomial_points[0][1]) > len(direct_points[0][1])
+        # Direct mode needs pq+1 covers; monomial (linear in τ) only q+1.
+        assert len(direct_points) > len(monomial_points)
+
+    def test_unknown_method(self, poly_setup, fast_config):
+        _, model = poly_setup
+        with pytest.raises(ValidationError):
+            classify_nonlinear(model, [0, 0, 0], config=fast_config, method="magic")
+
+    def test_rejects_rbf_model(self, fast_config):
+        data = two_gaussians("rbf", dimension=2, train_size=60, test_size=5, seed=1)
+        model = train_svm(data.X_train, data.y_train, kernel="rbf", gamma=1.0)
+        with pytest.raises(ValidationError):
+            classify_nonlinear(model, data.X_test[0], config=fast_config)
+
+    def test_batch(self, poly_setup, fast_config):
+        data, model = poly_setup
+        outcomes = classify_nonlinear_batch(
+            model, data.X_test, config=fast_config, seed=0, limit=4
+        )
+        assert len(outcomes) == 4
+        plain = model.predict(data.X_test[:4])
+        assert np.allclose(predicted_labels(outcomes), plain)
+
+
+class TestDispatch:
+    def test_private_classify_linear(self, linear_setup, fast_config):
+        data, model = linear_setup
+        outcome = private_classify(model, data.X_test[0], config=fast_config, seed=9)
+        assert outcome.label in (-1.0, 1.0)
+
+    def test_private_classify_nonlinear(self, poly_setup, fast_config):
+        data, model = poly_setup
+        outcome = private_classify(model, data.X_test[0], config=fast_config, seed=9)
+        assert outcome.label in (-1.0, 1.0)
+
+
+class TestInputValidation:
+    def test_linear_wrong_sample_size(self, linear_setup, fast_config):
+        _, model = linear_setup
+        with pytest.raises(ValidationError, match="coordinates"):
+            classify_linear(model, [0.1], config=fast_config)
+
+    def test_nonlinear_wrong_sample_size(self, poly_setup, fast_config):
+        _, model = poly_setup
+        with pytest.raises(ValidationError, match="coordinates"):
+            classify_nonlinear(model, [0.1, 0.2, 0.3, 0.4], config=fast_config)

@@ -1,0 +1,66 @@
+"""Tests for the OMPE function degree audit."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.ompe import OMPEFunction, audit_degree
+from repro.exceptions import ValidationError
+from repro.math.multivariate import MultivariatePolynomial
+from repro.ml.datasets import interaction_boundary
+from repro.ml.svm import train_svm
+from repro.utils.rng import ReproRandom
+
+
+class TestAuditDegree:
+    def test_correct_declaration_passes(self, rng):
+        polynomial = MultivariatePolynomial(
+            2, {(3, 0): Fraction(1), (1, 2): Fraction(-2), (0, 0): Fraction(1)}
+        )
+        function = OMPEFunction.from_polynomial(polynomial)
+        assert audit_degree(function, rng)
+
+    def test_overstated_degree_passes(self, rng):
+        """Overstating is safe (wastes covers but stays correct)."""
+        polynomial = MultivariatePolynomial.affine([Fraction(2)], Fraction(1))
+        function = OMPEFunction.from_callable(1, 5, polynomial)
+        assert audit_degree(function, rng)
+
+    def test_understated_degree_fails(self, rng):
+        cubic = lambda point: point[0] ** 3
+        function = OMPEFunction.from_callable(1, 1, cubic)
+        assert not audit_degree(function, rng)
+
+    def test_understated_multivariate_fails(self, rng):
+        mixed = lambda point: point[0] * point[1] * point[0]
+        function = OMPEFunction.from_callable(2, 2, mixed)
+        assert not audit_degree(function, rng)
+
+    def test_model_direct_evaluator_passes(self, rng):
+        """The nonlinear classification path's declared degree is right."""
+        data = interaction_boundary("audit", 3, 60, 5, seed=1)
+        model = train_svm(
+            data.X_train, data.y_train, kernel="poly",
+            C=10.0, degree=3, a0=1 / 3, b0=0.0,
+        )
+        function = OMPEFunction.from_callable(
+            model.dimension, 3, model.exact_decision_value
+        )
+        assert audit_degree(function, rng)
+
+    def test_rbf_polynomialization_degree_passes(self, rng):
+        """Regression guard for the 3*truncation degree-audit bug."""
+        from repro.core.classification import polynomialize_rbf
+        from repro.ml.datasets import concentric_circles
+
+        data = concentric_circles("audit-rbf", 60, 5, seed=2)
+        model = train_svm(data.X_train, data.y_train, kernel="rbf", C=10.0, gamma=1.0)
+        polynomialized = polynomialize_rbf(model, truncation_degree=3)
+        assert audit_degree(polynomialized.function, rng, trials=2)
+
+    def test_trials_validation(self, rng):
+        function = OMPEFunction.from_polynomial(
+            MultivariatePolynomial.affine([Fraction(1)], 0)
+        )
+        with pytest.raises(ValidationError):
+            audit_degree(function, rng, trials=0)

@@ -1,0 +1,115 @@
+"""Float-mode coverage across the protocol stack.
+
+Exact (Fraction) mode is the correctness default; float mode trades the
+bit-exactness guarantee for native arithmetic.  These tests pin down
+how much accuracy float mode actually delivers at each protocol layer.
+"""
+
+import pytest
+
+from repro.core.classification import classify_linear, classify_nonlinear
+from repro.core.ompe import OMPEConfig, OMPEFunction, execute_ompe
+from repro.core.similarity import (
+    evaluate_similarity_plain,
+    evaluate_similarity_private,
+)
+from repro.math.groups import fast_group
+from repro.math.multivariate import MultivariatePolynomial
+from repro.ml.datasets import interaction_boundary, two_gaussians
+from repro.ml.svm import train_svm
+from repro.ml.svm.model import make_linear_model
+
+
+@pytest.fixture(scope="module")
+def float_config():
+    return OMPEConfig(
+        exact=False, security_degree=2, cover_expansion=2, group=fast_group()
+    )
+
+
+class TestFloatOMPE:
+    def test_affine_close(self, float_config):
+        polynomial = MultivariatePolynomial.affine([2.0, -3.0], 0.5)
+        outcome = execute_ompe(
+            OMPEFunction.from_polynomial(polynomial), (0.25, -0.5),
+            config=float_config, seed=3,
+        )
+        expected = 2.0 * 0.25 - 3.0 * (-0.5) + 0.5
+        assert outcome.value / outcome.amplifier == pytest.approx(expected, rel=1e-6)
+
+    def test_cubic_close(self, float_config):
+        polynomial = MultivariatePolynomial(
+            2, {(3, 0): 1.0, (1, 2): -2.0, (0, 0): 0.25}
+        )
+        point = (0.4, -0.3)
+        outcome = execute_ompe(
+            OMPEFunction.from_polynomial(polynomial), point,
+            config=float_config, seed=5,
+        )
+        assert outcome.value / outcome.amplifier == pytest.approx(
+            polynomial(point), rel=1e-4
+        )
+
+    def test_interpolation_error_grows_with_degree(self, float_config):
+        """Documents why exact mode is the default: the float error is
+        measurable and grows with the composed degree."""
+        errors = []
+        for degree in (1, 4):
+            terms = {tuple([degree, 0]): 1.0, (0, 0): 0.1}
+            polynomial = MultivariatePolynomial(2, terms)
+            point = (0.7, 0.1)
+            outcome = execute_ompe(
+                OMPEFunction.from_polynomial(polynomial), point,
+                config=float_config, seed=degree,
+            )
+            relative = abs(
+                outcome.value / outcome.amplifier - polynomial(point)
+            ) / abs(polynomial(point))
+            errors.append(relative)
+        assert errors[0] < 1e-6
+        assert errors[1] < 1e-2  # still usable, but visibly worse
+
+
+class TestFloatClassification:
+    def test_linear_labels_match(self, float_config):
+        data = two_gaussians(
+            "fl", dimension=3, train_size=100, test_size=15,
+            separation=1.5, seed=8,
+        )
+        model = train_svm(data.X_train, data.y_train, kernel="linear", C=10.0)
+        agreements = 0
+        for index in range(10):
+            outcome = classify_linear(
+                model, data.X_test[index], config=float_config, seed=index
+            )
+            plain = 1.0 if model.decision_value(data.X_test[index]) >= 0 else -1.0
+            agreements += outcome.label == plain
+        # Well-separated samples: float noise cannot flip them.
+        assert agreements == 10
+
+    def test_nonlinear_labels_match_off_boundary(self, float_config):
+        data = interaction_boundary("flnl", 3, 120, 10, margin=0.15, seed=9)
+        model = train_svm(
+            data.X_train, data.y_train, kernel="poly",
+            C=100.0, degree=3, a0=1 / 3, b0=0.0,
+        )
+        for index in range(4):
+            sample = data.X_test[index]
+            if abs(model.decision_value(sample)) < 0.05:
+                continue
+            outcome = classify_nonlinear(
+                model, sample, config=float_config, seed=index, method="direct"
+            )
+            plain = 1.0 if model.decision_value(sample) >= 0 else -1.0
+            assert outcome.label == plain
+
+
+class TestFloatSimilarity:
+    def test_matches_plain_to_high_precision(self, float_config):
+        model_a = make_linear_model([1.0, 0.7], -0.2)
+        model_b = make_linear_model([0.8, -0.5], 0.3)
+        plain = evaluate_similarity_plain(model_a, model_b)
+        private = evaluate_similarity_private(
+            model_a, model_b, config=float_config, seed=3
+        )
+        assert private.t == pytest.approx(plain.t, rel=1e-6)

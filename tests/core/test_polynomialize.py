@@ -1,0 +1,120 @@
+"""Tests for RBF/sigmoid kernel polynomialization (Section IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classification import (
+    classify_polynomialized,
+    polynomialize,
+    polynomialize_rbf,
+    polynomialize_sigmoid,
+)
+from repro.exceptions import ValidationError
+from repro.ml.datasets import concentric_circles, two_gaussians
+from repro.ml.svm import train_svm
+
+
+@pytest.fixture(scope="module")
+def circles():
+    return concentric_circles("poly-c", train_size=120, test_size=30, seed=3)
+
+
+@pytest.fixture(scope="module")
+def rbf_model(circles):
+    return train_svm(circles.X_train, circles.y_train, kernel="rbf", C=10.0, gamma=1.5)
+
+
+@pytest.fixture(scope="module")
+def sigmoid_model(circles):
+    return train_svm(
+        circles.X_train, circles.y_train, kernel="sigmoid", C=10.0, a0=0.5, c0=0.0
+    )
+
+
+class TestRBFPolynomialization:
+    def test_approximation_close(self, circles, rbf_model):
+        pm = polynomialize_rbf(rbf_model, truncation_degree=12)
+        for x in circles.X_test[:10]:
+            assert pm.decision_value(x) == pytest.approx(
+                rbf_model.decision_value(x), abs=1e-3
+            )
+
+    def test_error_bound_covers_samples(self, circles, rbf_model):
+        pm = polynomialize_rbf(rbf_model, truncation_degree=12)
+        for x in circles.X_test[:10]:
+            error = abs(pm.decision_value(x) - rbf_model.decision_value(x))
+            assert error <= pm.error_bound
+
+    def test_bound_shrinks_with_degree(self, rbf_model):
+        low = polynomialize_rbf(rbf_model, truncation_degree=6)
+        high = polynomialize_rbf(rbf_model, truncation_degree=12)
+        assert high.error_bound < low.error_bound
+
+    def test_sign_safe_samples_classify_correctly(self, circles, rbf_model, fast_config):
+        pm = polynomialize_rbf(rbf_model, truncation_degree=12)
+        checked = 0
+        for index, x in enumerate(circles.X_test[:6]):
+            if not pm.sign_safe(x):
+                continue
+            outcome = classify_polynomialized(pm, x, config=fast_config, seed=index)
+            plain = 1.0 if rbf_model.decision_value(x) >= 0 else -1.0
+            assert outcome.label == plain
+            checked += 1
+        assert checked >= 3
+
+    def test_function_degree(self, rbf_model):
+        pm = polynomialize_rbf(rbf_model, truncation_degree=5)
+        assert pm.function.total_degree == 15
+        assert pm.function.arity == rbf_model.dimension
+
+    def test_bad_degree(self, rbf_model):
+        with pytest.raises(ValidationError):
+            polynomialize_rbf(rbf_model, truncation_degree=0)
+
+    def test_wrong_kernel(self, sigmoid_model):
+        with pytest.raises(ValidationError):
+            polynomialize_rbf(sigmoid_model)
+
+
+class TestSigmoidPolynomialization:
+    def test_approximation_close(self, circles, sigmoid_model):
+        pm = polynomialize_sigmoid(sigmoid_model, truncation_degree=11)
+        for x in circles.X_test[:10]:
+            assert pm.decision_value(x) == pytest.approx(
+                sigmoid_model.decision_value(x), abs=1e-4
+            )
+
+    def test_divergent_configuration_rejected(self, circles):
+        model = train_svm(
+            circles.X_train, circles.y_train, kernel="sigmoid",
+            C=10.0, a0=1.0, c0=0.0,
+        )
+        # a0 * n + c0 = 2.0 > pi/2: outside the tanh convergence radius.
+        with pytest.raises(ValidationError, match="pi/2"):
+            polynomialize_sigmoid(model)
+
+    def test_private_classification(self, circles, sigmoid_model, fast_config):
+        pm = polynomialize_sigmoid(sigmoid_model, truncation_degree=11)
+        x = circles.X_test[0]
+        outcome = classify_polynomialized(pm, x, config=fast_config, seed=1)
+        if pm.sign_safe(x):
+            plain = 1.0 if sigmoid_model.decision_value(x) >= 0 else -1.0
+            assert outcome.label == plain
+
+    def test_wrong_kernel(self, rbf_model):
+        with pytest.raises(ValidationError):
+            polynomialize_sigmoid(rbf_model)
+
+
+class TestDispatch:
+    def test_polynomialize_rbf_dispatch(self, rbf_model):
+        assert polynomialize(rbf_model).truncation_degree == 12
+
+    def test_polynomialize_sigmoid_dispatch(self, sigmoid_model):
+        assert polynomialize(sigmoid_model).truncation_degree == 9
+
+    def test_polynomialize_rejects_linear(self):
+        data = two_gaussians("pl", dimension=2, train_size=50, test_size=5, seed=1)
+        model = train_svm(data.X_train, data.y_train, kernel="linear")
+        with pytest.raises(ValidationError):
+            polynomialize(model)

@@ -1,0 +1,139 @@
+"""Tests for the OMPE precomputation pools (paper Section VI-B.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.ompe import (
+    OMPEConfig,
+    OMPEFunction,
+    ReceiverPool,
+    SenderPool,
+    execute_ompe,
+)
+from repro.exceptions import OMPEError, ValidationError
+from repro.math.multivariate import MultivariatePolynomial
+from repro.utils.rng import ReproRandom
+
+
+@pytest.fixture
+def polynomial():
+    return MultivariatePolynomial.affine(
+        [Fraction(2), Fraction(-3)], Fraction(1, 2)
+    )
+
+
+@pytest.fixture
+def function(polynomial):
+    return OMPEFunction.from_polynomial(polynomial)
+
+
+ALPHA = (Fraction(1, 3), Fraction(1, 4))
+
+
+class TestSenderPool:
+    def test_bundles_generated(self, fast_config, rng):
+        pool = SenderPool(fast_config, 1, 5, rng)
+        assert len(pool) == 5
+        bundle = pool.pop()
+        assert bundle.mask(0) == 0
+        assert bundle.mask.degree == fast_config.security_degree
+        assert bundle.amplifier > 0
+        assert len(pool) == 4
+
+    def test_offset_bundles(self, fast_config, rng):
+        pool = SenderPool(fast_config, 1, 3, rng, offset=True)
+        assert pool.pop().offset != 0
+
+    def test_no_amplify(self, fast_config, rng):
+        pool = SenderPool(fast_config, 1, 3, rng, amplify=False)
+        assert pool.pop().amplifier == 1
+
+    def test_exhaustion(self, fast_config, rng):
+        pool = SenderPool(fast_config, 1, 1, rng)
+        pool.pop()
+        with pytest.raises(OMPEError):
+            pool.pop()
+
+    def test_validation(self, fast_config, rng):
+        with pytest.raises(ValidationError):
+            SenderPool(fast_config, 1, 0, rng)
+        with pytest.raises(ValidationError):
+            SenderPool(fast_config, 0, 1, rng)
+
+
+class TestReceiverPool:
+    def test_bundle_shape(self, fast_config, rng):
+        pool = ReceiverPool(fast_config, 2, 1, 3, rng)
+        bundle = pool.pop()
+        assert len(bundle.zero_hiders) == 2
+        assert all(g(0) == 0 for g in bundle.zero_hiders)
+        assert len(bundle.nodes) == fast_config.pair_count(1)
+        assert len(bundle.cover_positions) == fast_config.cover_count(1)
+        assert len(set(bundle.nodes)) == len(bundle.nodes)
+        # Disguises present exactly at non-cover positions.
+        cover_set = set(bundle.cover_positions)
+        for index, disguise in enumerate(bundle.disguises):
+            assert (disguise is None) == (index in cover_set)
+
+    def test_exhaustion(self, fast_config, rng):
+        pool = ReceiverPool(fast_config, 2, 1, 1, rng)
+        pool.pop()
+        with pytest.raises(OMPEError):
+            pool.pop()
+
+    def test_validation(self, fast_config, rng):
+        with pytest.raises(ValidationError):
+            ReceiverPool(fast_config, 0, 1, 1, rng)
+        with pytest.raises(ValidationError):
+            ReceiverPool(fast_config, 2, 1, 0, rng)
+
+
+class TestPooledExecution:
+    def test_exact_with_both_pools(self, fast_config, polynomial, function):
+        sender_pool = SenderPool(fast_config, 1, 3, ReproRandom(1))
+        receiver_pool = ReceiverPool(fast_config, 2, 1, 3, ReproRandom(2))
+        outcome = execute_ompe(
+            function, ALPHA, config=fast_config, seed=9,
+            sender_pool=sender_pool, receiver_pool=receiver_pool,
+        )
+        assert outcome.value == polynomial(ALPHA) * outcome.amplifier
+
+    def test_exact_with_sender_pool_only(self, fast_config, polynomial, function):
+        sender_pool = SenderPool(fast_config, 1, 2, ReproRandom(3))
+        outcome = execute_ompe(
+            function, ALPHA, config=fast_config, seed=10, sender_pool=sender_pool
+        )
+        assert outcome.value == polynomial(ALPHA) * outcome.amplifier
+
+    def test_exact_with_receiver_pool_only(self, fast_config, polynomial, function):
+        receiver_pool = ReceiverPool(fast_config, 2, 1, 2, ReproRandom(4))
+        outcome = execute_ompe(
+            function, ALPHA, config=fast_config, seed=11,
+            receiver_pool=receiver_pool,
+        )
+        assert outcome.value == polynomial(ALPHA) * outcome.amplifier
+
+    def test_arity_mismatch_rejected(self, fast_config, function):
+        receiver_pool = ReceiverPool(fast_config, 3, 1, 1, ReproRandom(5))
+        with pytest.raises(OMPEError):
+            execute_ompe(
+                function, ALPHA, config=fast_config, seed=12,
+                receiver_pool=receiver_pool,
+            )
+
+    def test_degree_mismatch_rejected(self, fast_config, function):
+        sender_pool = SenderPool(fast_config, 3, 1, ReproRandom(6))
+        with pytest.raises(OMPEError):
+            execute_ompe(
+                function, ALPHA, config=fast_config, seed=13,
+                sender_pool=sender_pool,
+            )
+
+    def test_pool_runs_differ_across_bundles(self, fast_config, function):
+        sender_pool = SenderPool(fast_config, 1, 2, ReproRandom(7))
+        a = execute_ompe(function, ALPHA, config=fast_config, seed=14,
+                         sender_pool=sender_pool)
+        b = execute_ompe(function, ALPHA, config=fast_config, seed=14,
+                         sender_pool=sender_pool)
+        assert a.amplifier != b.amplifier

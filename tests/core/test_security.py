@@ -1,0 +1,84 @@
+"""Tests for the quantitative security estimator."""
+
+import math
+
+import pytest
+
+from repro.core.ompe import OMPEConfig
+from repro.core.privacy import (
+    estimate_security,
+    minimum_security_degree,
+)
+from repro.exceptions import ValidationError
+from repro.math.groups import fast_group
+
+
+class TestEstimate:
+    def test_counts_match_config(self, fast_config):
+        estimate = estimate_security(fast_config, function_degree=1)
+        assert estimate.cover_count == fast_config.cover_count(1)
+        assert estimate.pair_count == fast_config.pair_count(1)
+
+    def test_entropy_formula(self, fast_config):
+        estimate = estimate_security(fast_config, function_degree=1)
+        m, M = estimate.cover_count, estimate.pair_count
+        assert estimate.cover_entropy_bits == pytest.approx(
+            math.log2(math.comb(M, m))
+        )
+        assert estimate.single_guess_probability == pytest.approx(
+            1.0 / math.comb(M, m)
+        )
+
+    def test_entropy_grows_with_expansion(self, group):
+        narrow = OMPEConfig(security_degree=2, cover_expansion=2, group=group)
+        wide = OMPEConfig(security_degree=2, cover_expansion=6, group=group)
+        assert (
+            estimate_security(wide, 1).cover_entropy_bits
+            > estimate_security(narrow, 1).cover_entropy_bits
+        )
+
+    def test_entropy_grows_with_degree(self, fast_config):
+        assert (
+            estimate_security(fast_config, 3).cover_entropy_bits
+            > estimate_security(fast_config, 1).cover_entropy_bits
+        )
+
+    def test_degrees_of_freedom(self, fast_config):
+        estimate = estimate_security(fast_config, function_degree=3)
+        assert estimate.masking_degrees_of_freedom == 3 * fast_config.security_degree
+        assert estimate.hiding_degrees_of_freedom == fast_config.security_degree
+
+    def test_ot_group_bits(self, fast_config):
+        estimate = estimate_security(fast_config, 1)
+        assert estimate.ot_group_bits == fast_group().p.bit_length()
+        assert estimate.dlog_security_bits == estimate.ot_group_bits / 2
+
+    def test_bad_degree(self, fast_config):
+        with pytest.raises(ValidationError):
+            estimate_security(fast_config, 0)
+
+
+class TestMinimumSecurityDegree:
+    def test_reaches_target(self, group):
+        config = OMPEConfig(cover_expansion=4, group=group)
+        q = minimum_security_degree(config, function_degree=1, target_entropy_bits=40)
+        reached = estimate_security(
+            OMPEConfig(security_degree=q, cover_expansion=4, group=group), 1
+        )
+        assert reached.cover_entropy_bits >= 40
+        if q > 1:
+            below = estimate_security(
+                OMPEConfig(security_degree=q - 1, cover_expansion=4, group=group), 1
+            )
+            assert below.cover_entropy_bits < 40
+
+    def test_unreachable_target(self, group):
+        config = OMPEConfig(cover_expansion=2, group=group)
+        with pytest.raises(ValidationError):
+            minimum_security_degree(
+                config, function_degree=1, target_entropy_bits=10_000, cap=4
+            )
+
+    def test_bad_target(self, fast_config):
+        with pytest.raises(ValidationError):
+            minimum_security_degree(fast_config, 1, target_entropy_bits=0)

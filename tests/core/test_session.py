@@ -1,0 +1,96 @@
+"""Tests for the precomputed classification session."""
+
+import numpy as np
+import pytest
+
+from repro.core.classification import PrivateClassificationSession
+from repro.exceptions import ValidationError
+from repro.ml.datasets import interaction_boundary, two_gaussians
+from repro.ml.svm import train_svm
+
+
+@pytest.fixture(scope="module")
+def linear_setup():
+    data = two_gaussians("sess", dimension=3, train_size=100, test_size=20,
+                         separation=1.4, seed=4)
+    model = train_svm(data.X_train, data.y_train, kernel="linear", C=10.0)
+    return data, model
+
+
+class TestLinearSession:
+    def test_labels_match_plain(self, linear_setup, fast_config):
+        data, model = linear_setup
+        session = PrivateClassificationSession(
+            model, config=fast_config, pool_size=8, seed=1
+        )
+        for index in range(6):
+            outcome = session.classify(data.X_test[index])
+            plain = 1.0 if model.decision_value(data.X_test[index]) >= 0 else -1.0
+            assert outcome.label == plain
+
+    def test_pool_drains_and_refills(self, linear_setup, fast_config):
+        data, model = linear_setup
+        session = PrivateClassificationSession(
+            model, config=fast_config, pool_size=2, seed=2
+        )
+        initial = session.remaining_bundles
+        assert initial == 2
+        for index in range(5):
+            session.classify(data.X_test[index])
+        # 5 queries with pool_size 2 → at least two refills happened.
+        assert session.queries_served == 5
+        assert session.remaining_bundles >= 0
+
+    def test_batch(self, linear_setup, fast_config):
+        data, model = linear_setup
+        session = PrivateClassificationSession(
+            model, config=fast_config, pool_size=4, seed=3
+        )
+        outcomes = session.classify_batch(data.X_test, limit=4)
+        assert len(outcomes) == 4
+        plain = model.predict(data.X_test[:4])
+        assert [o.label for o in outcomes] == plain.tolist()
+
+    def test_fresh_amplifier_per_query(self, linear_setup, fast_config):
+        data, model = linear_setup
+        session = PrivateClassificationSession(
+            model, config=fast_config, pool_size=8, seed=4
+        )
+        sample = data.X_test[0]
+        first = session.classify(sample)
+        second = session.classify(sample)
+        assert first.randomized_value != second.randomized_value
+        assert first.label == second.label
+
+    def test_batch_shape_check(self, linear_setup, fast_config):
+        _, model = linear_setup
+        session = PrivateClassificationSession(model, config=fast_config, seed=5)
+        with pytest.raises(ValidationError):
+            session.classify_batch(np.zeros(3))
+
+    def test_bad_pool_size(self, linear_setup, fast_config):
+        _, model = linear_setup
+        with pytest.raises(ValidationError):
+            PrivateClassificationSession(model, config=fast_config, pool_size=0)
+
+
+class TestNonlinearSession:
+    def test_polynomial_kernel_session(self, fast_config):
+        data = interaction_boundary("sess-nl", 3, 100, 10, margin=0.05, seed=5)
+        model = train_svm(
+            data.X_train, data.y_train, kernel="poly",
+            C=100.0, degree=3, a0=1 / 3, b0=0.0,
+        )
+        session = PrivateClassificationSession(
+            model, config=fast_config, pool_size=4, seed=6
+        )
+        for index in range(3):
+            outcome = session.classify(data.X_test[index])
+            plain = 1.0 if model.decision_value(data.X_test[index]) >= 0 else -1.0
+            assert outcome.label == plain
+
+    def test_rbf_rejected(self, fast_config):
+        data = two_gaussians("sess-rbf", dimension=2, train_size=50, test_size=5, seed=7)
+        model = train_svm(data.X_train, data.y_train, kernel="rbf", gamma=1.0)
+        with pytest.raises(ValidationError):
+            PrivateClassificationSession(model, config=fast_config)

@@ -1,0 +1,91 @@
+"""Tests for KDF and message wrapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import (
+    TAG_BYTES,
+    hash_to_bytes,
+    kdf,
+    unwrap_message,
+    wrap_message,
+)
+from repro.exceptions import DecryptionError, ValidationError
+
+
+class TestKDF:
+    def test_deterministic(self):
+        assert kdf(b"key", 32) == kdf(b"key", 32)
+
+    def test_length(self):
+        for length in (0, 1, 31, 32, 33, 100):
+            assert len(kdf(b"key", length)) == length
+
+    def test_key_sensitivity(self):
+        assert kdf(b"key1", 32) != kdf(b"key2", 32)
+
+    def test_context_sensitivity(self):
+        assert kdf(b"key", 32, b"a") != kdf(b"key", 32, b"b")
+
+    def test_prefix_consistency(self):
+        assert kdf(b"key", 64)[:32] == kdf(b"key", 32)
+
+    def test_negative_length(self):
+        with pytest.raises(ValidationError):
+            kdf(b"key", -1)
+
+
+class TestWrapping:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=100)
+    def test_round_trip(self, plaintext):
+        wrapped = wrap_message(b"secret", plaintext)
+        assert unwrap_message(b"secret", wrapped) == plaintext
+
+    def test_wrong_key_returns_none(self):
+        wrapped = wrap_message(b"secret", b"hello")
+        assert unwrap_message(b"wrong", wrapped) is None
+
+    def test_wrong_context_returns_none(self):
+        wrapped = wrap_message(b"secret", b"hello", b"ctx-a")
+        assert unwrap_message(b"secret", wrapped, b"ctx-b") is None
+
+    def test_tampered_ciphertext_returns_none(self):
+        wrapped = bytearray(wrap_message(b"secret", b"hello world"))
+        wrapped[0] ^= 0x01
+        assert unwrap_message(b"secret", bytes(wrapped)) is None
+
+    def test_tampered_tag_returns_none(self):
+        wrapped = bytearray(wrap_message(b"secret", b"hello world"))
+        wrapped[-1] ^= 0x01
+        assert unwrap_message(b"secret", bytes(wrapped)) is None
+
+    def test_truncated_raises(self):
+        with pytest.raises(DecryptionError):
+            unwrap_message(b"secret", b"short")
+
+    def test_overhead_is_tag_only(self):
+        wrapped = wrap_message(b"secret", b"x" * 50)
+        assert len(wrapped) == 50 + TAG_BYTES
+
+    def test_ciphertext_differs_from_plaintext(self):
+        plaintext = b"x" * 64
+        wrapped = wrap_message(b"secret", plaintext)
+        assert wrapped[:64] != plaintext
+
+    def test_empty_plaintext(self):
+        wrapped = wrap_message(b"secret", b"")
+        assert unwrap_message(b"secret", wrapped) == b""
+
+
+class TestHashToBytes:
+    def test_deterministic(self):
+        assert hash_to_bytes(b"a", b"b") == hash_to_bytes(b"a", b"b")
+
+    def test_concatenation_ambiguity_resolved(self):
+        # ("ab", "c") must differ from ("a", "bc") — length framing.
+        assert hash_to_bytes(b"ab", b"c") != hash_to_bytes(b"a", b"bc")
+
+    def test_output_length(self):
+        assert len(hash_to_bytes(b"x")) == 32

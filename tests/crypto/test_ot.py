@@ -1,0 +1,234 @@
+"""Tests for the oblivious transfer family."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ot import (
+    OneOfNReceiver,
+    OneOfNSender,
+    OneOfTwoReceiver,
+    OneOfTwoSender,
+    KOfNReceiver,
+    KOfNSender,
+    run_k_of_n,
+    run_one_of_n,
+    run_one_of_two,
+)
+from repro.crypto.ot.base import OTChoice, OTSetup, OTTransfer, validate_index, validate_messages
+from repro.exceptions import ObliviousTransferError, ValidationError
+from repro.utils.rng import ReproRandom
+
+
+class TestBase:
+    def test_validate_messages(self):
+        assert validate_messages([b"a", bytearray(b"b")]) == [b"a", b"b"]
+
+    def test_validate_messages_empty(self):
+        with pytest.raises(ValidationError):
+            validate_messages([])
+
+    def test_validate_messages_type(self):
+        with pytest.raises(ValidationError):
+            validate_messages([b"ok", "not bytes"])
+
+    def test_validate_index(self):
+        assert validate_index(0, 3) == 0
+        with pytest.raises(ValidationError):
+            validate_index(3, 3)
+        with pytest.raises(ValidationError):
+            validate_index(-1, 3)
+        with pytest.raises(ValidationError):
+            validate_index(True, 3)
+
+    def test_setup_requires_session(self):
+        with pytest.raises(ValidationError):
+            OTSetup(session=b"", blinding_points=(1,))
+
+    def test_transfer_count_mismatch(self):
+        with pytest.raises(ObliviousTransferError):
+            OTTransfer(session=b"s", ephemeral_points=(1,), wrapped=(b"a", b"b"))
+
+    def test_transfer_size_accounting(self):
+        transfer = OTTransfer(
+            session=b"abcd", ephemeral_points=(1, 2), wrapped=(b"xx", b"yyy")
+        )
+        assert transfer.size_bytes(32) == 4 + 64 + 5
+
+
+class TestOneOfTwo:
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_correct_message(self, group, bit):
+        message, _ = run_one_of_two(
+            group, [b"zero", b"one"], bit, ReproRandom(bit + 10)
+        )
+        assert message == (b"zero", b"one")[bit]
+
+    def test_bad_bit(self, group, rng):
+        receiver = OneOfTwoReceiver(group, rng)
+        sender = OneOfTwoSender(group, rng.fork("s"))
+        setup = sender.setup()
+        with pytest.raises(ValidationError):
+            receiver.choose(setup, 2)
+
+    def test_requires_two_messages(self, group, rng):
+        sender = OneOfTwoSender(group, rng.fork("s"))
+        receiver = OneOfTwoReceiver(group, rng.fork("r"))
+        setup = sender.setup()
+        choice = receiver.choose(setup, 0)
+        with pytest.raises(ValidationError):
+            sender.transfer([b"only-one"], choice)
+
+    def test_receiver_cannot_open_other_slot(self, group, rng):
+        """Sender privacy: the unchosen slot never authenticates."""
+        sender = OneOfTwoSender(group, rng.fork("s"))
+        receiver = OneOfTwoReceiver(group, rng.fork("r"))
+        setup = sender.setup()
+        choice = receiver.choose(setup, 0)
+        transfer = sender.transfer([b"m0", b"m1"], choice)
+        from repro.crypto.hashing import unwrap_message
+
+        key_point = group.exp(transfer.ephemeral_points[1], receiver._secret)
+        other = unwrap_message(
+            group.encode_element(key_point),
+            transfer.wrapped[1],
+            transfer.session + b"|bit:1",
+        )
+        assert other is None
+
+    def test_session_mismatch_rejected(self, group, rng):
+        sender_a = OneOfTwoSender(group, rng.fork("a"))
+        sender_b = OneOfTwoSender(group, rng.fork("b"))
+        receiver = OneOfTwoReceiver(group, rng.fork("r"))
+        setup_a = sender_a.setup()
+        sender_b.setup()
+        choice = receiver.choose(setup_a, 0)
+        with pytest.raises(ObliviousTransferError):
+            sender_b.transfer([b"a", b"b"], choice)
+
+    def test_protocol_order_enforced(self, group, rng):
+        sender = OneOfTwoSender(group, rng.fork("s"))
+        receiver = OneOfTwoReceiver(group, rng.fork("r"))
+        with pytest.raises(ObliviousTransferError):
+            sender.transfer([b"a", b"b"], OTChoice(session=b"x", blinded_keys=(2,)))
+        with pytest.raises(ObliviousTransferError):
+            receiver.retrieve(
+                OTTransfer(session=b"x", ephemeral_points=(2,), wrapped=(b"",))
+            )
+
+
+class TestOneOfN:
+    @pytest.mark.parametrize("index", [0, 3, 9])
+    def test_correct_message(self, group, index):
+        messages = [f"msg-{i}".encode() for i in range(10)]
+        received, _ = run_one_of_n(group, messages, index, ReproRandom(index))
+        assert received == messages[index]
+
+    def test_single_message(self, group):
+        received, _ = run_one_of_n(group, [b"only"], 0, ReproRandom(1))
+        assert received == b"only"
+
+    def test_out_of_range_index(self, group, rng):
+        receiver = OneOfNReceiver(group, rng)
+        sender = OneOfNSender(group, rng.fork("s"))
+        setup = sender.setup()
+        with pytest.raises(ValidationError):
+            receiver.choose(setup, 5, 5)
+
+    def test_choice_hides_index(self, group):
+        """Receiver privacy: V = g^k w^sigma is uniform for any sigma."""
+        # Statistical smoke check: choices for different indices are
+        # not equal and both valid group elements.
+        sender = OneOfNSender(group, ReproRandom(1))
+        setup = sender.setup()
+        choices = set()
+        for index in range(5):
+            receiver = OneOfNReceiver(group, ReproRandom(100 + index))
+            choice = receiver.choose(setup, index, 5)
+            assert group.contains(choice.blinded_keys[0])
+            choices.add(choice.blinded_keys[0])
+        assert len(choices) == 5
+
+    def test_attempt_all_only_opens_chosen(self, group, rng):
+        messages = [f"m{i}".encode() for i in range(6)]
+        sender = OneOfNSender(group, rng.fork("s"))
+        receiver = OneOfNReceiver(group, rng.fork("r"))
+        setup = sender.setup()
+        choice = receiver.choose(setup, 2, 6)
+        transfer = sender.transfer(messages, choice)
+        opened = receiver.attempt_all(transfer)
+        assert opened[2] == b"m2"
+        assert all(item is None for i, item in enumerate(opened) if i != 2)
+
+    def test_invalid_blinded_key_rejected(self, group, rng):
+        sender = OneOfNSender(group, rng)
+        setup = sender.setup()
+        bad_choice = OTChoice(session=setup.session, blinded_keys=(group.p - 1,))
+        if not group.contains(group.p - 1):
+            with pytest.raises(ObliviousTransferError):
+                sender.transfer([b"a"], bad_choice)
+
+    def test_retrieve_before_choose(self, group, rng):
+        receiver = OneOfNReceiver(group, rng)
+        with pytest.raises(ObliviousTransferError):
+            receiver.retrieve(
+                OTTransfer(session=b"x", ephemeral_points=(2,), wrapped=(b"",))
+            )
+
+    def test_transfer_before_setup(self, group, rng):
+        sender = OneOfNSender(group, rng)
+        with pytest.raises(ObliviousTransferError):
+            sender.transfer([b"a"], OTChoice(session=b"x", blinded_keys=(2,)))
+
+
+class TestKOfN:
+    def test_correct_messages(self, group):
+        messages = [f"item-{i}".encode() for i in range(12)]
+        received, transfers = run_k_of_n(group, messages, [1, 5, 9], ReproRandom(3))
+        assert received == [b"item-1", b"item-5", b"item-9"]
+        assert len(transfers) == 3
+
+    def test_all_indices(self, group):
+        messages = [b"a", b"b", b"c"]
+        received, _ = run_k_of_n(group, messages, [0, 1, 2], ReproRandom(4))
+        assert received == [b"a", b"b", b"c"]
+
+    def test_duplicate_indices_rejected(self, group, rng):
+        sender = KOfNSender(group, rng.fork("s"))
+        receiver = KOfNReceiver(group, rng.fork("r"))
+        setups = sender.setup(2)
+        with pytest.raises(ValidationError):
+            receiver.choose(setups, [1, 1], 5)
+
+    def test_setup_choice_count_mismatch(self, group, rng):
+        sender = KOfNSender(group, rng.fork("s"))
+        receiver = KOfNReceiver(group, rng.fork("r"))
+        setups = sender.setup(3)
+        with pytest.raises(ObliviousTransferError):
+            receiver.choose(setups[:2], [0, 1, 2], 5)
+
+    def test_zero_k_rejected(self, group, rng):
+        with pytest.raises(ValidationError):
+            KOfNSender(group, rng).setup(0)
+
+    def test_indices_property(self, group, rng):
+        sender = KOfNSender(group, rng.fork("s"))
+        receiver = KOfNReceiver(group, rng.fork("r"))
+        setups = sender.setup(2)
+        receiver.choose(setups, [3, 1], 5)
+        assert receiver.indices == (3, 1)
+
+    def test_indices_before_choose(self, group, rng):
+        with pytest.raises(ObliviousTransferError):
+            _ = KOfNReceiver(group, rng).indices
+
+    @given(st.integers(0, 2**30))
+    @settings(max_examples=10, deadline=None)
+    def test_random_index_sets(self, group, seed):
+        rng = ReproRandom(seed)
+        n = rng.randint(4, 10)
+        k = rng.randint(1, n)
+        indices = rng.sample_indices(n, k)
+        messages = [f"{i}".encode() for i in range(n)]
+        received, _ = run_k_of_n(group, messages, indices, rng.fork("ot"))
+        assert received == [messages[i] for i in indices]

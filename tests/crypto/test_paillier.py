@@ -1,0 +1,144 @@
+"""Tests for the Paillier cryptosystem."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.paillier import (
+    FixedPointCodec,
+    PaillierCipher,
+    generate_keypair,
+)
+from repro.exceptions import DecryptionError, KeyGenerationError, ValidationError
+from repro.utils.rng import ReproRandom
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(256, ReproRandom(42))
+
+
+@pytest.fixture()
+def cipher(keypair):
+    public, private = keypair
+    return PaillierCipher(public, private, rng=ReproRandom(7))
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, keypair):
+        public, _ = keypair
+        assert 250 <= public.n.bit_length() <= 258
+
+    def test_too_small_rejected(self):
+        with pytest.raises(KeyGenerationError):
+            generate_keypair(8, ReproRandom(1))
+
+    def test_deterministic(self):
+        a, _ = generate_keypair(128, ReproRandom(5))
+        b, _ = generate_keypair(128, ReproRandom(5))
+        assert a.n == b.n
+
+
+class TestRawEncryption:
+    def test_round_trip(self, keypair, rng):
+        public, private = keypair
+        for message in (0, 1, 12345, public.n - 1):
+            ciphertext = public.encrypt_raw(message, rng)
+            assert private.decrypt_raw(ciphertext) == message
+
+    def test_probabilistic(self, keypair, rng):
+        public, _ = keypair
+        assert public.encrypt_raw(5, rng) != public.encrypt_raw(5, rng)
+
+    def test_out_of_range_rejected(self, keypair, rng):
+        public, _ = keypair
+        with pytest.raises(ValidationError):
+            public.encrypt_raw(public.n, rng)
+        with pytest.raises(ValidationError):
+            public.encrypt_raw(-1, rng)
+
+    def test_invalid_ciphertext_rejected(self, keypair):
+        _, private = keypair
+        with pytest.raises(DecryptionError):
+            private.decrypt_raw(0)
+
+    def test_additive_homomorphism(self, keypair, rng):
+        public, private = keypair
+        a, b = 123456, 654321
+        combined = public.add(
+            public.encrypt_raw(a, rng), public.encrypt_raw(b, rng)
+        )
+        assert private.decrypt_raw(combined) == a + b
+
+    def test_plain_multiplication(self, keypair, rng):
+        public, private = keypair
+        ciphertext = public.multiply_plain(public.encrypt_raw(111, rng), 7)
+        assert private.decrypt_raw(ciphertext) == 777
+
+    def test_negative_plain_multiplication(self, keypair, rng):
+        public, private = keypair
+        ciphertext = public.multiply_plain(public.encrypt_raw(5, rng), -3)
+        assert private.decrypt_raw(ciphertext) == public.n - 15
+
+
+class TestFixedPoint:
+    def test_round_trip_signed(self, keypair):
+        public, _ = keypair
+        codec = FixedPointCodec(public, precision=10**6)
+        for value in (Fraction(1, 2), Fraction(-22, 7), 0, 3):
+            element = codec.encode(value)
+            decoded = codec.decode(element)
+            assert abs(decoded - Fraction(value)) <= Fraction(1, 10**6)
+
+    def test_overflow_rejected(self, keypair):
+        public, _ = keypair
+        codec = FixedPointCodec(public, precision=10**6)
+        with pytest.raises(ValidationError):
+            codec.encode(public.n)
+
+    def test_bad_precision(self, keypair):
+        public, _ = keypair
+        with pytest.raises(ValidationError):
+            FixedPointCodec(public, precision=0)
+
+
+class TestCipher:
+    @given(
+        st.fractions(min_value=-100, max_value=100, max_denominator=1000),
+        st.fractions(min_value=-100, max_value=100, max_denominator=1000),
+    )
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_homomorphic_sum(self, cipher, a, b):
+        combined = cipher.add(cipher.encrypt(a), cipher.encrypt(b))
+        assert abs(cipher.decrypt(combined) - (a + b)) < Fraction(1, 10**7)
+
+    def test_plain_product_scaling(self, cipher):
+        ciphertext = cipher.multiply_plain(cipher.encrypt(Fraction(3, 2)), Fraction(2, 3))
+        assert abs(cipher.decrypt(ciphertext, scale_power=2) - 1) < Fraction(1, 10**6)
+
+    def test_decrypt_without_key(self, keypair):
+        public, _ = keypair
+        encryptor = PaillierCipher(public, None, rng=ReproRandom(1))
+        ciphertext = encryptor.encrypt(1)
+        with pytest.raises(DecryptionError):
+            encryptor.decrypt(ciphertext)
+
+    def test_linear_decision_function_shape(self, cipher):
+        """The Rahulamathavan-style evaluation: Enc(Σ w_i t_i + b)."""
+        weights = [Fraction(1, 2), Fraction(-2), Fraction(3, 4)]
+        sample = [Fraction(1, 3), Fraction(1, 7), Fraction(-2, 5)]
+        bias = Fraction(1, 9)
+        encrypted = [cipher.encrypt(t) for t in sample]
+        accumulator = cipher.multiply_plain(cipher.encrypt(bias), 1)
+        for w, ct in zip(weights, encrypted):
+            accumulator = cipher.add(accumulator, cipher.multiply_plain(ct, w))
+        expected = sum(w * t for w, t in zip(weights, sample)) + bias
+        assert abs(cipher.decrypt(accumulator, scale_power=2) - expected) < Fraction(
+            1, 10**5
+        )

@@ -1,0 +1,52 @@
+"""Tests for the extension experiments (security/cost trade-offs)."""
+
+import pytest
+
+from repro.evaluation.extensions import run_ext_expansion, run_ext_security
+
+
+class TestExtSecurity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ext_security(security_degrees=(1, 2, 4))
+
+    def test_entropy_monotone_in_q(self, result):
+        entropy = result.column("entropy_bits")
+        assert entropy == sorted(entropy)
+        assert entropy[-1] > entropy[0]
+
+    def test_cost_monotone_in_q(self, result):
+        measured = result.column("measured_bytes")
+        assert measured == sorted(measured)
+
+    def test_prediction_tracks_measurement(self, result):
+        for row in result.rows:
+            ratio = row["predicted_bytes"] / row["measured_bytes"]
+            assert 0.75 < ratio < 1.25
+
+    def test_counts_follow_formulas(self, result):
+        for row in result.rows:
+            q = row["security_degree"]
+            assert row["covers_m"] == q + 1
+            assert row["pairs_M"] == 3 * (q + 1)
+
+
+class TestExtExpansion:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ext_expansion(expansions=(2, 4, 8))
+
+    def test_entropy_monotone_in_k(self, result):
+        entropy = result.column("entropy_bits")
+        assert entropy == sorted(entropy)
+
+    def test_bytes_roughly_linear_in_k(self, result):
+        rows = result.rows
+        small, large = rows[0], rows[-1]
+        k_ratio = large["cover_expansion"] / small["cover_expansion"]
+        byte_ratio = large["measured_bytes"] / small["measured_bytes"]
+        assert 0.5 * k_ratio < byte_ratio < 1.5 * k_ratio
+
+    def test_entropy_per_kb_reported(self, result):
+        for row in result.rows:
+            assert row["entropy_per_kb"] > 0

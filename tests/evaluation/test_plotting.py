@@ -1,0 +1,117 @@
+"""Tests for the terminal figure renderer."""
+
+import pytest
+
+from repro.evaluation.harness import ExperimentResult
+from repro.evaluation.plotting import (
+    render_bar_chart,
+    render_experiment,
+    render_grouped_bars,
+    render_line_chart,
+)
+from repro.exceptions import ValidationError
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        chart = render_bar_chart(["a", "bb"], [1.0, 2.0], width=10, title="T")
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert "bb" in lines[2]
+        # The max value fills the full width.
+        assert lines[2].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_fractional_blocks(self):
+        chart = render_bar_chart(["x", "y"], [1.0, 3.0], width=10)
+        assert "▍" in chart or "▎" in chart or "▌" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            render_bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValidationError):
+            render_bar_chart([], [])
+        with pytest.raises(ValidationError):
+            render_bar_chart(["a"], [0.0])
+        with pytest.raises(ValidationError):
+            render_bar_chart(["a"], [1.0], width=2)
+
+
+class TestGroupedBars:
+    def test_groups_per_label(self):
+        chart = render_grouped_bars(
+            ["d1", "d2"], [[0.5, 1.0], [0.4, 0.9]], ["orig", "priv"], width=10
+        )
+        assert chart.count("orig") == 2
+        assert chart.count("priv") == 2
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            render_grouped_bars(["a"], [[1.0]], ["s1", "s2"])
+        with pytest.raises(ValidationError):
+            render_grouped_bars(["a", "b"], [[1.0]], ["s1"])
+
+
+class TestLineChart:
+    def test_markers_present(self):
+        chart = render_line_chart(
+            [1, 2, 3], [[1.0, 2.0, 3.0], [3.0, 2.0, 1.0]], ["up", "down"]
+        )
+        assert "o" in chart and "x" in chart
+        assert "up" in chart and "down" in chart
+
+    def test_log_scale(self):
+        chart = render_line_chart(
+            [1, 2], [[1.0, 1000.0]], ["series"], log_y=True
+        )
+        assert "log scale" in chart
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            render_line_chart([1, 2], [[0.0, 1.0]], ["s"], log_y=True)
+
+    def test_constant_series_renders(self):
+        chart = render_line_chart([1, 2], [[5.0, 5.0]], ["flat"])
+        assert "flat" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            render_line_chart([], [], [])
+        with pytest.raises(ValidationError):
+            render_line_chart([1], [[1.0, 2.0]], ["s"])
+        with pytest.raises(ValidationError):
+            render_line_chart([1], [[1.0]], ["s"], height=1)
+
+
+class TestRenderExperiment:
+    def test_fig7_shape(self):
+        result = ExperimentResult(
+            experiment_id="fig7",
+            title="F7",
+            columns=["dataset", "original_accuracy", "private_accuracy", "queries"],
+            rows=[
+                {"dataset": "a", "original_accuracy": 0.9,
+                 "private_accuracy": 0.9, "queries": 5},
+            ],
+        )
+        chart = render_experiment(result)
+        assert chart is not None and "original" in chart
+
+    def test_fig10_shape(self):
+        result = ExperimentResult(
+            experiment_id="fig10",
+            title="F10",
+            columns=["dimension", "ordinary_ms", "private_ms"],
+            rows=[
+                {"dimension": 2, "ordinary_ms": 1.0, "private_ms": 100.0},
+                {"dimension": 4, "ordinary_ms": 2.0, "private_ms": 120.0},
+            ],
+        )
+        chart = render_experiment(result)
+        assert chart is not None and "log scale" in chart
+
+    def test_unplottable_returns_none(self):
+        result = ExperimentResult(
+            experiment_id="table1", title="T1", columns=["x"], rows=[{"x": 1}]
+        )
+        assert render_experiment(result) is None

@@ -1,0 +1,72 @@
+"""Tests for the report module (run_all, rendering, CLI flags)."""
+
+import pytest
+
+from repro.evaluation.harness import ExperimentResult
+from repro.evaluation.report import (
+    main,
+    render_markdown,
+    render_text,
+    run_all,
+    write_experiments_markdown,
+)
+
+
+class TestRunAll:
+    def test_selected_experiments_only(self):
+        results = run_all(["fig6"])
+        assert set(results) == {"fig6"}
+        assert isinstance(results["fig6"], ExperimentResult)
+
+    def test_render_text_contains_all(self):
+        results = run_all(["fig6", "ext_expansion"])
+        text = render_text(results)
+        assert "Retrieval" in text
+        assert "EXTENSION" in text
+
+
+class TestMarkdown:
+    def test_round_numbers_rendered(self):
+        result = ExperimentResult(
+            experiment_id="x", title="X",
+            columns=["name", "value"],
+            rows=[{"name": "row", "value": 0.123456}],
+            notes="remark",
+        )
+        markdown = render_markdown(result)
+        assert "0.1235" in markdown
+        assert "*remark*" in markdown
+        assert markdown.startswith("### x — X")
+
+    def test_write_file(self, tmp_path):
+        result = ExperimentResult(
+            experiment_id="x", title="X", columns=["v"], rows=[{"v": 2}]
+        )
+        path = tmp_path / "out.md"
+        write_experiments_markdown(str(path), {"x": result})
+        content = path.read_text()
+        assert "| v |" in content
+
+
+class TestMainEntry:
+    def test_main_with_explicit_empty_args(self, capsys, monkeypatch):
+        # Patch run_all to keep the smoke test fast.
+        import repro.evaluation.report as report_module
+
+        cheap = {
+            "fig6": report_module.run_experiment("fig6"),
+        }
+        monkeypatch.setattr(report_module, "run_all", lambda: cheap)
+        report_module.main([])
+        assert "Retrieval" in capsys.readouterr().out
+
+    def test_main_with_plots_flag(self, capsys, monkeypatch):
+        import repro.evaluation.report as report_module
+
+        cheap = {
+            "fig5": report_module.run_experiment("fig5", train_size=200),
+        }
+        monkeypatch.setattr(report_module, "run_all", lambda: cheap)
+        report_module.main(["--plots"])
+        output = capsys.readouterr().out
+        assert "direction error" in output  # the fig5 bar chart title

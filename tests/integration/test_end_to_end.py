@@ -1,0 +1,181 @@
+"""End-to-end integration tests spanning the whole stack.
+
+Each test tells one of the paper's stories from raw data to protocol
+output: train with the SMO substrate, run the privacy-preserving
+protocol over the measured network substrate, and check the outcome
+against the plaintext ground truth.
+"""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.classification import (
+    classify_linear,
+    classify_nonlinear,
+    private_classify,
+)
+from repro.core.baselines import classify_paillier
+from repro.core.ompe import OMPEConfig
+from repro.core.privacy import extract_view, scan_view_for_values
+from repro.core.similarity import (
+    MetricParams,
+    evaluate_similarity_plain,
+    evaluate_similarity_private,
+)
+from repro.ml.datasets import load_dataset, two_gaussians
+from repro.ml.datasets.registry import get_spec
+from repro.ml.svm import MinMaxScaler, accuracy, train_svm
+
+
+class TestEcommerceScenario:
+    """The paper's motivating scenario: a company (trainer) classifies a
+    seller's (client) design without either side revealing its data."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        data = load_dataset("australian", test_cap=30)
+        spec = get_spec("australian")
+        model = train_svm(data.X_train, data.y_train, kernel="linear", C=spec.linear_C)
+        return data, model
+
+    def test_client_gets_correct_trend_labels(self, setup, fast_config):
+        data, model = setup
+        for index in range(6):
+            outcome = classify_linear(
+                model, data.X_test[index], config=fast_config, seed=index
+            )
+            plain = 1.0 if model.decision_value(data.X_test[index]) >= 0 else -1.0
+            assert outcome.label == plain
+
+    def test_no_cross_leak_in_transcripts(self, setup, fast_config):
+        data, model = setup
+        sample = data.X_test[0]
+        outcome = classify_linear(model, sample, config=fast_config, seed=77)
+        transcript = outcome.report.transcript
+        # Trainer view must not contain the client's raw coordinates.
+        sample_exact = [Fraction(v) if v else Fraction(1, 10**9) for v in sample]
+        assert scan_view_for_values(
+            extract_view(transcript, "alice"), sample_exact
+        ) == []
+
+
+class TestPartnershipScenario:
+    """Two companies compare market models without revealing them."""
+
+    def test_similar_companies_score_lower(self, fast_config):
+        base = two_gaussians("p0", dimension=3, train_size=150, test_size=10, seed=1)
+        near = two_gaussians("p1", dimension=3, train_size=150, test_size=10, seed=1)
+        near_X = np.clip(near.X_train + 0.05, -1, 1)
+        far = two_gaussians("p2", dimension=3, train_size=150, test_size=10, seed=99)
+
+        model_base = train_svm(base.X_train, base.y_train, kernel="linear", C=10.0)
+        model_near = train_svm(near_X, near.y_train, kernel="linear", C=10.0)
+        model_far = train_svm(far.X_train, far.y_train, kernel="linear", C=10.0)
+
+        params = MetricParams()
+        t_near = evaluate_similarity_private(
+            model_base, model_near, params, config=fast_config, seed=5
+        ).t
+        t_far = evaluate_similarity_private(
+            model_base, model_far, params, config=fast_config, seed=6
+        ).t
+        assert t_near < t_far
+
+    def test_private_equals_plain_end_to_end(self, fast_config):
+        a = two_gaussians("q1", dimension=2, train_size=100, test_size=5, seed=3)
+        b = two_gaussians("q2", dimension=2, train_size=100, test_size=5, seed=4)
+        model_a = train_svm(a.X_train, a.y_train, kernel="linear", C=10.0)
+        model_b = train_svm(b.X_train, b.y_train, kernel="linear", C=10.0)
+        plain = evaluate_similarity_plain(model_a, model_b)
+        private = evaluate_similarity_private(
+            model_a, model_b, config=fast_config, seed=7
+        )
+        assert private.t == pytest.approx(plain.t, rel=1e-9)
+
+
+class TestMedicalScenario:
+    """Hospital diagnosis: nonlinear model, sensitive patient record."""
+
+    def test_nonlinear_private_diagnosis(self, fast_config):
+        data = load_dataset("diabetes", test_cap=10)
+        spec = get_spec("diabetes")
+        model = train_svm(
+            data.X_train, data.y_train, kernel="poly",
+            C=spec.poly_C, degree=3, a0=1.0 / data.dimension, b0=0.0,
+        )
+        matches = 0
+        for index in range(4):
+            outcome = classify_nonlinear(
+                model, data.X_test[index],
+                config=fast_config, seed=index, method="direct",
+            )
+            plain = 1.0 if model.decision_value(data.X_test[index]) >= 0 else -1.0
+            matches += outcome.label == plain
+        assert matches == 4
+
+
+class TestScalingPipeline:
+    def test_unscaled_data_through_full_pipeline(self, fast_config):
+        """Raw features on arbitrary scales → scaler → SVM → protocol."""
+        rng = np.random.default_rng(5)
+        X_raw = rng.normal(loc=100.0, scale=25.0, size=(120, 3))
+        direction = np.array([1.0, -0.5, 0.25])
+        y = np.where((X_raw - 100.0) @ direction >= 0, 1.0, -1.0)
+        scaler = MinMaxScaler().fit(X_raw[:100])
+        X = scaler.transform(X_raw)
+        model = train_svm(X[:100], y[:100], kernel="linear", C=10.0)
+        assert accuracy(model.predict(X[100:]), y[100:]) >= 0.85
+        outcome = private_classify(model, X[100], config=fast_config, seed=1)
+        plain = 1.0 if model.decision_value(X[100]) >= 0 else -1.0
+        assert outcome.label == plain
+
+
+class TestProtocolComparison:
+    def test_ompe_and_paillier_agree_on_labels(self, fast_config):
+        data = two_gaussians("cmp", dimension=3, train_size=80, test_size=6, seed=8)
+        model = train_svm(data.X_train, data.y_train, kernel="linear", C=10.0)
+        for index in range(3):
+            ompe = classify_linear(
+                model, data.X_test[index], config=fast_config, seed=index
+            )
+            paillier = classify_paillier(
+                model, data.X_test[index], key_bits=256, seed=index
+            )
+            assert ompe.label == paillier.label
+
+    def test_ompe_hides_more_than_paillier(self, fast_config):
+        """OMPE releases r_a·d(t); Paillier releases d(t) itself."""
+        data = two_gaussians("cmp2", dimension=2, train_size=80, test_size=3, seed=9)
+        model = train_svm(data.X_train, data.y_train, kernel="linear", C=10.0)
+        sample = data.X_test[0]
+        true_value = model.decision_value(sample)
+        ompe = classify_linear(model, sample, config=fast_config, seed=1)
+        paillier = classify_paillier(model, sample, key_bits=256, seed=1)
+        assert float(paillier.decision_value) == pytest.approx(true_value, abs=1e-4)
+        assert float(ompe.randomized_value) != pytest.approx(true_value, abs=1e-9)
+
+
+class TestCommunicationAccounting:
+    def test_linear_costs_less_than_nonlinear(self, fast_config):
+        data = two_gaussians("acct", dimension=3, train_size=100, test_size=5, seed=2)
+        linear = train_svm(data.X_train, data.y_train, kernel="linear", C=10.0)
+        poly = train_svm(
+            data.X_train, data.y_train, kernel="poly",
+            C=10.0, degree=3, a0=1.0 / 3, b0=0.0,
+        )
+        linear_bytes = classify_linear(
+            linear, data.X_test[0], config=fast_config, seed=3
+        ).total_bytes
+        poly_bytes = classify_nonlinear(
+            poly, data.X_test[0], config=fast_config, seed=3
+        ).total_bytes
+        assert poly_bytes > linear_bytes
+
+    def test_simulated_network_time_positive(self, fast_config):
+        data = two_gaussians("sim", dimension=2, train_size=80, test_size=5, seed=3)
+        model = train_svm(data.X_train, data.y_train, kernel="linear", C=10.0)
+        outcome = classify_linear(model, data.X_test[0], config=fast_config, seed=4)
+        assert outcome.report.simulated_network_s > 0

@@ -1,0 +1,172 @@
+"""Failure-injection tests: the protocols fail loudly, never silently.
+
+Distributed-systems hygiene: every malformed, replayed, truncated, or
+tampered message must abort the protocol with a typed error — a silent
+wrong answer would be a correctness *and* privacy bug.  These tests
+drive the actual party state machines off the happy path.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.ompe import OMPEConfig, OMPEFunction
+from repro.core.ompe.receiver import OMPEReceiver
+from repro.core.ompe.sender import OMPESender
+from repro.crypto.ot import OneOfNReceiver, OneOfNSender
+from repro.crypto.ot.base import OTChoice, OTTransfer
+from repro.exceptions import (
+    ObliviousTransferError,
+    ProtocolAbort,
+    ProtocolError,
+    ReproError,
+)
+from repro.math.multivariate import MultivariatePolynomial
+from repro.net.party import connect_parties
+from repro.utils.rng import ReproRandom
+
+
+def make_parties(fast_config, seed=1, arity=2):
+    polynomial = MultivariatePolynomial.affine(
+        [Fraction(3, 7)] * arity, Fraction(1, 2)
+    )
+    root = ReproRandom(seed)
+    sender = OMPESender(
+        "alice", OMPEFunction.from_polynomial(polynomial),
+        fast_config, rng=root.fork("s"),
+    )
+    receiver = OMPEReceiver(
+        "bob", tuple(Fraction(1, 3) for _ in range(arity)),
+        fast_config, rng=root.fork("r"),
+    )
+    channel = connect_parties(sender, receiver)
+    return sender, receiver, channel
+
+
+class TestOMPEMessageTampering:
+    def test_wrong_message_type_aborts(self, fast_config):
+        sender, receiver, channel = make_parties(fast_config)
+        channel.send("bob", "ompe/bogus", 2)
+        with pytest.raises(ProtocolError):
+            sender.handle_request()
+
+    def test_truncated_points_abort(self, fast_config):
+        sender, receiver, channel = make_parties(fast_config)
+        receiver.send_request()
+        sender.handle_request()
+        receiver.handle_params()
+        # Replace the points message with a truncated copy.
+        pairs = channel.receive("alice", "ompe/points")
+        channel.send("bob", "ompe/points", pairs[:-1])
+        with pytest.raises(ProtocolAbort):
+            sender.handle_points()
+
+    def test_wrong_arity_vectors_abort(self, fast_config):
+        sender, receiver, channel = make_parties(fast_config)
+        receiver.send_request()
+        sender.handle_request()
+        receiver.handle_params()
+        pairs = channel.receive("alice", "ompe/points")
+        corrupted = tuple((node, vector[:-1]) for node, vector in pairs)
+        channel.send("bob", "ompe/points", corrupted)
+        with pytest.raises(ProtocolAbort):
+            sender.handle_points()
+
+    def test_mismatched_params_abort(self, fast_config):
+        sender, receiver, channel = make_parties(fast_config)
+        receiver.send_request()
+        sender.handle_request()
+        degree, m, M = channel.receive("bob", "ompe/params")
+        channel.send("alice", "ompe/params", (degree, m + 1, M))
+        with pytest.raises(ProtocolAbort):
+            receiver.handle_params()
+
+    def test_out_of_order_receive_fails(self, fast_config):
+        sender, receiver, channel = make_parties(fast_config)
+        with pytest.raises(ProtocolError):
+            sender.handle_request()  # nothing sent yet
+
+
+class TestOTTampering:
+    def test_tampered_ciphertext_detected(self, group, rng):
+        sender = OneOfNSender(group, rng.fork("s"))
+        receiver = OneOfNReceiver(group, rng.fork("r"))
+        setup = sender.setup()
+        choice = receiver.choose(setup, 1, 4)
+        transfer = sender.transfer([b"a", b"b", b"c", b"d"], choice)
+        tampered_wrapped = list(transfer.wrapped)
+        tampered_wrapped[1] = bytes([tampered_wrapped[1][0] ^ 1]) + tampered_wrapped[1][1:]
+        tampered = OTTransfer(
+            session=transfer.session,
+            ephemeral_points=transfer.ephemeral_points,
+            wrapped=tuple(tampered_wrapped),
+        )
+        with pytest.raises(ObliviousTransferError):
+            receiver.retrieve(tampered)
+
+    def test_swapped_slots_detected(self, group, rng):
+        """Slot-binding: moving a ciphertext to another slot must fail."""
+        sender = OneOfNSender(group, rng.fork("s"))
+        receiver = OneOfNReceiver(group, rng.fork("r"))
+        setup = sender.setup()
+        choice = receiver.choose(setup, 0, 3)
+        transfer = sender.transfer([b"a", b"b", b"c"], choice)
+        swapped = OTTransfer(
+            session=transfer.session,
+            ephemeral_points=(
+                transfer.ephemeral_points[1],
+                transfer.ephemeral_points[0],
+                transfer.ephemeral_points[2],
+            ),
+            wrapped=(transfer.wrapped[1], transfer.wrapped[0], transfer.wrapped[2]),
+        )
+        with pytest.raises(ObliviousTransferError):
+            receiver.retrieve(swapped)
+
+    def test_cross_session_replay_detected(self, group, rng):
+        sender_a = OneOfNSender(group, rng.fork("a"))
+        sender_b = OneOfNSender(group, rng.fork("b"))
+        receiver = OneOfNReceiver(group, rng.fork("r"))
+        setup_a = sender_a.setup()
+        setup_b = sender_b.setup()
+        choice_a = receiver.choose(setup_a, 0, 2)
+        # Feed A's choice to B (session ids differ).
+        with pytest.raises(ObliviousTransferError):
+            sender_b.transfer([b"x", b"y"], choice_a)
+
+    def test_short_transfer_detected(self, group, rng):
+        sender = OneOfNSender(group, rng.fork("s"))
+        receiver = OneOfNReceiver(group, rng.fork("r"))
+        setup = sender.setup()
+        choice = receiver.choose(setup, 3, 4)
+        transfer = sender.transfer([b"a", b"b", b"c", b"d"], choice)
+        short = OTTransfer(
+            session=transfer.session,
+            ephemeral_points=transfer.ephemeral_points[:2],
+            wrapped=transfer.wrapped[:2],
+        )
+        with pytest.raises(ObliviousTransferError):
+            receiver.retrieve(short)
+
+    def test_non_group_element_choice_detected(self, group, rng):
+        sender = OneOfNSender(group, rng.fork("s"))
+        setup = sender.setup()
+        non_member = 2
+        while group.contains(non_member):
+            non_member += 1
+        with pytest.raises(ObliviousTransferError):
+            sender.transfer([b"m"], OTChoice(session=setup.session,
+                                             blinded_keys=(non_member,)))
+
+
+class TestErrorTaxonomy:
+    def test_all_protocol_errors_are_repro_errors(self):
+        for error_type in (ProtocolAbort, ProtocolError, ObliviousTransferError):
+            assert issubclass(error_type, ReproError)
+
+    def test_typed_catch_at_boundary(self, fast_config):
+        """A caller catching ReproError sees every failure mode."""
+        sender, receiver, channel = make_parties(fast_config)
+        channel.send("bob", "ompe/request", 999)  # wrong arity
+        with pytest.raises(ReproError):
+            sender.handle_request()

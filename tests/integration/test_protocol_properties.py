@@ -1,0 +1,163 @@
+"""Property-based tests for the protocol invariants (hypothesis).
+
+These state the paper's guarantees as universally quantified properties
+and let hypothesis hunt for counterexamples:
+
+* OMPE correctness: for random polynomials and inputs, the receiver
+  output is exactly ``r_a P(α) + r_b``.
+* Sign preservation: classification labels never differ from plaintext.
+* Metric properties: the triangle metric is symmetric, bounded below by
+  its floor, and invariant under hyperplane rescaling.
+* Transcript hygiene: protocol views never contain the secrets.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.classification import classify_linear
+from repro.core.ompe import OMPEFunction, execute_ompe
+from repro.core.privacy import extract_view, scan_view_for_values
+from repro.core.similarity import MetricParams, evaluate_similarity_plain
+from repro.math.multivariate import MultivariatePolynomial
+from repro.ml.svm.model import make_linear_model
+from repro.utils.rng import ReproRandom
+
+_SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+fractions_small = st.fractions(min_value=-3, max_value=3, max_denominator=60)
+nonzero_fractions = fractions_small.filter(lambda f: f != 0)
+
+
+class TestOMPEProperties:
+    @given(
+        weights=st.lists(fractions_small, min_size=1, max_size=4),
+        bias=fractions_small,
+        seed=st.integers(0, 10**6),
+    )
+    @settings(**_SETTINGS)
+    def test_affine_correctness(self, fast_config, weights, bias, seed):
+        polynomial = MultivariatePolynomial.affine(weights, bias)
+        rng = ReproRandom(seed)
+        alpha = tuple(rng.fraction(-1, 1) for _ in weights)
+        outcome = execute_ompe(
+            OMPEFunction.from_polynomial(polynomial), alpha,
+            config=fast_config, seed=seed, offset=True,
+        )
+        assert outcome.value == polynomial(alpha) * outcome.amplifier + outcome.offset
+
+    @given(
+        coefficient=nonzero_fractions,
+        exponent_a=st.integers(1, 3),
+        exponent_b=st.integers(0, 2),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(**_SETTINGS)
+    def test_monomial_correctness(
+        self, fast_config, coefficient, exponent_a, exponent_b, seed
+    ):
+        polynomial = MultivariatePolynomial(
+            2, {(exponent_a, exponent_b): coefficient}
+        )
+        rng = ReproRandom(seed + 1)
+        alpha = (rng.fraction(-1, 1), rng.nonzero_fraction(-1, 1))
+        outcome = execute_ompe(
+            OMPEFunction.from_polynomial(polynomial), alpha,
+            config=fast_config, seed=seed,
+        )
+        assert outcome.value == polynomial(alpha) * outcome.amplifier
+
+    @given(
+        weights=st.lists(nonzero_fractions, min_size=1, max_size=3),
+        bias=fractions_small,
+        seed=st.integers(0, 10**6),
+    )
+    @settings(**_SETTINGS)
+    def test_view_never_contains_secrets(self, fast_config, weights, bias, seed):
+        # Shift weights off small integers to avoid metadata collisions.
+        weights = [w + Fraction(1, 97) for w in weights]
+        polynomial = MultivariatePolynomial.affine(weights, bias + Fraction(1, 89))
+        rng = ReproRandom(seed + 2)
+        alpha = tuple(rng.fraction(-1, 1) + Fraction(1, 101) for _ in weights)
+        outcome = execute_ompe(
+            OMPEFunction.from_polynomial(polynomial), alpha,
+            config=fast_config, seed=seed,
+        )
+        transcript = outcome.report.transcript
+        assert scan_view_for_values(extract_view(transcript, "alice"), list(alpha)) == []
+        secrets = [coefficient for coefficient in polynomial.terms.values()]
+        assert scan_view_for_values(extract_view(transcript, "bob"), secrets) == []
+
+
+class TestClassificationProperties:
+    @given(
+        weights=st.lists(
+            st.floats(min_value=-2, max_value=2).filter(lambda v: abs(v) > 0.05),
+            min_size=1, max_size=4,
+        ),
+        bias=st.floats(min_value=-1, max_value=1),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(**_SETTINGS)
+    def test_label_always_matches_plain(self, fast_config, weights, bias, seed):
+        model = make_linear_model(weights, bias)
+        rng = ReproRandom(seed + 3)
+        sample = [rng.uniform(-1.0, 1.0) for _ in weights]
+        outcome = classify_linear(model, sample, config=fast_config, seed=seed)
+        plain = 1.0 if model.decision_value(sample) >= 0 else -1.0
+        # Exact arithmetic can only disagree with the float sign when the
+        # decision value sits within float rounding of zero.
+        if abs(model.decision_value(sample)) > 1e-9:
+            assert outcome.label == plain
+
+
+class TestMetricProperties:
+    @given(
+        w_a=st.lists(nonzero_fractions, min_size=2, max_size=2),
+        w_b=st.lists(nonzero_fractions, min_size=2, max_size=2),
+        b_a=st.fractions(min_value=-1, max_value=1, max_denominator=20),
+        b_b=st.fractions(min_value=-1, max_value=1, max_denominator=20),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_symmetry_and_floor(self, w_a, w_b, b_a, b_b):
+        from repro.exceptions import SimilarityError
+
+        model_a = make_linear_model([float(v) for v in w_a], float(b_a))
+        model_b = make_linear_model([float(v) for v in w_b], float(b_b))
+        params = MetricParams()
+        try:
+            forward = evaluate_similarity_plain(model_a, model_b, params)
+            backward = evaluate_similarity_plain(model_b, model_a, params)
+        except SimilarityError:
+            return  # hyperplane misses the box — legitimately undefined
+        assert forward.t == pytest.approx(backward.t, rel=1e-9)
+        assert forward.t_squared >= params.minimum_t_squared - 1e-18
+
+    @given(
+        scale=st.floats(min_value=0.1, max_value=10.0),
+        w=st.lists(nonzero_fractions, min_size=2, max_size=2),
+        b=st.fractions(min_value=-1, max_value=1, max_denominator=20),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_scale_invariance(self, scale, w, b):
+        """d(t)=0 and c·d(t)=0 are the same hyperplane → same metric."""
+        from repro.exceptions import SimilarityError
+
+        weights = [float(v) for v in w]
+        base = make_linear_model(weights, float(b))
+        scaled = make_linear_model(
+            [scale * v for v in weights], scale * float(b)
+        )
+        reference = make_linear_model([1.0, -0.5], 0.1)
+        try:
+            t_base = evaluate_similarity_plain(base, reference).t
+            t_scaled = evaluate_similarity_plain(scaled, reference).t
+        except SimilarityError:
+            return
+        assert t_base == pytest.approx(t_scaled, rel=1e-6)

@@ -1,0 +1,108 @@
+"""Tests for exact rational linear algebra."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import MathError, ValidationError
+from repro.math.linalg import exact_determinant, exact_solve, fit_affine_exact
+
+
+class TestExactSolve:
+    def test_known_system(self):
+        # 2x + y = 5; x - y = 1 → x = 2, y = 1.
+        solution = exact_solve([[2, 1], [1, -1]], [5, 1])
+        assert solution == (Fraction(2), Fraction(1))
+
+    def test_fraction_entries(self):
+        solution = exact_solve(
+            [[Fraction(1, 2), Fraction(1, 3)], [Fraction(1, 4), Fraction(-1)]],
+            [Fraction(1), Fraction(0)],
+        )
+        a = [[Fraction(1, 2), Fraction(1, 3)], [Fraction(1, 4), Fraction(-1)]]
+        for row, constant in zip(a, [Fraction(1), Fraction(0)]):
+            assert sum(c * x for c, x in zip(row, solution)) == constant
+
+    def test_requires_pivoting(self):
+        # First pivot is zero; solver must swap rows.
+        solution = exact_solve([[0, 1], [1, 0]], [3, 7])
+        assert solution == (Fraction(7), Fraction(3))
+
+    def test_singular_detected(self):
+        with pytest.raises(MathError):
+            exact_solve([[1, 2], [2, 4]], [1, 2])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            exact_solve([[1, 2]], [1])
+        with pytest.raises(ValidationError):
+            exact_solve([[1, 2], [3, 4]], [1])
+        with pytest.raises(ValidationError):
+            exact_solve([], [])
+
+    @given(
+        st.lists(
+            st.lists(st.fractions(min_value=-5, max_value=5, max_denominator=10),
+                     min_size=3, max_size=3),
+            min_size=3, max_size=3,
+        ),
+        st.lists(st.fractions(min_value=-5, max_value=5, max_denominator=10),
+                 min_size=3, max_size=3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_solution_satisfies_system(self, matrix, constants):
+        if exact_determinant(matrix) == 0:
+            with pytest.raises(MathError):
+                exact_solve(matrix, constants)
+            return
+        solution = exact_solve(matrix, constants)
+        for row, constant in zip(matrix, constants):
+            assert sum(c * x for c, x in zip(row, solution)) == constant
+
+
+class TestDeterminant:
+    def test_identity(self):
+        assert exact_determinant([[1, 0], [0, 1]]) == 1
+
+    def test_known_value(self):
+        assert exact_determinant([[1, 2], [3, 4]]) == -2
+
+    def test_singular_is_zero(self):
+        assert exact_determinant([[1, 2], [2, 4]]) == 0
+
+    def test_row_swap_sign(self):
+        assert exact_determinant([[0, 1], [1, 0]]) == -1
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            exact_determinant([[1, 2]])
+
+
+class TestFitAffineExact:
+    def test_recovers_hyperplane(self):
+        w = (Fraction(3, 2), Fraction(-1, 3))
+        b = Fraction(1, 7)
+        points = [(0, 0), (1, 0), (0, 1)]
+        values = [
+            w[0] * p[0] + w[1] * p[1] + b for p in points
+        ]
+        recovered_w, recovered_b = fit_affine_exact(points, values)
+        assert recovered_w == w
+        assert recovered_b == b
+
+    def test_degenerate_points_detected(self):
+        # Three collinear points do not determine a 2-D hyperplane.
+        points = [(0, 0), (1, 1), (2, 2)]
+        values = [0, 1, 2]
+        with pytest.raises(MathError):
+            fit_affine_exact(points, values)
+
+    def test_wrong_count(self):
+        with pytest.raises(ValidationError):
+            fit_affine_exact([(0, 0), (1, 0)], [0, 1])
+
+    def test_empty(self):
+        with pytest.raises(ValidationError):
+            fit_affine_exact([], [])

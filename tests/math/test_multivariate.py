@@ -1,0 +1,187 @@
+"""Tests for sparse multivariate polynomials."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.math.multivariate import MultivariatePolynomial
+from repro.math.polynomials import Polynomial
+from repro.utils.rng import ReproRandom
+
+
+def random_mv(seed: int, arity: int = 3, terms: int = 5, max_exp: int = 3):
+    rng = ReproRandom(seed)
+    term_map = {}
+    for _ in range(terms):
+        exponents = tuple(rng.randint(0, max_exp) for _ in range(arity))
+        term_map[exponents] = rng.nonzero_fraction(-5, 5)
+    return MultivariatePolynomial(arity, term_map)
+
+
+class TestConstruction:
+    def test_zero_terms_dropped(self):
+        p = MultivariatePolynomial(2, {(1, 0): 0, (0, 1): 3})
+        assert p.terms == {(0, 1): 3}
+
+    def test_duplicate_keys_merge(self):
+        p = MultivariatePolynomial(2, {(1, 0): 2})
+        q = MultivariatePolynomial(2, {(1, 0): -2})
+        assert (p + q).is_zero()
+
+    def test_arity_validation(self):
+        with pytest.raises(ValidationError):
+            MultivariatePolynomial(0, {})
+        with pytest.raises(ValidationError):
+            MultivariatePolynomial(2, {(1,): 1})
+        with pytest.raises(ValidationError):
+            MultivariatePolynomial(2, {(-1, 0): 1})
+
+    def test_affine(self):
+        p = MultivariatePolynomial.affine([2, -1], 5)
+        assert p((3, 4)) == 2 * 3 - 4 + 5
+        assert p.total_degree == 1
+
+    def test_affine_empty(self):
+        with pytest.raises(ValidationError):
+            MultivariatePolynomial.affine([])
+
+    def test_constant(self):
+        c = MultivariatePolynomial.constant(3, Fraction(1, 2))
+        assert c((1, 2, 3)) == Fraction(1, 2)
+        assert c.total_degree == 0
+
+    def test_total_degree(self):
+        p = MultivariatePolynomial(2, {(2, 3): 1, (4, 0): 1})
+        assert p.total_degree == 5
+
+    def test_coefficient_lookup(self):
+        p = MultivariatePolynomial(2, {(1, 1): 7})
+        assert p.coefficient((1, 1)) == 7
+        assert p.coefficient((0, 0)) == 0
+
+    def test_equality_hash_repr(self):
+        p = MultivariatePolynomial(2, {(1, 0): 1})
+        q = MultivariatePolynomial(2, {(1, 0): 1})
+        assert p == q and hash(p) == hash(q)
+        assert "MultivariatePolynomial" in repr(p)
+        assert "MultivariatePolynomial" in repr(MultivariatePolynomial.zero(2))
+
+
+class TestEvaluation:
+    def test_wrong_point_size(self):
+        p = MultivariatePolynomial.affine([1, 2], 0)
+        with pytest.raises(ValidationError):
+            p((1,))
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=30)
+    def test_matches_naive(self, seed):
+        p = random_mv(seed)
+        rng = ReproRandom(seed + 999)
+        point = tuple(rng.fraction(-2, 2) for _ in range(3))
+        naive = sum(
+            c * point[0] ** e[0] * point[1] ** e[1] * point[2] ** e[2]
+            for e, c in p.terms.items()
+        )
+        assert p(point) == naive
+
+
+class TestArithmetic:
+    @given(st.integers(0, 500), st.integers(501, 1000))
+    @settings(max_examples=30)
+    def test_add_pointwise(self, s1, s2):
+        p, q = random_mv(s1), random_mv(s2)
+        rng = ReproRandom(s1 * 31 + s2)
+        point = tuple(rng.fraction(-2, 2) for _ in range(3))
+        assert (p + q)(point) == p(point) + q(point)
+
+    @given(st.integers(0, 500), st.integers(501, 1000))
+    @settings(max_examples=30)
+    def test_mul_pointwise(self, s1, s2):
+        p, q = random_mv(s1, terms=3), random_mv(s2, terms=3)
+        rng = ReproRandom(s1 * 37 + s2)
+        point = tuple(rng.fraction(-2, 2) for _ in range(3))
+        assert (p * q)(point) == p(point) * q(point)
+
+    def test_sub_and_neg(self):
+        p = random_mv(1)
+        assert (p - p).is_zero()
+        assert (p + (-p)).is_zero()
+
+    def test_scalar_ops(self):
+        p = random_mv(2)
+        point = (Fraction(1), Fraction(-1), Fraction(2))
+        assert (p * 3)(point) == 3 * p(point)
+        assert (3 * p)(point) == 3 * p(point)
+        assert p.scale(Fraction(1, 2))(point) == p(point) / 2
+        assert p.add_constant(5)(point) == p(point) + 5
+
+    def test_arity_mismatch(self):
+        p = MultivariatePolynomial.affine([1, 2], 0)
+        q = MultivariatePolynomial.affine([1, 2, 3], 0)
+        with pytest.raises(ValidationError):
+            _ = p + q
+        with pytest.raises(ValidationError):
+            _ = p * q
+
+    def test_conversions(self):
+        p = MultivariatePolynomial(1, {(2,): Fraction(1, 3)})
+        assert isinstance(list(p.to_float().terms.values())[0], float)
+        q = MultivariatePolynomial(1, {(2,): 0.5}).to_exact()
+        assert isinstance(list(q.terms.values())[0], Fraction)
+
+
+class TestSubstitution:
+    def test_substitute_univariate_degree(self):
+        # P of total degree 3, each g of degree 2 → composed degree 6.
+        p = MultivariatePolynomial(2, {(2, 1): Fraction(1)})
+        rng = ReproRandom(5)
+        g1 = Polynomial.random(2, rng.fork(1))
+        g2 = Polynomial.random(2, rng.fork(2))
+        composed = p.substitute_univariate([g1, g2])
+        assert composed.degree == 6
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=20)
+    def test_substitution_pointwise(self, seed):
+        p = random_mv(seed, arity=2, terms=4, max_exp=2)
+        rng = ReproRandom(seed + 1)
+        g1 = Polynomial.random(2, rng.fork(1))
+        g2 = Polynomial.random(2, rng.fork(2))
+        composed = p.substitute_univariate([g1, g2])
+        v = rng.fraction(-2, 2)
+        assert composed(v) == p((g1(v), g2(v)))
+
+    def test_substitution_at_zero_is_constant_terms(self):
+        """The protocol identity B(0) = P(G(0)) = P(α)."""
+        p = random_mv(77, arity=2, terms=4, max_exp=2)
+        rng = ReproRandom(78)
+        alpha = (rng.fraction(-1, 1), rng.fraction(-1, 1))
+        g1 = Polynomial.random(3, rng.fork(1), constant_term=alpha[0])
+        g2 = Polynomial.random(3, rng.fork(2), constant_term=alpha[1])
+        composed = p.substitute_univariate([g1, g2])
+        assert composed(0) == p(alpha)
+
+    def test_substitution_count_mismatch(self):
+        p = MultivariatePolynomial.affine([1, 2], 0)
+        with pytest.raises(ValidationError):
+            p.substitute_univariate([Polynomial([1])])
+
+
+class TestGradient:
+    def test_gradient_of_affine(self):
+        p = MultivariatePolynomial.affine([3, -2], 7)
+        assert p.gradient_at((0, 0)) == (3, -2)
+
+    def test_gradient_of_quadratic(self):
+        # x^2 + xy: grad = (2x + y, x)
+        p = MultivariatePolynomial(2, {(2, 0): 1, (1, 1): 1})
+        assert p.gradient_at((2, 3)) == (7, 2)
+
+    def test_gradient_wrong_size(self):
+        p = MultivariatePolynomial.affine([1], 0)
+        with pytest.raises(ValidationError):
+            p.gradient_at((1, 2))

@@ -1,0 +1,103 @@
+"""Tests for cross-validation and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml.datasets import two_gaussians, xor_blocks
+from repro.ml.svm.grid import (
+    GridSearchResult,
+    cross_validate,
+    grid_search_C,
+    stratified_folds,
+)
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    return two_gaussians(
+        "cv", dimension=2, train_size=120, test_size=10, separation=1.5, seed=6
+    )
+
+
+class TestStratifiedFolds:
+    def test_partition(self):
+        y = np.array([1.0] * 20 + [-1.0] * 30)
+        folds = stratified_folds(y, 5, seed=1)
+        all_indices = np.concatenate(folds)
+        assert sorted(all_indices.tolist()) == list(range(50))
+
+    def test_class_balance_per_fold(self):
+        y = np.array([1.0] * 20 + [-1.0] * 30)
+        for fold in stratified_folds(y, 5, seed=2):
+            positives = np.sum(y[fold] == 1.0)
+            assert 3 <= positives <= 5  # 20/5 = 4 ± rounding
+
+    def test_deterministic(self):
+        y = np.array([1.0, -1.0] * 20)
+        a = stratified_folds(y, 4, seed=3)
+        b = stratified_folds(y, 4, seed=3)
+        assert all(np.array_equal(x, z) for x, z in zip(a, b))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            stratified_folds(np.ones(10), 1)
+        with pytest.raises(ValidationError):
+            stratified_folds(np.ones(5), 4)
+
+
+class TestCrossValidate:
+    def test_separable_scores_high(self, blobs):
+        mean, scores = cross_validate(
+            blobs.X_train, blobs.y_train, kernel="linear", C=10.0, folds=4
+        )
+        assert mean >= 0.9
+        assert len(scores) == 4
+
+    def test_row_mismatch(self):
+        with pytest.raises(ValidationError):
+            cross_validate(np.zeros((10, 2)), np.ones(9))
+
+    def test_kernel_params_forwarded(self):
+        data = xor_blocks("cvx", 120, 10, seed=7)
+        mean_linear, _ = cross_validate(
+            data.X_train, data.y_train, kernel="linear", C=10.0, folds=4
+        )
+        mean_poly, _ = cross_validate(
+            data.X_train, data.y_train, kernel="poly", C=50.0, folds=4,
+            degree=2, a0=1.0, b0=0.0,
+        )
+        assert mean_poly > mean_linear + 0.2
+
+
+class TestGridSearch:
+    def test_picks_a_grid_member(self, blobs):
+        result = grid_search_C(
+            blobs.X_train, blobs.y_train, kernel="linear",
+            C_grid=[0.1, 1.0, 10.0], folds=3,
+        )
+        assert result.best_C in (0.1, 1.0, 10.0)
+        assert result.best_score == result.scores[result.best_C]
+
+    def test_ranking_sorted(self, blobs):
+        result = grid_search_C(
+            blobs.X_train, blobs.y_train, kernel="linear",
+            C_grid=[0.1, 1.0, 10.0], folds=3,
+        )
+        ranking = result.ranking()
+        scores = [score for _, score in ranking]
+        assert scores == sorted(scores, reverse=True)
+        assert ranking[0][1] == result.best_score
+
+    def test_default_grid(self, blobs):
+        result = grid_search_C(
+            blobs.X_train[:60], blobs.y_train[:60], kernel="linear", folds=3
+        )
+        assert isinstance(result, GridSearchResult)
+        assert len(result.scores) == 7  # 2^-3 .. 2^9 step 4x
+
+    def test_validation(self, blobs):
+        with pytest.raises(ValidationError):
+            grid_search_C(blobs.X_train, blobs.y_train, C_grid=[])
+        with pytest.raises(ValidationError):
+            grid_search_C(blobs.X_train, blobs.y_train, C_grid=[0.0])

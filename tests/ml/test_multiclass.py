@@ -1,0 +1,136 @@
+"""Tests for multiclass SVM reductions and private voting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError, ValidationError
+from repro.ml.svm import (
+    accuracy,
+    private_classify_multiclass,
+    train_multiclass,
+)
+
+
+def three_blobs(seed: int = 0, per_class: int = 60, test_per_class: int = 15):
+    """Three well-separated Gaussian blobs in 2-D."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[-0.6, -0.6], [0.6, -0.4], [0.0, 0.7]])
+    X_parts, y_parts = [], []
+    for label, center in enumerate(centers):
+        points = rng.normal(0.0, 0.15, size=(per_class + test_per_class, 2)) + center
+        X_parts.append(np.clip(points, -1.0, 1.0))
+        y_parts.append(np.full(per_class + test_per_class, float(label)))
+    X = np.vstack(X_parts)
+    y = np.concatenate(y_parts)
+    order = rng.permutation(X.shape[0])
+    X, y = X[order], y[order]
+    split = 3 * per_class
+    return X[:split], y[:split], X[split:], y[split:]
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    return three_blobs(seed=5)
+
+
+class TestTraining:
+    def test_ovo_member_count(self, blobs):
+        X, y, _, _ = blobs
+        model = train_multiclass(X, y, strategy="ovo", C=10.0)
+        assert model.n_members == 3  # C(3,2)
+        assert model.classes == (0.0, 1.0, 2.0)
+
+    def test_ovr_member_count(self, blobs):
+        X, y, _, _ = blobs
+        model = train_multiclass(X, y, strategy="ovr", C=10.0)
+        assert model.n_members == 3  # one per class
+
+    @pytest.mark.parametrize("strategy", ["ovo", "ovr"])
+    def test_high_accuracy_on_separated_blobs(self, blobs, strategy):
+        X, y, X_test, y_test = blobs
+        model = train_multiclass(X, y, strategy=strategy, C=10.0)
+        assert accuracy(model.predict(X_test), y_test) >= 0.9
+
+    def test_single_class_rejected(self):
+        X = np.zeros((10, 2))
+        with pytest.raises(TrainingError):
+            train_multiclass(X, np.zeros(10))
+
+    def test_unknown_strategy(self, blobs):
+        X, y, _, _ = blobs
+        with pytest.raises(ValidationError):
+            train_multiclass(X, y, strategy="tournament")
+
+    def test_row_mismatch(self):
+        with pytest.raises(ValidationError):
+            train_multiclass(np.zeros((4, 2)), np.zeros(3))
+
+    def test_binary_case_matches_binary_svm(self):
+        from repro.ml.datasets import two_gaussians
+        from repro.ml.svm import train_svm
+
+        data = two_gaussians("mcb", dimension=2, train_size=80, test_size=30,
+                             separation=1.5, seed=9)
+        multi = train_multiclass(data.X_train, data.y_train, strategy="ovo", C=10.0)
+        binary = train_svm(data.X_train, data.y_train, kernel="linear", C=10.0)
+        multi_acc = accuracy(multi.predict(data.X_test), data.y_test)
+        binary_acc = accuracy(binary.predict(data.X_test), data.y_test)
+        assert multi_acc == binary_acc
+
+
+class TestVoting:
+    def test_ovo_tie_breaks_by_prevalence(self, blobs):
+        X, y, _, _ = blobs
+        model = train_multiclass(X, y, strategy="ovo", C=10.0)
+        # A symmetric cycle: every class gets one vote.
+        votes = {0.0: 1, 1.0: 1, 2.0: 1}
+        decided = model._decide(votes)
+        assert decided in model.classes
+
+    def test_ovr_all_negative_falls_back(self, blobs):
+        X, y, _, _ = blobs
+        model = train_multiclass(X, y, strategy="ovr", C=10.0)
+        votes = {label: 0 for label in model.classes}
+        assert model._decide(votes) in model.classes
+
+    def test_predict_shape_check(self, blobs):
+        X, y, _, _ = blobs
+        model = train_multiclass(X, y, strategy="ovo", C=10.0)
+        with pytest.raises(ValidationError):
+            model.predict(np.zeros(2))
+
+
+class TestPrivateMulticlass:
+    def test_private_matches_plain(self, blobs, fast_config):
+        X, y, X_test, y_test = blobs
+        model = train_multiclass(X, y, strategy="ovo", C=10.0)
+        for index in range(5):
+            outcome = private_classify_multiclass(
+                model, X_test[index], config=fast_config, seed=index
+            )
+            assert outcome.label == model.predict_one(X_test[index])
+
+    def test_vote_counts_consistent(self, blobs, fast_config):
+        X, y, X_test, _ = blobs
+        model = train_multiclass(X, y, strategy="ovo", C=10.0)
+        outcome = private_classify_multiclass(
+            model, X_test[0], config=fast_config, seed=3
+        )
+        assert sum(outcome.votes.values()) == model.n_members
+
+    def test_cost_scales_with_members(self, blobs, fast_config):
+        X, y, X_test, _ = blobs
+        model = train_multiclass(X, y, strategy="ovo", C=10.0)
+        outcome = private_classify_multiclass(
+            model, X_test[0], config=fast_config, seed=4
+        )
+        assert outcome.total_rounds == 6 * model.n_members
+        assert outcome.total_bytes > model.n_members * 1000
+
+    def test_ovr_private(self, blobs, fast_config):
+        X, y, X_test, _ = blobs
+        model = train_multiclass(X, y, strategy="ovr", C=10.0)
+        outcome = private_classify_multiclass(
+            model, X_test[0], config=fast_config, seed=5
+        )
+        assert outcome.label == model.predict_one(X_test[0])

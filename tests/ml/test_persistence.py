@@ -1,0 +1,101 @@
+"""Tests for SVM model persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml.datasets import two_gaussians
+from repro.ml.svm import (
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+    train_svm,
+)
+
+
+@pytest.fixture(scope="module")
+def models():
+    data = two_gaussians("persist", dimension=3, train_size=80, test_size=20, seed=2)
+    linear = train_svm(data.X_train, data.y_train, kernel="linear", C=5.0)
+    poly = train_svm(
+        data.X_train, data.y_train, kernel="poly", C=5.0, degree=3, a0=1 / 3, b0=0.0
+    )
+    rbf = train_svm(data.X_train, data.y_train, kernel="rbf", C=5.0, gamma=0.8)
+    return data, {"linear": linear, "poly": poly, "rbf": rbf}
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", ["linear", "poly", "rbf"])
+    def test_file_round_trip_bit_exact(self, models, tmp_path, kind):
+        data, trained = models
+        path = tmp_path / f"{kind}.json"
+        save_model(trained[kind], path)
+        loaded = load_model(path)
+        assert np.array_equal(loaded.support_vectors, trained[kind].support_vectors)
+        assert np.array_equal(
+            loaded.dual_coefficients, trained[kind].dual_coefficients
+        )
+        assert loaded.bias == trained[kind].bias
+        assert loaded.kernel_spec == trained[kind].kernel_spec
+
+    @pytest.mark.parametrize("kind", ["linear", "poly", "rbf"])
+    def test_predictions_identical(self, models, tmp_path, kind):
+        data, trained = models
+        path = tmp_path / f"{kind}.json"
+        save_model(trained[kind], path)
+        loaded = load_model(path)
+        assert np.array_equal(
+            loaded.decision_values(data.X_test),
+            trained[kind].decision_values(data.X_test),
+        )
+
+    def test_dict_round_trip(self, models):
+        _, trained = models
+        document = model_to_dict(trained["linear"])
+        rebuilt = model_from_dict(document)
+        assert rebuilt.bias == trained["linear"].bias
+
+
+class TestRejection:
+    def test_wrong_format(self):
+        with pytest.raises(ValidationError):
+            model_from_dict({"format": "other"})
+
+    def test_wrong_version(self):
+        with pytest.raises(ValidationError):
+            model_from_dict({"format": "repro-svm", "version": 99})
+
+    def test_not_a_dict(self):
+        with pytest.raises(ValidationError):
+            model_from_dict([1, 2, 3])
+
+    def test_missing_fields(self, models):
+        _, trained = models
+        document = model_to_dict(trained["linear"])
+        del document["bias"]
+        with pytest.raises(ValidationError):
+            model_from_dict(document)
+
+    def test_corrupt_float(self, models):
+        _, trained = models
+        document = model_to_dict(trained["linear"])
+        document["bias"] = "not-a-float"
+        with pytest.raises(ValidationError):
+            model_from_dict(document)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValidationError):
+            load_model(path)
+
+    def test_document_is_valid_json(self, models, tmp_path):
+        _, trained = models
+        path = tmp_path / "m.json"
+        save_model(trained["poly"], path)
+        document = json.loads(path.read_text())
+        assert document["format"] == "repro-svm"
+        assert document["kernel"]["name"] == "poly"

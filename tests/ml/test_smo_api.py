@@ -1,0 +1,75 @@
+"""Extra coverage for the SMO trainer's class API and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml.datasets import two_gaussians
+from repro.ml.svm import SMOConfig, SMOTrainer, accuracy
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    return two_gaussians(
+        "smo-api", dimension=2, train_size=100, test_size=40,
+        separation=1.6, seed=12,
+    )
+
+
+class TestTrainerClass:
+    def test_explicit_config(self, blobs):
+        trainer = SMOTrainer(
+            kernel_name="linear",
+            config=SMOConfig(C=5.0, tolerance=1e-4, seed=3),
+        )
+        model = trainer.train(blobs.X_train, blobs.y_train)
+        assert accuracy(model.predict(blobs.X_test), blobs.y_test) >= 0.9
+
+    def test_kernel_params_via_constructor(self, blobs):
+        trainer = SMOTrainer(
+            kernel_name="poly",
+            kernel_params={"degree": 2, "a0": 1.0, "b0": 1.0},
+            config=SMOConfig(C=5.0),
+        )
+        model = trainer.train(blobs.X_train, blobs.y_train)
+        assert model.kernel_spec == ("poly", {"degree": 2, "a0": 1.0, "b0": 1.0})
+
+    def test_iteration_cap_returns_partial_solution(self, blobs):
+        trainer = SMOTrainer(
+            kernel_name="linear",
+            config=SMOConfig(C=10.0, max_iterations=5),
+        )
+        model = trainer.train(blobs.X_train, blobs.y_train)
+        # Even a truncated run must emit a usable (if weak) model.
+        assert model.n_support >= 1
+        labels = model.predict(blobs.X_test)
+        assert set(np.unique(labels)) <= {-1.0, 1.0}
+
+    def test_tolerance_affects_support_count(self, blobs):
+        tight = SMOTrainer(
+            kernel_name="linear", config=SMOConfig(C=1.0, tolerance=1e-5)
+        ).train(blobs.X_train, blobs.y_train)
+        loose = SMOTrainer(
+            kernel_name="linear", config=SMOConfig(C=1.0, tolerance=0.2)
+        ).train(blobs.X_train, blobs.y_train)
+        assert tight.n_support >= 1 and loose.n_support >= 1
+
+    def test_duplicate_points_do_not_crash(self):
+        X = np.array([[0.5, 0.5]] * 10 + [[-0.5, -0.5]] * 10)
+        y = np.array([1.0] * 10 + [-1.0] * 10)
+        model = SMOTrainer(kernel_name="linear").train(X, y)
+        assert model.predict(np.array([[0.5, 0.5]]))[0] == 1.0
+        assert model.predict(np.array([[-0.5, -0.5]]))[0] == -1.0
+
+    def test_two_point_minimum(self):
+        X = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        y = np.array([1.0, -1.0])
+        model = SMOTrainer(kernel_name="linear", config=SMOConfig(C=10.0)).train(X, y)
+        assert model.predict(np.array([[0.9, 0.0]]))[0] == 1.0
+
+    def test_alphas_bounded_by_C(self, blobs):
+        C = 2.0
+        model = SMOTrainer(
+            kernel_name="linear", config=SMOConfig(C=C)
+        ).train(blobs.X_train, blobs.y_train)
+        assert np.all(np.abs(model.dual_coefficients) <= C + 1e-9)

@@ -1,0 +1,226 @@
+"""Tests for the SMO trainer and SVM model."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError, ValidationError
+from repro.ml.datasets import concentric_circles, two_gaussians
+from repro.ml.kernels import linear_kernel
+from repro.ml.svm import (
+    SMOConfig,
+    SMOTrainer,
+    SVMModel,
+    accuracy,
+    make_linear_model,
+    train_svm,
+)
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    return two_gaussians(
+        "blobs", dimension=2, train_size=120, test_size=60, separation=1.6, seed=3
+    )
+
+
+@pytest.fixture(scope="module")
+def circles():
+    return concentric_circles("circles", train_size=150, test_size=60, seed=4)
+
+
+class TestSMOConfig:
+    def test_defaults_valid(self):
+        SMOConfig()
+
+    def test_bad_c(self):
+        with pytest.raises(ValidationError):
+            SMOConfig(C=0)
+
+    def test_bad_tolerance(self):
+        with pytest.raises(ValidationError):
+            SMOConfig(tolerance=-1)
+
+
+class TestTraining:
+    def test_separable_blobs_high_accuracy(self, blobs):
+        model = train_svm(blobs.X_train, blobs.y_train, kernel="linear", C=10.0)
+        assert accuracy(model.predict(blobs.X_test), blobs.y_test) >= 0.95
+
+    def test_training_deterministic(self, blobs):
+        a = train_svm(blobs.X_train, blobs.y_train, kernel="linear", seed=1)
+        b = train_svm(blobs.X_train, blobs.y_train, kernel="linear", seed=1)
+        assert np.allclose(a.weight_vector(), b.weight_vector())
+        assert a.bias == b.bias
+
+    def test_rbf_separates_circles(self, circles):
+        model = train_svm(circles.X_train, circles.y_train, kernel="rbf", C=10.0, gamma=2.0)
+        assert accuracy(model.predict(circles.X_test), circles.y_test) >= 0.9
+
+    def test_linear_fails_on_circles(self, circles):
+        model = train_svm(circles.X_train, circles.y_train, kernel="linear", C=10.0)
+        assert accuracy(model.predict(circles.X_test), circles.y_test) <= 0.7
+
+    def test_poly_kernel_trains(self, circles):
+        model = train_svm(
+            circles.X_train, circles.y_train, kernel="poly",
+            C=10.0, degree=2, a0=1.0, b0=1.0,
+        )
+        assert accuracy(model.predict(circles.X_test), circles.y_test) >= 0.85
+
+    def test_dual_constraint_holds(self, blobs):
+        model = train_svm(blobs.X_train, blobs.y_train, kernel="linear", C=1.0)
+        # Σ α_i y_i = 0 → dual coefficients sum to ~0.
+        assert abs(model.dual_coefficients.sum()) < 1e-6
+
+    def test_margin_property(self, blobs):
+        """Support vectors with 0 < α < C sit on the margin |d| ≈ 1."""
+        model = train_svm(blobs.X_train, blobs.y_train, kernel="linear", C=1.0)
+        duals = np.abs(model.dual_coefficients)
+        interior = (duals > 1e-6) & (duals < 1.0 - 1e-6)
+        if interior.any():
+            values = model.decision_values(model.support_vectors[interior])
+            assert np.allclose(np.abs(values), 1.0, atol=0.05)
+
+    def test_single_class_rejected(self):
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        with pytest.raises(TrainingError):
+            train_svm(X, np.ones(10), kernel="linear")
+
+    def test_bad_labels_rejected(self):
+        X = np.zeros((4, 2))
+        with pytest.raises(ValidationError):
+            train_svm(X, np.array([0.0, 1.0, 0.0, 1.0]), kernel="linear")
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            train_svm(np.zeros((4, 2)), np.ones(3), kernel="linear")
+
+    def test_1d_X_rejected(self):
+        with pytest.raises(ValidationError):
+            train_svm(np.zeros(4), np.ones(4), kernel="linear")
+
+
+class TestModel:
+    def test_make_linear_model(self):
+        model = make_linear_model([2.0, -1.0], 0.5)
+        assert model.decision_value([1.0, 1.0]) == pytest.approx(1.5)
+        assert model.is_linear()
+
+    def test_make_linear_model_empty(self):
+        with pytest.raises(ValidationError):
+            make_linear_model([], 0.0)
+
+    def test_predict_sign_convention(self):
+        model = make_linear_model([1.0], 0.0)
+        labels = model.predict(np.array([[0.0], [1.0], [-1.0]]))
+        assert labels.tolist() == [1.0, 1.0, -1.0]
+
+    def test_decision_values_vectorized(self, blobs):
+        model = train_svm(blobs.X_train, blobs.y_train, kernel="linear")
+        batch = model.decision_values(blobs.X_test[:5])
+        single = [model.decision_value(x) for x in blobs.X_test[:5]]
+        assert np.allclose(batch, single)
+
+    def test_decision_value_shape_check(self):
+        model = make_linear_model([1.0, 2.0], 0.0)
+        with pytest.raises(ValidationError):
+            model.decision_value([1.0])
+
+    def test_weight_vector_consistency(self, blobs):
+        model = train_svm(blobs.X_train, blobs.y_train, kernel="linear")
+        w = model.weight_vector()
+        for x in blobs.X_test[:10]:
+            assert model.decision_value(x) == pytest.approx(float(w @ x + model.bias))
+
+    def test_weight_vector_nonlinear_rejected(self, circles):
+        model = train_svm(circles.X_train, circles.y_train, kernel="rbf", gamma=1.0)
+        with pytest.raises(ValidationError):
+            model.weight_vector()
+
+    def test_validation_on_construction(self):
+        with pytest.raises(ValidationError):
+            SVMModel(
+                support_vectors=np.zeros((0, 2)),
+                dual_coefficients=np.zeros(0),
+                bias=0.0,
+                kernel=linear_kernel(),
+            )
+        with pytest.raises(ValidationError):
+            SVMModel(
+                support_vectors=np.zeros((2, 2)),
+                dual_coefficients=np.zeros(3),
+                bias=0.0,
+                kernel=linear_kernel(),
+            )
+
+
+class TestDecisionPolynomials:
+    def test_linear_polynomial_matches(self, blobs):
+        model = train_svm(blobs.X_train, blobs.y_train, kernel="linear")
+        poly = model.linear_decision_polynomial()
+        for x in blobs.X_test[:10]:
+            exact = poly(tuple(Fraction(v) for v in x))
+            assert float(exact) == pytest.approx(model.decision_value(x), abs=1e-6)
+
+    def test_polynomial_expansion_matches(self):
+        data = two_gaussians("px", dimension=3, train_size=60, test_size=10, seed=9)
+        model = train_svm(
+            data.X_train, data.y_train, kernel="poly",
+            C=5.0, degree=3, a0=1.0 / 3, b0=0.0,
+        )
+        poly = model.polynomial_decision_polynomial()
+        for x in data.X_test:
+            exact = poly(tuple(Fraction(v) for v in x))
+            assert float(exact) == pytest.approx(model.decision_value(x), abs=1e-6)
+
+    def test_inhomogeneous_expansion_matches(self):
+        data = two_gaussians("pi", dimension=2, train_size=50, test_size=8, seed=10)
+        model = train_svm(
+            data.X_train, data.y_train, kernel="poly",
+            C=5.0, degree=2, a0=0.5, b0=0.3,
+        )
+        poly = model.polynomial_decision_polynomial()
+        for x in data.X_test:
+            exact = poly(tuple(Fraction(v) for v in x))
+            assert float(exact) == pytest.approx(model.decision_value(x), abs=1e-6)
+
+    def test_exact_decision_value_matches_polynomial(self):
+        data = two_gaussians("pe", dimension=3, train_size=60, test_size=10, seed=11)
+        model = train_svm(
+            data.X_train, data.y_train, kernel="poly",
+            C=5.0, degree=3, a0=1.0 / 3, b0=0.0,
+        )
+        poly = model.decision_polynomial()
+        for x in data.X_test:
+            point = tuple(Fraction(v) for v in x)
+            assert model.exact_decision_value(point) == poly(point)
+
+    def test_exact_decision_value_linear(self, blobs):
+        model = train_svm(blobs.X_train, blobs.y_train, kernel="linear")
+        x = blobs.X_test[0]
+        exact = model.exact_decision_value(tuple(Fraction(v) for v in x))
+        assert float(exact) == pytest.approx(model.decision_value(x), abs=1e-6)
+
+    def test_exact_decision_value_rejects_rbf(self, circles):
+        model = train_svm(circles.X_train, circles.y_train, kernel="rbf", gamma=1.0)
+        with pytest.raises(ValidationError):
+            model.exact_decision_value((Fraction(0), Fraction(0)))
+
+    def test_expansion_cap(self):
+        # 120 dims at degree 3 exceeds the monomial cap (~300k terms).
+        model = SVMModel(
+            support_vectors=np.ones((1, 120)),
+            dual_coefficients=np.ones(1),
+            bias=0.0,
+            kernel=linear_kernel(),
+            kernel_spec=("poly", {"degree": 3, "a0": 1.0, "b0": 0.0}),
+        )
+        with pytest.raises(ValidationError, match="cap"):
+            model.polynomial_decision_polynomial()
+
+    def test_polynomial_expansion_requires_poly_kernel(self, blobs):
+        model = train_svm(blobs.X_train, blobs.y_train, kernel="linear")
+        with pytest.raises(ValidationError):
+            model.polynomial_decision_polynomial()

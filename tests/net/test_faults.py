@@ -1,0 +1,156 @@
+"""Tests for fault-injecting channels and protocol fail-loud behaviour."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.ompe import OMPEFunction
+from repro.core.ompe.receiver import OMPEReceiver
+from repro.core.ompe.sender import OMPESender
+from repro.exceptions import (
+    ObliviousTransferError,
+    ProtocolError,
+    ReproError,
+    ValidationError,
+)
+from repro.math.multivariate import MultivariatePolynomial
+from repro.net import (
+    Channel,
+    CorruptingChannel,
+    DroppingChannel,
+    DuplicatingChannel,
+)
+from repro.utils.rng import ReproRandom
+
+
+class TestDroppingChannel:
+    def test_zero_probability_is_transparent(self):
+        channel = DroppingChannel(Channel("a", "b"), 0.0)
+        channel.send("a", "m", b"x")
+        assert channel.receive("b") == b"x"
+        assert channel.dropped == 0
+
+    def test_certain_drop(self):
+        channel = DroppingChannel(Channel("a", "b"), 1.0, ReproRandom(1))
+        channel.send("a", "m", b"x")
+        assert channel.dropped == 1
+        with pytest.raises(ProtocolError):
+            channel.receive("b")
+
+    def test_partial_drop_statistics(self):
+        channel = DroppingChannel(Channel("a", "b"), 0.5, ReproRandom(2))
+        for _ in range(100):
+            channel.send("a", "m", b"x")
+        assert 25 <= channel.dropped <= 75
+
+    def test_bad_probability(self):
+        with pytest.raises(ValidationError):
+            DroppingChannel(Channel("a", "b"), 1.5)
+
+
+class TestDuplicatingChannel:
+    def test_duplicate_breaks_lockstep(self):
+        channel = DuplicatingChannel(Channel("a", "b"), 1.0, ReproRandom(3))
+        channel.send("a", "first", b"1")
+        assert channel.duplicated == 1
+        assert channel.receive("b", "first") == b"1"
+        # The duplicate now blocks the next expected type.
+        with pytest.raises(ProtocolError):
+            channel.receive("b", "second")
+
+    def test_bad_probability(self):
+        with pytest.raises(ValidationError):
+            DuplicatingChannel(Channel("a", "b"), -0.1)
+
+
+class TestCorruptingChannel:
+    def test_corrupts_bytes_payload(self):
+        channel = CorruptingChannel(Channel("a", "b"), 1.0, rng=ReproRandom(4))
+        channel.send("a", "m", b"\x00\xff")
+        received = channel.receive("b")
+        assert received == b"\x01\xff"
+        assert channel.corrupted == 1
+
+    def test_corrupts_nested_tuples(self):
+        channel = CorruptingChannel(Channel("a", "b"), 1.0, rng=ReproRandom(5))
+        channel.send("a", "m", (1, (b"\x00", 2)))
+        received = channel.receive("b")
+        assert received == (1, (b"\x01", 2))
+
+    def test_custom_mutator(self):
+        channel = CorruptingChannel(
+            Channel("a", "b"), 1.0, mutator=lambda payload: b"evil",
+            rng=ReproRandom(6),
+        )
+        channel.send("a", "m", b"good")
+        assert channel.receive("b") == b"evil"
+
+
+class TestProtocolUnderFaults:
+    def _parties(self, fast_config, channel):
+        polynomial = MultivariatePolynomial.affine(
+            [Fraction(3, 7), Fraction(-2, 5)], Fraction(1, 2)
+        )
+        root = ReproRandom(9)
+        sender = OMPESender(
+            "alice", OMPEFunction.from_polynomial(polynomial),
+            fast_config, rng=root.fork("s"),
+        )
+        receiver = OMPEReceiver(
+            "bob", (Fraction(1, 3), Fraction(1, 4)),
+            fast_config, rng=root.fork("r"),
+        )
+        sender.connect(channel)
+        receiver.connect(channel)
+        return sender, receiver
+
+    def _drive(self, sender, receiver):
+        receiver.send_request()
+        sender.handle_request()
+        receiver.handle_params()
+        sender.handle_points()
+        receiver.handle_ot_setups()
+        sender.handle_choices()
+        return receiver.finish()
+
+    def test_protocol_survives_transparent_wrappers(self, fast_config):
+        channel = DroppingChannel(Channel("alice", "bob"), 0.0)
+        sender, receiver = self._parties(fast_config, channel)
+        value = self._drive(sender, receiver)
+        assert value is not None
+
+    def test_dropped_message_aborts_not_hangs(self, fast_config):
+        channel = DroppingChannel(Channel("alice", "bob"), 1.0, ReproRandom(7))
+        sender, receiver = self._parties(fast_config, channel)
+        receiver.send_request()  # dropped
+        with pytest.raises(ProtocolError):
+            sender.handle_request()
+
+    def test_corrupted_ot_payload_detected(self, fast_config):
+        """Corrupt only the OT transfer bytes: the MAC check aborts."""
+
+        def corrupt_transfers(payload):
+            import dataclasses
+
+            corrupted = []
+            for transfer in payload:
+                wrapped = tuple(
+                    bytes([blob[0] ^ 1]) + blob[1:] for blob in transfer.wrapped
+                )
+                corrupted.append(dataclasses.replace(transfer, wrapped=wrapped))
+            return corrupted
+
+        base = Channel("alice", "bob")
+        sender, receiver = self._parties(fast_config, base)
+        receiver.send_request()
+        sender.handle_request()
+        receiver.handle_params()
+        sender.handle_points()
+        receiver.handle_ot_setups()
+        sender.handle_choices()
+        # Intercept: pull the transfers out of bob's inbox, corrupt one
+        # ciphertext, and re-deliver the corrupted copy.
+        transfers = base.receive("bob", "ompe/ot-transfers")
+        base.send("alice", "ompe/ot-transfers", corrupt_transfers(transfers))
+        with pytest.raises(ReproError):
+            receiver.finish()

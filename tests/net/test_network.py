@@ -1,0 +1,82 @@
+"""Tests for the multi-party network registry."""
+
+import pytest
+
+from repro.exceptions import ProtocolError, ValidationError
+from repro.net import Network
+
+
+class TestMembership:
+    def test_add_and_list(self):
+        network = Network()
+        network.add_party("a")
+        network.add_party("b")
+        assert network.parties == ("a", "b")
+
+    def test_duplicate_rejected(self):
+        network = Network()
+        network.add_party("a")
+        with pytest.raises(ValidationError):
+            network.add_party("a")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Network().add_party("")
+
+
+class TestChannels:
+    def _network(self):
+        network = Network()
+        for name in ("a", "b", "c"):
+            network.add_party(name)
+        return network
+
+    def test_lazy_creation_and_reuse(self):
+        network = self._network()
+        first = network.channel_between("a", "b")
+        second = network.channel_between("b", "a")  # order-insensitive
+        assert first is second
+        assert len(network.channels()) == 1
+
+    def test_distinct_pairs_distinct_channels(self):
+        network = self._network()
+        ab = network.channel_between("a", "b")
+        ac = network.channel_between("a", "c")
+        assert ab is not ac
+        assert len(network.channels()) == 2
+
+    def test_unregistered_party_rejected(self):
+        network = self._network()
+        with pytest.raises(ProtocolError):
+            network.channel_between("a", "zz")
+
+    def test_self_channel_rejected(self):
+        network = self._network()
+        with pytest.raises(ValidationError):
+            network.channel_between("a", "a")
+
+
+class TestAccounting:
+    def test_aggregates(self):
+        network = Network()
+        for name in ("a", "b", "c"):
+            network.add_party(name)
+        network.channel_between("a", "b").send("a", "m", b"xxx")
+        network.channel_between("a", "c").send("c", "m", b"yyyy")
+        assert network.total_bytes == 7
+        assert network.total_messages == 2
+        assert network.total_simulated_time > 0
+        summary = network.summary()
+        assert summary["channels"] == 2
+        assert summary["parties"] == 3
+
+    def test_merged_transcript_ordered(self):
+        network = Network()
+        for name in ("a", "b", "c"):
+            network.add_party(name)
+        network.channel_between("a", "b").send("a", "first", b"1")
+        network.channel_between("a", "c").send("a", "second", b"2")
+        network.channel_between("a", "b").send("b", "third", b"3")
+        merged = network.merged_transcript()
+        types = [m.msg_type for m in merged]
+        assert types == ["first", "second", "third"]

@@ -1,0 +1,86 @@
+"""Tests for the canonical protocol-value codec."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.utils.serialization import decode_value, encode_value, encoded_size
+
+
+scalars = st.one_of(
+    st.integers(min_value=-(10**30), max_value=10**30),
+    st.fractions(max_denominator=10**15),
+    st.floats(allow_nan=False, allow_infinity=False),
+)
+
+
+class TestRoundTrip:
+    @given(scalars)
+    @settings(max_examples=200)
+    def test_scalar_round_trip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    @given(st.lists(scalars, max_size=8).map(tuple))
+    @settings(max_examples=100)
+    def test_tuple_round_trip(self, values):
+        assert decode_value(encode_value(values)) == values
+
+    def test_nested_tuples(self):
+        value = (1, (Fraction(1, 3), (2.5, -7)), ())
+        assert decode_value(encode_value(value)) == value
+
+    def test_zero(self):
+        assert decode_value(encode_value(0)) == 0
+
+    def test_negative_fraction(self):
+        value = Fraction(-22, 7)
+        assert decode_value(encode_value(value)) == value
+
+    def test_huge_integer(self):
+        value = -(2**4096) + 12345
+        assert decode_value(encode_value(value)) == value
+
+    def test_type_preserved(self):
+        assert isinstance(decode_value(encode_value(Fraction(1, 2))), Fraction)
+        assert isinstance(decode_value(encode_value(1)), int)
+        assert isinstance(decode_value(encode_value(1.0)), float)
+
+
+class TestRejections:
+    def test_boolean_rejected(self):
+        with pytest.raises(ValidationError):
+            encode_value(True)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValidationError):
+            encode_value("string")  # type: ignore[arg-type]
+
+    def test_trailing_garbage_rejected(self):
+        blob = encode_value(7) + b"\x00"
+        with pytest.raises(ValidationError):
+            decode_value(blob)
+
+    def test_truncated_rejected(self):
+        blob = encode_value(Fraction(355, 113))
+        with pytest.raises(ValidationError):
+            decode_value(blob[:-2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            decode_value(b"")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValidationError):
+            decode_value(b"Zxyz")
+
+
+class TestEncodedSize:
+    def test_matches_encoding_length(self):
+        value = (Fraction(1, 3), 12345, 2.0)
+        assert encoded_size(value) == len(encode_value(value))
+
+    def test_grows_with_magnitude(self):
+        assert encoded_size(2**200) > encoded_size(2)

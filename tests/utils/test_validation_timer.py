@@ -1,0 +1,137 @@
+"""Tests for validation helpers and timing utilities."""
+
+import time
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.timer import Stopwatch, TimingRecorder
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_non_negative,
+    ensure_positive,
+    ensure_probability,
+    ensure_same_length,
+    ensure_type,
+    ensure_vector,
+)
+
+
+class TestValidation:
+    def test_ensure_type_pass(self):
+        assert ensure_type(5, int, "x") == 5
+
+    def test_ensure_type_fail(self):
+        with pytest.raises(ValidationError, match="x must be"):
+            ensure_type("5", int, "x")
+
+    def test_ensure_positive_pass(self):
+        assert ensure_positive(0.1, "x") == 0.1
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_ensure_positive_fail(self, bad):
+        with pytest.raises(ValidationError):
+            ensure_positive(bad, "x")
+
+    def test_ensure_positive_non_numeric(self):
+        with pytest.raises(ValidationError):
+            ensure_positive("x", "x")
+
+    def test_ensure_non_negative(self):
+        assert ensure_non_negative(0, "x") == 0
+        with pytest.raises(ValidationError):
+            ensure_non_negative(-0.001, "x")
+
+    def test_ensure_in_range(self):
+        assert ensure_in_range(5, 0, 10, "x") == 5
+        with pytest.raises(ValidationError):
+            ensure_in_range(11, 0, 10, "x")
+
+    def test_ensure_probability(self):
+        assert ensure_probability(0.5, "p") == 0.5
+        with pytest.raises(ValidationError):
+            ensure_probability(1.5, "p")
+
+    def test_ensure_vector_pass(self):
+        assert ensure_vector([1, 2.5], "v") == (1, 2.5)
+
+    def test_ensure_vector_length(self):
+        assert ensure_vector([1, 2], "v", length=2) == (1, 2)
+        with pytest.raises(ValidationError):
+            ensure_vector([1, 2], "v", length=3)
+
+    def test_ensure_vector_empty(self):
+        with pytest.raises(ValidationError):
+            ensure_vector([], "v")
+
+    def test_ensure_vector_non_numeric(self):
+        with pytest.raises(ValidationError):
+            ensure_vector([1, "a"], "v")
+
+    def test_ensure_vector_non_iterable(self):
+        with pytest.raises(ValidationError):
+            ensure_vector(5, "v")  # type: ignore[arg-type]
+
+    def test_ensure_same_length(self):
+        ensure_same_length([1], [2], "a/b")
+        with pytest.raises(ValidationError):
+            ensure_same_length([1], [2, 3], "a/b")
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as watch:
+            time.sleep(0.01)
+        assert watch.elapsed >= 0.009
+        assert watch.elapsed_ms >= 9.0
+
+
+class TestTimingRecorder:
+    def test_measure_and_total(self):
+        recorder = TimingRecorder()
+        with recorder.measure("phase"):
+            time.sleep(0.005)
+        assert recorder.total("phase") >= 0.004
+        assert recorder.count("phase") == 1
+
+    def test_add_and_mean(self):
+        recorder = TimingRecorder()
+        recorder.add("x", 1.0)
+        recorder.add("x", 3.0)
+        assert recorder.mean("x") == 2.0
+        assert recorder.total("x") == 4.0
+
+    def test_unknown_phase_total_is_zero(self):
+        assert TimingRecorder().total("nope") == 0.0
+
+    def test_unknown_phase_mean_raises(self):
+        with pytest.raises(KeyError):
+            TimingRecorder().mean("nope")
+
+    def test_names_sorted(self):
+        recorder = TimingRecorder()
+        recorder.add("b", 1.0)
+        recorder.add("a", 1.0)
+        assert recorder.names() == ["a", "b"]
+
+    def test_as_dict(self):
+        recorder = TimingRecorder()
+        recorder.add("a", 1.0)
+        assert recorder.as_dict() == {"a": 1.0}
+
+    def test_merge(self):
+        first = TimingRecorder()
+        second = TimingRecorder()
+        first.add("a", 1.0)
+        second.add("a", 2.0)
+        second.add("b", 3.0)
+        first.merge(second)
+        assert first.total("a") == 3.0
+        assert first.total("b") == 3.0
+
+    def test_measure_records_on_exception(self):
+        recorder = TimingRecorder()
+        with pytest.raises(RuntimeError):
+            with recorder.measure("x"):
+                raise RuntimeError("boom")
+        assert recorder.count("x") == 1
