@@ -8,7 +8,6 @@ the end of Section VI-B.1.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.crypto.ot import run_k_of_n
 from repro.crypto.ot.k_of_n import transfer_size_bytes

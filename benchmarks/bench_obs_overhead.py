@@ -1,0 +1,50 @@
+"""Instrumentation overhead: disabled vs enabled observability.
+
+``test_benchmark_classification_noop`` is the production configuration
+(hooks present, global tracer/registry are the shared no-ops);
+``test_benchmark_classification_observed`` runs the same workload with
+a live tracer and registry.  Comparing the two quantifies the full cost
+of turning observability on — and the no-op bench doubles as the
+regression guard for the "within 5% when disabled" budget enforced
+arithmetically in ``tests/obs/test_overhead.py``.
+"""
+
+from fractions import Fraction
+
+from repro import obs
+from repro.core.ompe import OMPEFunction, execute_ompe
+from repro.math.multivariate import MultivariatePolynomial
+
+_POLYNOMIAL = MultivariatePolynomial.affine(
+    [Fraction(3, 7), Fraction(-2, 5), Fraction(1, 6)], Fraction(1, 2)
+)
+_SAMPLE = (Fraction(1, 3), Fraction(1, 4), Fraction(-1, 5))
+
+
+def _classify_once(config, seed):
+    return execute_ompe(
+        OMPEFunction.from_polynomial(_POLYNOMIAL),
+        _SAMPLE,
+        config=config,
+        seed=seed,
+    )
+
+
+def test_benchmark_classification_noop(benchmark, light_config):
+    """Baseline: instrumented code, observability disabled."""
+    obs.disable_tracing()
+    obs.disable_metrics()
+
+    outcome = benchmark(lambda: _classify_once(light_config, 1))
+    assert outcome.report.total_bytes > 0
+
+
+def test_benchmark_classification_observed(benchmark, light_config):
+    """Same workload with a live tracer and metrics registry."""
+
+    def run():
+        with obs.observed():
+            return _classify_once(light_config, 1)
+
+    outcome = benchmark(run)
+    assert outcome.report.total_bytes > 0

@@ -5,14 +5,70 @@ experiment code as :mod:`repro.evaluation` with workloads sized so the
 whole suite finishes in minutes on a laptop.  Regenerated rows are
 printed so ``pytest benchmarks/ --benchmark-only -s`` reproduces the
 paper's evaluation section end to end.
+
+Two session-wide behaviors come from the autouse fixture below:
+
+* determinism — ``random`` and ``numpy.random`` are reseeded before
+  every bench, so timing differences between runs are never confounded
+  by different random workloads;
+* observability — each bench runs with a live
+  :class:`~repro.obs.MetricsRegistry` installed, and its timing plus
+  metrics snapshot is written to ``benchmarks/results/BENCH_<name>.json``
+  (gitignored) for cross-run comparison.
 """
 
 from __future__ import annotations
 
+import json
+import random
+import re
+import time
+from pathlib import Path
+
+import numpy as np
 import pytest
 
+from repro import obs
 from repro.core.ompe import OMPEConfig
 from repro.math.groups import fast_group
+
+#: Root seed shared by every bench (the paper's publication year).
+BENCH_SEED = 2016
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(autouse=True)
+def bench_observability(request):
+    """Deterministic RNGs + a metrics snapshot per bench.
+
+    Reseeds the global RNGs so each bench sees an identical workload on
+    every run, installs a fresh metrics registry, and on teardown dumps
+    ``{duration_s, metrics}`` to ``results/BENCH_<node>.json``.
+    """
+    random.seed(BENCH_SEED)
+    np.random.seed(BENCH_SEED)
+    registry = obs.MetricsRegistry()
+    previous = obs.get_metrics()
+    obs.set_metrics(registry)
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        duration_s = time.perf_counter() - start
+        obs.set_metrics(previous)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name).strip("_")
+        payload = {
+            "bench": request.node.nodeid,
+            "seed": BENCH_SEED,
+            "duration_s": duration_s,
+            "metrics": registry.snapshot(),
+        }
+        path = RESULTS_DIR / f"BENCH_{slug}.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
 
 @pytest.fixture(scope="session")

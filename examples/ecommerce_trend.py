@@ -21,7 +21,7 @@ from repro.core.similarity import (
     evaluate_similarity_plain,
     evaluate_similarity_private,
 )
-from repro.ml.svm import MinMaxScaler, train_svm
+from repro.ml.svm import train_svm
 
 #: Feature names for the clothing "design vector" (paper Section I).
 FEATURES = ["price_tier", "color_vibrancy", "formality", "seasonality", "logo_size"]

@@ -12,7 +12,6 @@ at the end).
 Run:  python examples/medical_diagnosis.py
 """
 
-import numpy as np
 
 from repro.core.classification import classify_nonlinear
 from repro.core.ompe import OMPEConfig

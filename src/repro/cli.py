@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli similarity model_a.json model_b.json --private
     python -m repro.cli experiment table1            # regenerate a table/figure
     python -m repro.cli experiment --all
+    python -m repro.cli observe --runs 3             # traced run + drift check
 
 The CLI is a thin layer over the public API; each subcommand maps to
 one documented library call, so it doubles as executable documentation.
@@ -22,7 +23,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.classification import private_classify
+from repro import obs
+from repro.core.classification import classify_linear, private_classify
 from repro.core.ompe import OMPEConfig
 from repro.core.similarity import (
     MetricParams,
@@ -139,6 +141,56 @@ def _cmd_similarity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_observe(args: argparse.Namespace) -> int:
+    from repro.math.groups import fast_group
+    from repro.ml.svm import make_linear_model
+    from repro.obs import drift
+    from repro.utils.rng import ReproRandom
+
+    rng = ReproRandom(args.seed)
+    model = make_linear_model(
+        [rng.uniform(-2.0, 2.0) for _ in range(args.dimension)],
+        rng.uniform(-1.0, 1.0),
+    )
+    config = OMPEConfig(
+        security_degree=args.security_degree,
+        cover_expansion=args.cover_expansion,
+        group=fast_group(),
+    )
+    with obs.observed() as (tracer, registry):
+        for index in range(args.runs):
+            classify_linear(
+                model,
+                [rng.uniform(-1.0, 1.0) for _ in range(args.dimension)],
+                config=config,
+                seed=args.seed + index,
+            )
+    report = drift.drift_from_metrics(
+        registry, config, args.dimension, tolerance=args.tolerance
+    )
+
+    print("== span tree ==")
+    print(tracer.flame())
+    print()
+    print("== metrics (prometheus) ==")
+    print(registry.to_prometheus())
+    print("== cost-model drift ==")
+    print(report.to_text())
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(tracer.to_jsonl())
+        print(f"spans written to {args.trace_out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(registry.to_json())
+        print(f"metrics snapshot written to {args.metrics_out}")
+    if not report.ok:
+        drifted = ", ".join(phase.phase for phase in report.drifted_phases)
+        print(f"DRIFT detected in: {drifted}", file=sys.stderr)
+        return 3
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     ids = available_experiments() if args.all else [args.experiment]
     if not args.all and args.experiment is None:
@@ -199,6 +251,22 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("experiment", nargs="?", default=None)
     experiment.add_argument("--all", action="store_true")
 
+    observe = sub.add_parser(
+        "observe",
+        help="run a traced private classification and check cost-model drift",
+    )
+    observe.add_argument("--dimension", type=int, default=3)
+    observe.add_argument("--security-degree", type=int, default=2)
+    observe.add_argument("--cover-expansion", type=int, default=2)
+    observe.add_argument("--runs", type=int, default=1)
+    observe.add_argument("--seed", type=int, default=0)
+    observe.add_argument("--tolerance", type=float, default=0.35,
+                         help="per-phase relative drift tolerance")
+    observe.add_argument("--trace-out", default=None,
+                         help="write the span tree as JSON lines")
+    observe.add_argument("--metrics-out", default=None,
+                         help="write the metrics snapshot as JSON")
+
     return parser
 
 
@@ -209,6 +277,7 @@ _HANDLERS = {
     "classify": _cmd_classify,
     "similarity": _cmd_similarity,
     "experiment": _cmd_experiment,
+    "observe": _cmd_observe,
 }
 
 

@@ -9,7 +9,7 @@ the denominators of every overhead ratio in the evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

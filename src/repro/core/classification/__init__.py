@@ -19,7 +19,6 @@ from repro.core.classification.polynomialize import (
 )
 from repro.core.classification.session import PrivateClassificationSession
 from repro.core.classification.transform import MonomialTransform
-from repro.exceptions import ValidationError
 from repro.ml.svm.model import SVMModel
 
 

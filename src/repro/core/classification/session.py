@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.classification.linear import ClassificationOutcome, _label_from_value
 from repro.core.ompe import OMPEConfig, OMPEFunction, execute_ompe
 from repro.core.ompe.precompute import ReceiverPool, SenderPool
@@ -77,20 +78,32 @@ class PrivateClassificationSession:
 
     def _refill(self) -> None:
         self._refills += 1
-        pool_rng = self._root.fork("pools", self._refills)
-        self._sender_pool = SenderPool(
-            self.config,
-            self._function.total_degree,
-            self.pool_size,
-            pool_rng.fork("sender"),
-        )
-        self._receiver_pool = ReceiverPool(
-            self.config,
-            self._function.arity,
-            self._function.total_degree,
-            self.pool_size,
-            pool_rng.fork("receiver"),
-        )
+        with obs.get_tracer().span(
+            "classification.refill",
+            phase="precompute",
+            pool_size=self.pool_size,
+            refill=self._refills,
+        ):
+            pool_rng = self._root.fork("pools", self._refills)
+            self._sender_pool = SenderPool(
+                self.config,
+                self._function.total_degree,
+                self.pool_size,
+                pool_rng.fork("sender"),
+            )
+            self._receiver_pool = ReceiverPool(
+                self.config,
+                self._function.arity,
+                self._function.total_degree,
+                self.pool_size,
+                pool_rng.fork("receiver"),
+            )
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_session_refills_total",
+                "Precompute pool refills across sessions",
+            ).inc()
 
     @property
     def remaining_bundles(self) -> int:
@@ -109,16 +122,29 @@ class PrivateClassificationSession:
         if self.remaining_bundles == 0:
             self._refill()
         self._queries += 1
-        outcome = execute_ompe(
-            self._function,
-            tuple(sample),
-            config=self.config,
-            seed=self._root.fork("query", self._queries).seed,
-            amplify=True,
-            offset=False,
-            sender_pool=self._sender_pool,
-            receiver_pool=self._receiver_pool,
-        )
+        with obs.get_tracer().span(
+            "classification.query", phase="classification", query=self._queries
+        ):
+            outcome = execute_ompe(
+                self._function,
+                tuple(sample),
+                config=self.config,
+                seed=self._root.fork("query", self._queries).seed,
+                amplify=True,
+                offset=False,
+                sender_pool=self._sender_pool,
+                receiver_pool=self._receiver_pool,
+            )
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_classifications_total",
+                "Private classification queries served",
+            ).inc()
+            metrics.gauge(
+                "repro_session_pool_remaining",
+                "Unused precompute bundles before the next refill",
+            ).set(self.remaining_bundles)
         return ClassificationOutcome(
             label=_label_from_value(outcome.value),
             randomized_value=outcome.value,

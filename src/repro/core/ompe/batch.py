@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.ompe.config import OMPEConfig, draw_amplifier
 from repro.core.ompe.function import OMPEFunction, as_exact_vector
 from repro.crypto.ot.k_of_n import KOfNReceiver, KOfNSender
@@ -59,7 +60,9 @@ class _BatchSender(Party):
         if batch_size < 1:
             raise ProtocolAbort(f"empty batch ({batch_size})")
         self._batch_size = batch_size
-        with self.timings.measure("sender/randomize"):
+        with obs.get_tracer().span(
+            "ompe.params", party=self.name, phase="params", batch=batch_size
+        ), self.timings.measure("sender/randomize"):
             mask_degree = self.function.total_degree * self.config.security_degree
             for index in range(batch_size):
                 draw = self.rng.fork("query", index)
@@ -89,7 +92,12 @@ class _BatchSender(Party):
                 f"expected {self._batch_size} pair lists, got {len(batches)}"
             )
         expected_pairs = self.config.pair_count(self.function.total_degree)
-        with self.timings.measure("sender/evaluate"):
+        with obs.get_tracer().span(
+            "ompe.evaluate",
+            party=self.name,
+            phase="evaluate",
+            batch=self._batch_size,
+        ), self.timings.measure("sender/evaluate"):
             evaluations: List[bytes] = []
             for query_index, pairs in enumerate(batches):
                 if len(pairs) != expected_pairs:
@@ -106,22 +114,28 @@ class _BatchSender(Party):
                         )
                     value = mask(node) + amplifier * self.function(vector)
                     evaluations.append(encode_value(value))
-        with self.timings.measure("sender/ot"):
-            cover_count = self.config.cover_count(self.function.total_degree)
-            self._ot_sender = KOfNSender(
-                self.config.resolved_group(), self.rng.fork("ot")
-            )
-            setups = self._ot_sender.setup(cover_count * self._batch_size)
-            self._evaluations = evaluations
-        self.send("ompe-batch/ot-setups", setups)
+        with obs.get_tracer().span(
+            "ompe.ot_setup", party=self.name, phase="ot-setups"
+        ):
+            with self.timings.measure("sender/ot"):
+                cover_count = self.config.cover_count(self.function.total_degree)
+                self._ot_sender = KOfNSender(
+                    self.config.resolved_group(), self.rng.fork("ot")
+                )
+                setups = self._ot_sender.setup(cover_count * self._batch_size)
+                self._evaluations = evaluations
+            self.send("ompe-batch/ot-setups", setups)
 
     def handle_choices(self) -> None:
-        choices = self.receive("ompe-batch/ot-choices")
-        if self._ot_sender is None:
-            raise OMPEError("handle_choices before handle_points")
-        with self.timings.measure("sender/ot"):
-            transfers = self._ot_sender.transfer(self._evaluations, choices)
-        self.send("ompe-batch/ot-transfers", transfers)
+        with obs.get_tracer().span(
+            "ompe.ot_transfer", party=self.name, phase="ot-transfers"
+        ):
+            choices = self.receive("ompe-batch/ot-choices")
+            if self._ot_sender is None:
+                raise OMPEError("handle_choices before handle_points")
+            with self.timings.measure("sender/ot"):
+                transfers = self._ot_sender.transfer(self._evaluations, choices)
+            self.send("ompe-batch/ot-transfers", transfers)
 
 
 class _BatchReceiver(Party):
@@ -145,7 +159,14 @@ class _BatchReceiver(Party):
             raise ProtocolAbort("pair count disagrees with config")
         self._cover_count = cover_count
         self._pair_count = pair_count
-        with self.timings.measure("receiver/randomize"):
+        with obs.get_tracer().span(
+            "ompe.points",
+            party=self.name,
+            phase="points",
+            m=cover_count,
+            M=pair_count,
+            batch=len(self.inputs),
+        ), self.timings.measure("receiver/randomize"):
             batches = []
             self._nodes: List[List[Number]] = []
             self._positions: List[List[int]] = []
@@ -193,7 +214,9 @@ class _BatchReceiver(Party):
 
     def handle_ot_setups(self) -> None:
         setups = self.receive("ompe-batch/ot-setups")
-        with self.timings.measure("receiver/ot"):
+        with obs.get_tracer().span(
+            "ompe.ot_choice", party=self.name, phase="ot-choices"
+        ), self.timings.measure("receiver/ot"):
             # Global indices: query q's cover j sits at q*pair_count + pos.
             global_indices = [
                 query_index * self._pair_count + position
@@ -214,7 +237,12 @@ class _BatchReceiver(Party):
         transfers = self.receive("ompe-batch/ot-transfers")
         with self.timings.measure("receiver/ot"):
             payloads = self._ot_receiver.retrieve(transfers)
-        with self.timings.measure("receiver/interpolate"):
+        with obs.get_tracer().span(
+            "ompe.interpolate",
+            party=self.name,
+            phase="interpolate",
+            batch=len(self.inputs),
+        ), self.timings.measure("receiver/interpolate"):
             values: List[Number] = []
             cursor = 0
             for query_index, positions in enumerate(self._positions):
@@ -267,13 +295,31 @@ def execute_ompe_batch(
         if link
         else connect_parties(sender, receiver)
     )
-    receiver.send_request()
-    sender.handle_request()
-    receiver.handle_params()
-    sender.handle_points()
-    receiver.handle_ot_setups()
-    sender.handle_choices()
-    values = receiver.finish()
+    with obs.get_tracer().span(
+        "ompe.batch",
+        phase="protocol",
+        batch=len(input_list),
+        arity=arity,
+        degree=function.total_degree,
+    ) as root_span:
+        receiver.send_request()
+        sender.handle_request()
+        receiver.handle_params()
+        sender.handle_points()
+        receiver.handle_ot_setups()
+        sender.handle_choices()
+        values = receiver.finish()
+        root_span.set(total_bytes=channel.transcript.total_bytes())
+    metrics = obs.get_metrics()
+    if metrics.enabled:
+        metrics.counter(
+            "repro_ompe_batch_runs_total",
+            "Completed batched OMPE conversations",
+        ).inc()
+        metrics.counter(
+            "repro_ompe_batch_queries_total",
+            "Queries evaluated through batched OMPE",
+        ).inc(len(input_list))
     report = finish_report(tuple(values), channel, timings)
     return BatchOutcome(
         values=tuple(values),

@@ -15,7 +15,7 @@ The paper's parameters (Sections III-C and IV):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.exceptions import ValidationError

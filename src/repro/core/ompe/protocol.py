@@ -10,8 +10,9 @@ classification and similarity protocols build on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
+from repro import obs
 from repro.core.ompe.config import OMPEConfig
 from repro.core.ompe.function import OMPEFunction
 from repro.core.ompe.receiver import OMPEReceiver
@@ -86,13 +87,28 @@ def execute_ompe(
         sender, receiver
     )
 
-    receiver.send_request()
-    sender.handle_request()
-    receiver.handle_params()
-    sender.handle_points()
-    receiver.handle_ot_setups()
-    sender.handle_choices()
-    value = receiver.finish()
+    with obs.get_tracer().span(
+        "ompe",
+        phase="protocol",
+        arity=function.arity,
+        degree=function.total_degree,
+        m=config.cover_count(function.total_degree),
+        M=config.pair_count(function.total_degree),
+    ) as root_span:
+        receiver.send_request()
+        sender.handle_request()
+        receiver.handle_params()
+        sender.handle_points()
+        receiver.handle_ot_setups()
+        sender.handle_choices()
+        value = receiver.finish()
+        root_span.set(total_bytes=channel.transcript.total_bytes())
+
+    metrics = obs.get_metrics()
+    if metrics.enabled:
+        metrics.counter(
+            "repro_ompe_runs_total", "Completed OMPE protocol executions"
+        ).inc()
 
     report = finish_report(value, channel, timings)
     return OMPEOutcome(

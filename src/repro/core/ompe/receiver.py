@@ -20,9 +20,9 @@ Implements the receiver steps of Sections III-C and IV-A:
 
 from __future__ import annotations
 
-from fractions import Fraction
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.ompe.config import OMPEConfig
 from repro.core.ompe.function import as_exact_vector
 from repro.crypto.ot.k_of_n import KOfNReceiver
@@ -72,7 +72,13 @@ class OMPEReceiver(Party):
 
     def send_request(self) -> None:
         """Announce the arity."""
-        self.send("ompe/request", len(self.input_vector))
+        with obs.get_tracer().span(
+            "ompe.request",
+            party=self.name,
+            phase="request",
+            arity=len(self.input_vector),
+        ):
+            self.send("ompe/request", len(self.input_vector))
 
     # -- step 2 ---------------------------------------------------------------
 
@@ -100,7 +106,14 @@ class OMPEReceiver(Party):
 
     def handle_params(self) -> None:
         """Receive ``(p, m, M)``; send the ``M`` disguised pairs."""
+        with obs.get_tracer().span(
+            "ompe.points", party=self.name, phase="points"
+        ) as span:
+            self._handle_params(span)
+
+    def _handle_params(self, span) -> None:
         degree, cover_count, pair_count = self.receive("ompe/params")
+        span.set(m=cover_count, M=pair_count, degree=degree)
         if cover_count != self.config.cover_count(degree):
             raise ProtocolAbort(
                 f"sender announced m={cover_count}, config implies "
@@ -185,27 +198,41 @@ class OMPEReceiver(Party):
 
     def handle_ot_setups(self) -> None:
         """Blind the cover positions into OT choices."""
-        setups = self.receive("ompe/ot-setups")
-        with self.timings.measure("receiver/ot"):
-            self._ot_receiver = KOfNReceiver(
-                self.config.resolved_group(), self.rng.fork("ot")
-            )
-            choices = self._ot_receiver.choose(
-                setups, self._cover_positions, self._pair_count
-            )
-        self.send("ompe/ot-choices", choices)
+        with obs.get_tracer().span(
+            "ompe.ot_choice",
+            party=self.name,
+            phase="ot-choices",
+            m=self._cover_count,
+        ):
+            setups = self.receive("ompe/ot-setups")
+            with self.timings.measure("receiver/ot"):
+                self._ot_receiver = KOfNReceiver(
+                    self.config.resolved_group(), self.rng.fork("ot")
+                )
+                choices = self._ot_receiver.choose(
+                    setups, self._cover_positions, self._pair_count
+                )
+            self.send("ompe/ot-choices", choices)
 
     def finish(self) -> Number:
         """Retrieve cover evaluations, interpolate, return ``B(0)``."""
-        if self._ot_receiver is None:
-            raise OMPEError("finish before handle_ot_setups")
-        transfers = self.receive("ompe/ot-transfers")
-        with self.timings.measure("receiver/ot"):
-            payloads = self._ot_receiver.retrieve(transfers)
-        with self.timings.measure("receiver/interpolate"):
-            values = [decode_value(blob) for blob in payloads]
-            nodes = [self._nodes[i] for i in self._cover_positions]
-            if not self.config.exact:
-                values = [float(v) for v in values]
-            secret = lagrange_at_zero(nodes, values)
+        tracer = obs.get_tracer()
+        with tracer.span("ompe.finish", party=self.name, phase="finish"):
+            if self._ot_receiver is None:
+                raise OMPEError("finish before handle_ot_setups")
+            transfers = self.receive("ompe/ot-transfers")
+            with self.timings.measure("receiver/ot"):
+                payloads = self._ot_receiver.retrieve(transfers)
+            with tracer.span(
+                "ompe.interpolate",
+                party=self.name,
+                phase="interpolate",
+                covers=len(self._cover_positions),
+            ):
+                with self.timings.measure("receiver/interpolate"):
+                    values = [decode_value(blob) for blob in payloads]
+                    nodes = [self._nodes[i] for i in self._cover_positions]
+                    if not self.config.exact:
+                        values = [float(v) for v in values]
+                    secret = lagrange_at_zero(nodes, values)
         return secret

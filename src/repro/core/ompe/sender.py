@@ -14,9 +14,9 @@ Implements the sender steps of Sections III-C and IV-A:
 
 from __future__ import annotations
 
-from fractions import Fraction
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
+from repro import obs
 from repro.core.ompe.config import OMPEConfig, draw_amplifier
 from repro.core.ompe.function import OMPEFunction
 from repro.crypto.ot.k_of_n import KOfNSender
@@ -64,57 +64,68 @@ class OMPESender(Party):
 
     def handle_request(self) -> None:
         """Receive the request; publish masking parameters."""
-        with self.timings.measure("sender/randomize"):
-            arity = self.receive("ompe/request")
-            if arity != self.function.arity:
-                raise ProtocolAbort(
-                    f"receiver announced arity {arity}, function has "
-                    f"{self.function.arity}"
-                )
-            if self.pool is not None:
-                bundle = self.pool.pop()
-                self._mask = bundle.mask
-                self.amplifier = bundle.amplifier
-                self.offset_value = bundle.offset
-            else:
-                mask_degree = (
-                    self.function.total_degree * self.config.security_degree
-                )
-                self._mask = Polynomial.random(
-                    mask_degree,
-                    self.rng.fork("mask"),
-                    constant_term=0,
-                    coefficient_bound=self.config.coefficient_bound,
-                    exact=self.config.exact,
-                )
-                if self.amplify:
-                    self.amplifier = draw_amplifier(
-                        self.rng.fork("amplifier"), exact=self.config.exact
+        with obs.get_tracer().span(
+            "ompe.params", party=self.name, phase="params"
+        ) as span:
+            with self.timings.measure("sender/randomize"):
+                arity = self.receive("ompe/request")
+                if arity != self.function.arity:
+                    raise ProtocolAbort(
+                        f"receiver announced arity {arity}, function has "
+                        f"{self.function.arity}"
                     )
-                if self.offset:
-                    draw = self.rng.fork("offset")
-                    self.offset_value = (
-                        draw.nonzero_fraction(
-                            -self.config.coefficient_bound,
-                            self.config.coefficient_bound,
-                        )
-                        if self.config.exact
-                        else draw.uniform(
-                            -self.config.coefficient_bound,
-                            self.config.coefficient_bound,
-                        )
+                if self.pool is not None:
+                    bundle = self.pool.pop()
+                    self._mask = bundle.mask
+                    self.amplifier = bundle.amplifier
+                    self.offset_value = bundle.offset
+                else:
+                    mask_degree = (
+                        self.function.total_degree * self.config.security_degree
                     )
-            self._cover_count = self.config.cover_count(self.function.total_degree)
-            pair_count = self.config.pair_count(self.function.total_degree)
-        self.send(
-            "ompe/params",
-            (self.function.total_degree, self._cover_count, pair_count),
-        )
+                    self._mask = Polynomial.random(
+                        mask_degree,
+                        self.rng.fork("mask"),
+                        constant_term=0,
+                        coefficient_bound=self.config.coefficient_bound,
+                        exact=self.config.exact,
+                    )
+                    if self.amplify:
+                        self.amplifier = draw_amplifier(
+                            self.rng.fork("amplifier"), exact=self.config.exact
+                        )
+                    if self.offset:
+                        draw = self.rng.fork("offset")
+                        self.offset_value = (
+                            draw.nonzero_fraction(
+                                -self.config.coefficient_bound,
+                                self.config.coefficient_bound,
+                            )
+                            if self.config.exact
+                            else draw.uniform(
+                                -self.config.coefficient_bound,
+                                self.config.coefficient_bound,
+                            )
+                        )
+                self._cover_count = self.config.cover_count(
+                    self.function.total_degree
+                )
+                pair_count = self.config.pair_count(self.function.total_degree)
+            span.set(
+                m=self._cover_count,
+                M=pair_count,
+                degree=self.function.total_degree,
+            )
+            self.send(
+                "ompe/params",
+                (self.function.total_degree, self._cover_count, pair_count),
+            )
 
     # -- steps 2 and 3 -------------------------------------------------------
 
     def handle_points(self) -> None:
         """Evaluate ``A`` on all pairs and open the OT phase."""
+        tracer = obs.get_tracer()
         pairs = self.receive("ompe/points")
         expected = self.config.pair_count(self.function.total_degree)
         if len(pairs) != expected:
@@ -123,33 +134,45 @@ class OMPESender(Party):
             )
         if self._mask is None:
             raise OMPEError("handle_points before handle_request")
-        with self.timings.measure("sender/evaluate"):
-            evaluations: List[bytes] = []
-            for node, vector in pairs:
-                if len(vector) != self.function.arity:
-                    raise ProtocolAbort(
-                        f"vector of length {len(vector)} for arity "
-                        f"{self.function.arity}"
+        with tracer.span(
+            "ompe.evaluate", party=self.name, phase="evaluate", pairs=len(pairs)
+        ):
+            with self.timings.measure("sender/evaluate"):
+                evaluations: List[bytes] = []
+                for node, vector in pairs:
+                    if len(vector) != self.function.arity:
+                        raise ProtocolAbort(
+                            f"vector of length {len(vector)} for arity "
+                            f"{self.function.arity}"
+                        )
+                    value = (
+                        self._mask(node)
+                        + self.amplifier * self.function(vector)
+                        + self.offset_value
                     )
-                value = (
-                    self._mask(node)
-                    + self.amplifier * self.function(vector)
-                    + self.offset_value
+                    evaluations.append(encode_value(value))
+        with tracer.span(
+            "ompe.ot_setup",
+            party=self.name,
+            phase="ot-setups",
+            m=self._cover_count,
+        ):
+            with self.timings.measure("sender/ot"):
+                self._ot_sender = KOfNSender(
+                    self.config.resolved_group(), self.rng.fork("ot")
                 )
-                evaluations.append(encode_value(value))
-        with self.timings.measure("sender/ot"):
-            self._ot_sender = KOfNSender(
-                self.config.resolved_group(), self.rng.fork("ot")
-            )
-            setups = self._ot_sender.setup(self._cover_count)
-            self._evaluations = evaluations
-        self.send("ompe/ot-setups", setups)
+                setups = self._ot_sender.setup(self._cover_count)
+                self._evaluations = evaluations
+            self.send("ompe/ot-setups", setups)
 
     def handle_choices(self) -> None:
         """Answer the receiver's OT choices."""
-        choices = self.receive("ompe/ot-choices")
-        if self._ot_sender is None:
-            raise OMPEError("handle_choices before handle_points")
-        with self.timings.measure("sender/ot"):
-            transfers = self._ot_sender.transfer(self._evaluations, choices)
-        self.send("ompe/ot-transfers", transfers)
+        with obs.get_tracer().span(
+            "ompe.ot_transfer", party=self.name, phase="ot-transfers"
+        ):
+            choices = self.receive("ompe/ot-choices")
+            if self._ot_sender is None:
+                raise OMPEError("handle_choices before handle_points")
+            with self.timings.measure("sender/ot"):
+                transfers = self._ot_sender.transfer(self._evaluations, choices)
+            self.send("ompe/ot-transfers", transfers)

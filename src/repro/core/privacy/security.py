@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.core.ompe.config import OMPEConfig
 from repro.exceptions import ValidationError

@@ -19,7 +19,7 @@ from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import RootFindingError, SimilarityError, ValidationError
+from repro.exceptions import SimilarityError, ValidationError
 from repro.ml.svm.model import SVMModel
 
 Point = Tuple[float, ...]

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Optional
 
+from repro import obs
 from repro.core.ompe import OMPEConfig, OMPEFunction, execute_ompe
 from repro.core.similarity.boundary import centroid, linear_boundary_points
 from repro.core.similarity.exact import (
@@ -104,6 +105,29 @@ def evaluate_similarity_private(
     seed: Optional[int] = None,
 ) -> PrivateSimilarityOutcome:
     """Run the full private linear similarity protocol."""
+    with obs.get_tracer().span(
+        "similarity.linear", phase="similarity", dimension=model_a.dimension
+    ) as span:
+        outcome = _evaluate_similarity_private(
+            model_a, model_b, params, config, seed
+        )
+        span.set(total_bytes=outcome.total_bytes, t=float(outcome.t))
+    metrics = obs.get_metrics()
+    if metrics.enabled:
+        metrics.counter(
+            "repro_similarity_runs_total",
+            "Completed private similarity evaluations",
+        ).inc(kind="linear")
+    return outcome
+
+
+def _evaluate_similarity_private(
+    model_a: SVMModel,
+    model_b: SVMModel,
+    params: Optional[MetricParams],
+    config: Optional[OMPEConfig],
+    seed: Optional[int],
+) -> PrivateSimilarityOutcome:
     params = params or MetricParams()
     config = config or OMPEConfig()
     if not (model_a.is_linear() and model_b.is_linear()):
@@ -132,9 +156,10 @@ def evaluate_similarity_private(
     w_b = snap_vector(model_b.weight_vector())
 
     # Step 2 — Bob sends the two inseparable norms in the clear.
-    clear_channel = Channel("bob", "alice")
-    clear_channel.send("bob", "similarity/norms", (exact_norm_squared(m_b), exact_norm_squared(w_b)))
-    norm_m_b, norm_w_b = clear_channel.receive("alice", "similarity/norms")
+    with obs.get_tracer().span("similarity.clear", party="bob", phase="norms"):
+        clear_channel = Channel("bob", "alice")
+        clear_channel.send("bob", "similarity/norms", (exact_norm_squared(m_b), exact_norm_squared(w_b)))
+        norm_m_b, norm_w_b = clear_channel.receive("alice", "similarity/norms")
     clear_report = ProtocolReport(
         result=None,
         transcript=clear_channel.transcript,
@@ -150,31 +175,33 @@ def evaluate_similarity_private(
     centroid_function = OMPEFunction.from_polynomial(
         MultivariatePolynomial.affine(list(m_a), Fraction(0))
     )
-    run1 = execute_ompe(
-        centroid_function,
-        m_b,
-        config=config,
-        seed=root.fork("run1").seed,
-        amplify=True,
-        offset=False,
-        sender_name="alice",
-        receiver_name="bob",
-    )
+    with obs.get_tracer().span("similarity.centroid_ompe", phase="centroid"):
+        run1 = execute_ompe(
+            centroid_function,
+            m_b,
+            config=config,
+            seed=root.fork("run1").seed,
+            amplify=True,
+            offset=False,
+            sender_name="alice",
+            receiver_name="bob",
+        )
 
     # Step 4 — OMPE #2: x2 = r_aw (w_A · w_B) + r_b.
     normal_function = OMPEFunction.from_polynomial(
         MultivariatePolynomial.affine(list(w_a), Fraction(0))
     )
-    run2 = execute_ompe(
-        normal_function,
-        w_b,
-        config=config,
-        seed=root.fork("run2").seed,
-        amplify=True,
-        offset=True,
-        sender_name="alice",
-        receiver_name="bob",
-    )
+    with obs.get_tracer().span("similarity.normal_ompe", phase="normal"):
+        run2 = execute_ompe(
+            normal_function,
+            w_b,
+            config=config,
+            seed=root.fork("run2").seed,
+            amplify=True,
+            offset=True,
+            sender_name="alice",
+            receiver_name="bob",
+        )
 
     # Step 5 — OMPE #3: Bob evaluates Eq. (7) at (x1, x2), unamplified.
     c1 = exact_norm_squared(m_a) + norm_m_b
@@ -185,16 +212,17 @@ def evaluate_similarity_private(
     d2 = 1 / run2.amplifier**2
     d3 = -run2.offset
     t_squared_polynomial = build_t_squared_polynomial(c1, c2, c3, c4, d1, d2, d3)
-    run3 = execute_ompe(
-        OMPEFunction.from_polynomial(t_squared_polynomial),
-        (run1.value, run2.value),
-        config=config,
-        seed=root.fork("run3").seed,
-        amplify=False,
-        offset=False,
-        sender_name="alice",
-        receiver_name="bob",
-    )
+    with obs.get_tracer().span("similarity.area_ompe", phase="area"):
+        run3 = execute_ompe(
+            OMPEFunction.from_polynomial(t_squared_polynomial),
+            (run1.value, run2.value),
+            config=config,
+            seed=root.fork("run3").seed,
+            amplify=False,
+            offset=False,
+            sender_name="alice",
+            receiver_name="bob",
+        )
 
     t_squared = run3.value
     if t_squared < 0:

@@ -13,7 +13,7 @@ channels, see :class:`~repro.net.network.Network`.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import combinations
 from typing import Dict, List, Mapping, Optional, Tuple
 

@@ -30,6 +30,7 @@ import math
 from fractions import Fraction
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.ompe import OMPEConfig, OMPEFunction, execute_ompe
 from repro.core.similarity.boundary import centroid, kernel_boundary_points
 from repro.core.similarity.exact import (
@@ -130,6 +131,29 @@ def evaluate_similarity_private_nonlinear(
     seed: Optional[int] = None,
 ) -> PrivateSimilarityOutcome:
     """Run the full private nonlinear (polynomial-kernel) similarity protocol."""
+    with obs.get_tracer().span(
+        "similarity.nonlinear", phase="similarity", dimension=model_a.dimension
+    ) as span:
+        outcome = _evaluate_similarity_private_nonlinear(
+            model_a, model_b, params, config, seed
+        )
+        span.set(total_bytes=outcome.total_bytes, t=float(outcome.t))
+    metrics = obs.get_metrics()
+    if metrics.enabled:
+        metrics.counter(
+            "repro_similarity_runs_total",
+            "Completed private similarity evaluations",
+        ).inc(kind="nonlinear")
+    return outcome
+
+
+def _evaluate_similarity_private_nonlinear(
+    model_a: SVMModel,
+    model_b: SVMModel,
+    params: Optional[MetricParams],
+    config: Optional[OMPEConfig],
+    seed: Optional[int],
+) -> PrivateSimilarityOutcome:
     params = params or MetricParams()
     config = config or OMPEConfig()
     if model_a.kernel_spec != model_b.kernel_spec:
@@ -160,9 +184,10 @@ def evaluate_similarity_private_nonlinear(
     # Step 2 — Bob sends K(m_B, m_B) and ⟨n_B, n_B⟩ in the clear.
     k_mm_b = exact_poly_kernel(m_b, m_b, a0, b0, degree)
     k_ww_b = exact_normal_inner(model_b, model_b)
-    clear_channel = Channel("bob", "alice")
-    clear_channel.send("bob", "similarity/kernel-norms", (k_mm_b, k_ww_b))
-    k_mm_b, k_ww_b = clear_channel.receive("alice", "similarity/kernel-norms")
+    with obs.get_tracer().span("similarity.clear", party="bob", phase="norms"):
+        clear_channel = Channel("bob", "alice")
+        clear_channel.send("bob", "similarity/kernel-norms", (k_mm_b, k_ww_b))
+        k_mm_b, k_ww_b = clear_channel.receive("alice", "similarity/kernel-norms")
     clear_report = ProtocolReport(
         result=None,
         transcript=clear_channel.transcript,
@@ -178,32 +203,34 @@ def evaluate_similarity_private_nonlinear(
         total_degree=degree,
         evaluate=lambda y: exact_poly_kernel(m_a, y, a0, b0, degree),
     )
-    run1 = execute_ompe(
-        centroid_function,
-        m_b,
-        config=config,
-        seed=root.fork("run1").seed,
-        amplify=True,
-        offset=False,
-        sender_name="alice",
-        receiver_name="bob",
-    )
+    with obs.get_tracer().span("similarity.centroid_ompe", phase="centroid"):
+        run1 = execute_ompe(
+            centroid_function,
+            m_b,
+            config=config,
+            seed=root.fork("run1").seed,
+            amplify=True,
+            offset=False,
+            sender_name="alice",
+            receiver_name="bob",
+        )
 
     # Step 4 — OMPE #2: x2 = r_aw ⟨n_A, n_B⟩ + r_b over Bob's packed model.
     packed = _pack_model(model_b)
     normal_function = _normal_inner_function(
         model_a, a0, b0, degree, model_b.n_support, model_b.dimension
     )
-    run2 = execute_ompe(
-        normal_function,
-        packed,
-        config=config,
-        seed=root.fork("run2").seed,
-        amplify=True,
-        offset=True,
-        sender_name="alice",
-        receiver_name="bob",
-    )
+    with obs.get_tracer().span("similarity.normal_ompe", phase="normal"):
+        run2 = execute_ompe(
+            normal_function,
+            packed,
+            config=config,
+            seed=root.fork("run2").seed,
+            amplify=True,
+            offset=True,
+            sender_name="alice",
+            receiver_name="bob",
+        )
 
     # Step 5 — OMPE #3: Eq. (7) with kernel-space constants.
     c1 = exact_poly_kernel(m_a, m_a, a0, b0, degree) + k_mm_b
@@ -214,16 +241,17 @@ def evaluate_similarity_private_nonlinear(
     d2 = 1 / run2.amplifier**2
     d3 = -run2.offset
     t_squared_polynomial = build_t_squared_polynomial(c1, c2, c3, c4, d1, d2, d3)
-    run3 = execute_ompe(
-        OMPEFunction.from_polynomial(t_squared_polynomial),
-        (run1.value, run2.value),
-        config=config,
-        seed=root.fork("run3").seed,
-        amplify=False,
-        offset=False,
-        sender_name="alice",
-        receiver_name="bob",
-    )
+    with obs.get_tracer().span("similarity.area_ompe", phase="area"):
+        run3 = execute_ompe(
+            OMPEFunction.from_polynomial(t_squared_polynomial),
+            (run1.value, run2.value),
+            config=config,
+            seed=root.fork("run3").seed,
+            amplify=False,
+            offset=False,
+            sender_name="alice",
+            receiver_name="bob",
+        )
 
     t_squared = run3.value
     if t_squared < 0:

@@ -13,7 +13,7 @@ run either as direct function calls or over the simulated network of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.exceptions import ObliviousTransferError, ValidationError

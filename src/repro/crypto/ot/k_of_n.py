@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.crypto.ot.base import OTChoice, OTSetup, OTTransfer
 from repro.crypto.ot.one_of_n import OneOfNReceiver, OneOfNSender
 from repro.exceptions import ObliviousTransferError, ValidationError
@@ -44,10 +45,12 @@ class KOfNSender:
         """Publish parameters for ``k`` parallel sessions."""
         if k < 1:
             raise ValidationError(f"k must be at least 1, got {k}")
-        self._subsenders = [
-            OneOfNSender(self.group, self._rng.fork("session", i)) for i in range(k)
-        ]
-        return [sub.setup() for sub in self._subsenders]
+        with obs.get_tracer().span("ot.setup", sessions=k):
+            self._subsenders = [
+                OneOfNSender(self.group, self._rng.fork("session", i))
+                for i in range(k)
+            ]
+            return [sub.setup() for sub in self._subsenders]
 
     def transfer(
         self, messages: Sequence[bytes], choices: Sequence[OTChoice]
@@ -57,10 +60,20 @@ class KOfNSender:
             raise ObliviousTransferError(
                 f"{len(choices)} choices for {len(self._subsenders)} sessions"
             )
-        return [
-            sub.transfer(messages, choice)
-            for sub, choice in zip(self._subsenders, choices)
-        ]
+        with obs.get_tracer().span(
+            "ot.transfer", sessions=len(choices), slots=len(messages)
+        ):
+            transfers = [
+                sub.transfer(messages, choice)
+                for sub, choice in zip(self._subsenders, choices)
+            ]
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_ot_transfers_total",
+                "Completed k-of-n OT sessions (sender side)",
+            ).inc(len(transfers))
+        return transfers
 
 
 class KOfNReceiver:
@@ -84,14 +97,17 @@ class KOfNReceiver:
                 f"{len(setups)} setups for {len(indices)} indices"
             )
         self._indices = indices
-        self._subreceivers = [
-            OneOfNReceiver(self.group, self._rng.fork("session", i))
-            for i in range(len(indices))
-        ]
-        return [
-            sub.choose(setup, index, count)
-            for sub, setup, index in zip(self._subreceivers, setups, indices)
-        ]
+        with obs.get_tracer().span(
+            "ot.choose", sessions=len(indices), slots=count
+        ):
+            self._subreceivers = [
+                OneOfNReceiver(self.group, self._rng.fork("session", i))
+                for i in range(len(indices))
+            ]
+            return [
+                sub.choose(setup, index, count)
+                for sub, setup, index in zip(self._subreceivers, setups, indices)
+            ]
 
     def retrieve(self, transfers: Sequence[OTTransfer]) -> List[bytes]:
         """Unwrap the chosen message of each session, in choice order."""
@@ -101,10 +117,11 @@ class KOfNReceiver:
             raise ObliviousTransferError(
                 f"{len(transfers)} transfers for {len(self._subreceivers)} sessions"
             )
-        return [
-            sub.retrieve(transfer)
-            for sub, transfer in zip(self._subreceivers, transfers)
-        ]
+        with obs.get_tracer().span("ot.retrieve", sessions=len(transfers)):
+            return [
+                sub.retrieve(transfer)
+                for sub, transfer in zip(self._subreceivers, transfers)
+            ]
 
     @property
     def indices(self) -> Tuple[int, ...]:

@@ -13,16 +13,28 @@ encodings).  Operators can budget bandwidth without running protocols.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict
 
 from repro.core.ompe.config import OMPEConfig
 from repro.crypto.hashing import TAG_BYTES
 from repro.exceptions import ValidationError
 
+#: Canonical phase label (see :func:`repro.net.transcript.phase_of`)
+#: for each breakdown field — the shared vocabulary between predicted
+#: and measured per-phase byte accounting.
+PHASE_FIELDS = {
+    "request": "request_bytes",
+    "params": "params_bytes",
+    "points": "points_bytes",
+    "ot-setups": "ot_setup_bytes",
+    "ot-choices": "ot_choice_bytes",
+    "ot-transfers": "ot_transfer_bytes",
+}
+
 
 @dataclass(frozen=True)
 class CostBreakdown:
-    """Predicted wire bytes per protocol phase."""
+    """Wire bytes per protocol phase (predicted or measured)."""
 
     request_bytes: int
     params_bytes: int
@@ -41,6 +53,26 @@ class CostBreakdown:
             + self.ot_choice_bytes
             + self.ot_transfer_bytes
         )
+
+    def by_phase(self) -> Dict[str, int]:
+        """Mapping of canonical phase label to bytes."""
+        return {phase: getattr(self, field) for phase, field in PHASE_FIELDS.items()}
+
+
+def breakdown_from_transcript(transcript) -> CostBreakdown:
+    """Measured per-phase bytes of one protocol run, in the model's shape.
+
+    Uses :meth:`~repro.net.transcript.Transcript.bytes_by_phase` so the
+    validation path, the live metrics, and the drift detector all share
+    one byte-accounting definition.
+    """
+    by_phase = transcript.bytes_by_phase()
+    return CostBreakdown(
+        **{
+            field: by_phase.get(phase, 0)
+            for phase, field in PHASE_FIELDS.items()
+        }
+    )
 
 
 #: Average wire size of one exact-rational scalar (a degree-q hiding

@@ -16,8 +16,7 @@ security/cost trade-off its parameters control.  These clearly-labeled
 from __future__ import annotations
 
 import time
-from fractions import Fraction
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.core.ompe import OMPEConfig, OMPEFunction, execute_ompe
 from repro.core.privacy.security import estimate_security

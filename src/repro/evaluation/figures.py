@@ -32,7 +32,7 @@ from repro.core.privacy import DistanceRetrievalAttack, ModelEstimationAttack
 from repro.core.similarity import MetricParams, evaluate_similarity_private
 from repro.evaluation.harness import ExperimentResult, register
 from repro.evaluation.tables import train_table1_models
-from repro.ml.datasets import a_family_names, load_dataset, two_gaussians
+from repro.ml.datasets import a_family_names, two_gaussians
 from repro.ml.datasets.registry import get_spec
 from repro.ml.svm import accuracy, train_svm
 from repro.ml.svm.model import make_linear_model

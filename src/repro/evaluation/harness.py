@@ -9,9 +9,11 @@ result containers and the registry that maps experiment ids to runners
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.exceptions import ValidationError
 
 
@@ -21,7 +23,10 @@ class ExperimentResult:
 
     ``columns`` names the fields; ``rows`` holds one dict per data row
     (tables) or per series point (figures); ``notes`` records paper-vs-
-    measured commentary for EXPERIMENTS.md.
+    measured commentary for EXPERIMENTS.md.  ``metrics`` carries the
+    :meth:`~repro.obs.MetricsRegistry.snapshot` captured while the
+    experiment ran, when a live registry was installed (``None``
+    otherwise).
     """
 
     experiment_id: str
@@ -29,6 +34,7 @@ class ExperimentResult:
     columns: Sequence[str]
     rows: List[dict]
     notes: str = ""
+    metrics: Optional[Dict[str, dict]] = None
 
     def column(self, name: str) -> List:
         """Extract a column as a list."""
@@ -79,7 +85,13 @@ def available_experiments() -> List[str]:
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run one experiment by id."""
+    """Run one experiment by id.
+
+    The run executes inside an ``experiment`` span, and when a live
+    metrics registry is installed (see :func:`repro.obs.observed`) the
+    registry snapshot is attached to the result's ``metrics`` field —
+    so regenerating a table also yields its full protocol telemetry.
+    """
     try:
         runner = _REGISTRY[experiment_id]
     except KeyError:
@@ -87,4 +99,25 @@ def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
             f"unknown experiment {experiment_id!r}; "
             f"available: {available_experiments()}"
         ) from None
-    return runner(**kwargs)
+    with obs.get_tracer().span(
+        "experiment", phase="experiment", experiment=experiment_id
+    ):
+        result = runner(**kwargs)
+    metrics = obs.get_metrics()
+    if metrics.enabled and result.metrics is None:
+        result = replace(result, metrics=metrics.snapshot())
+    return result
+
+
+def write_metrics_snapshot(result: ExperimentResult, path: str) -> bool:
+    """Write a result's attached metrics snapshot as JSON.
+
+    Returns ``False`` (writing nothing) when the experiment ran without
+    a live registry.
+    """
+    if result.metrics is None:
+        return False
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result.metrics, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return True

@@ -10,7 +10,7 @@ in a terminal, matplotlib-free.  Pure functions over
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.exceptions import ValidationError
 

@@ -8,7 +8,7 @@ paper-vs-measured record used to refresh EXPERIMENTS.md.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.evaluation import extensions, figures, tables  # noqa: F401 (registry side effects)
 from repro.evaluation.harness import (

@@ -11,7 +11,7 @@ tests and the privacy analysis.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List, Sequence, Tuple, Union
+from typing import List, Sequence
 
 from repro.exceptions import InterpolationError
 from repro.math.polynomials import Number, Polynomial

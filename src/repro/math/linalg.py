@@ -10,7 +10,7 @@ and available as a general substrate utility.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.exceptions import MathError, ValidationError
 

@@ -13,7 +13,7 @@ polynomial in ``v``), and exponent-vector iteration.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Iterable, Mapping, Sequence, Tuple, Union
+from typing import Dict, Mapping, Sequence, Tuple, Union
 
 from repro.exceptions import ValidationError
 from repro.math.polynomials import Number, Polynomial

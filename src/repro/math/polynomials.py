@@ -10,7 +10,7 @@ for the throughput-oriented mode; the class is agnostic.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Sequence, Union
 
 from repro.exceptions import ValidationError
 from repro.utils.rng import ReproRandom

@@ -21,7 +21,6 @@ data to that box) and labels in ``{-1, +1}``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

@@ -20,14 +20,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.math.multinomial import compositions, multinomial_coefficient
 from repro.math.multivariate import MultivariatePolynomial
-from repro.ml.kernels import Kernel, linear_kernel, polynomial_kernel
+from repro.ml.kernels import Kernel, linear_kernel
 
 #: Denominator used when snapping float model coefficients to exact
 #: rationals for the protocol layer.  2^40 keeps doubles nearly exact.

@@ -1,16 +1,23 @@
 """Distributed-systems substrate: parties, channels, transcripts."""
 
 from repro.net.channel import Channel, LinkModel
-from repro.net.faults import CorruptingChannel, DroppingChannel, DuplicatingChannel
+from repro.net.faults import (
+    CorruptingChannel,
+    DelayingChannel,
+    DroppingChannel,
+    DuplicatingChannel,
+    RetryingChannel,
+)
 from repro.net.message import Message, measure_size
 from repro.net.network import Network
 from repro.net.party import Party, connect_parties
 from repro.net.runner import ProtocolReport, finish_report
-from repro.net.transcript import Transcript
+from repro.net.transcript import Transcript, phase_of
 
 __all__ = [
     "Channel",
     "CorruptingChannel",
+    "DelayingChannel",
     "DroppingChannel",
     "DuplicatingChannel",
     "LinkModel",
@@ -20,6 +27,8 @@ __all__ = [
     "Party",
     "connect_parties",
     "ProtocolReport",
+    "RetryingChannel",
     "finish_report",
     "Transcript",
+    "phase_of",
 ]

@@ -14,9 +14,10 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, Dict, Optional, Tuple
 
+from repro import obs
 from repro.exceptions import ProtocolError, ValidationError
 from repro.net.message import Message, measure_size
-from repro.net.transcript import Transcript
+from repro.net.transcript import Transcript, phase_of
 
 
 @dataclass(frozen=True)
@@ -62,6 +63,7 @@ class Channel:
             second: deque(),
         }
         self.simulated_time: float = 0.0
+        self._last_direction: Optional[Tuple[str, str]] = None
 
     def _peer(self, party: str) -> str:
         first, second = self.parties
@@ -84,6 +86,35 @@ class Channel:
         self._inboxes[recipient].append(message)
         self.transcript.record(message)
         self.simulated_time += self.link.transfer_time(message.size_bytes)
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            phase = phase_of(msg_type)
+            size = message.size_bytes
+            metrics.counter(
+                "repro_messages_total", "Protocol messages sent"
+            ).inc(phase=phase)
+            metrics.counter(
+                "repro_bytes_sent_total", "Wire bytes sent, by party"
+            ).inc(size, party=sender)
+            metrics.counter(
+                "repro_bytes_received_total", "Wire bytes received, by party"
+            ).inc(size, party=recipient)
+            metrics.counter(
+                "repro_phase_bytes_total", "Wire bytes, by protocol phase"
+            ).inc(size, phase=phase)
+            metrics.histogram(
+                "repro_message_bytes", "Wire size of individual messages"
+            ).observe(size)
+            direction = (sender, recipient)
+            if direction != self._last_direction:
+                metrics.counter(
+                    "repro_round_trips_total",
+                    "Communication rounds (direction changes)",
+                ).inc()
+                self._last_direction = direction
+        tracer = obs.get_tracer()
+        if tracer.enabled:
+            tracer.current().add("bytes_on_wire", message.size_bytes)
         return message
 
     def receive(self, recipient: str, expected_type: Optional[str] = None) -> Any:

@@ -10,7 +10,7 @@ messages, and simulated time across all of them.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.exceptions import ProtocolError, ValidationError
 from repro.net.channel import Channel, LinkModel

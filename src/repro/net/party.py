@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro import obs
 from repro.exceptions import ProtocolError
 from repro.net.channel import Channel
 from repro.utils.rng import ReproRandom
@@ -45,10 +46,22 @@ class Party:
 
     def send(self, msg_type: str, payload: Any) -> None:
         """Send a message to the peer."""
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_party_messages_total",
+                "Messages handled, by party and direction",
+            ).inc(party=self.name, direction="sent")
         self.channel.send(self.name, msg_type, payload)
 
     def receive(self, expected_type: Optional[str] = None) -> Any:
         """Receive the next message from the peer."""
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_party_messages_total",
+                "Messages handled, by party and direction",
+            ).inc(party=self.name, direction="received")
         return self.channel.receive(self.name, expected_type)
 
 

@@ -17,6 +17,19 @@ from typing import Callable, Dict, Iterator, List, Optional
 from repro.net.message import Message
 
 
+def phase_of(msg_type: str) -> str:
+    """Canonical phase label for a message type.
+
+    Message types are ``<protocol>/<phase>`` (``"ompe/points"``,
+    ``"ompe-batch/ot-setups"``); the phase is the last path segment, so
+    the one-shot and batched protocols — and the metrics registry, the
+    transcripts, and the cost model — all account bytes under one
+    phase vocabulary: ``request``, ``params``, ``points``,
+    ``ot-setups``, ``ot-choices``, ``ot-transfers``, ...
+    """
+    return msg_type.rsplit("/", 1)[-1]
+
+
 @dataclass
 class Transcript:
     """An append-only log of protocol messages."""
@@ -55,6 +68,20 @@ class Transcript:
             m.size_bytes for m in self.messages if predicate is None or predicate(m)
         )
 
+    def bytes_by_phase(self) -> Dict[str, int]:
+        """Wire bytes grouped by canonical protocol phase.
+
+        This is the byte-accounting definition shared with the live
+        metrics (``repro_phase_bytes_total``) and the cost-model drift
+        detector (:mod:`repro.obs.drift`): one phase label per message
+        type via :func:`phase_of`, bytes summed per label.
+        """
+        totals: Dict[str, int] = {}
+        for message in self.messages:
+            phase = phase_of(message.msg_type)
+            totals[phase] = totals.get(phase, 0) + message.size_bytes
+        return totals
+
     def bytes_by_direction(self) -> Dict[str, int]:
         """Bytes grouped by ``sender->recipient`` direction."""
         totals: Dict[str, int] = {}
@@ -83,4 +110,5 @@ class Transcript:
             "rounds": self.round_count(),
             "total_bytes": self.total_bytes(),
             "by_direction": self.bytes_by_direction(),
+            "by_phase": self.bytes_by_phase(),
         }

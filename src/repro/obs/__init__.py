@@ -1,0 +1,97 @@
+"""repro.obs — end-to-end protocol observability.
+
+Three pieces, all zero-dependency:
+
+* :mod:`repro.obs.tracing` — context-manager spans (name, party, phase,
+  duration, attributes) nested into trees, exportable as JSON-lines and
+  a flame summary;
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms, exportable in Prometheus text format and JSON;
+* :mod:`repro.obs.drift` — compares observed per-phase wire bytes
+  against the closed-form cost model
+  (:func:`repro.evaluation.costmodel.predict_classification_bytes`)
+  and flags divergence beyond tolerance.
+
+Both the tracer and the registry are process-global and **no-op by
+default**; the instrumentation hooks threaded through ``repro.net``,
+``repro.crypto.ot``, and ``repro.core`` cost one attribute load per
+hook when disabled.  Typical use::
+
+    from repro import obs
+
+    with obs.observed() as (tracer, registry):
+        outcome = classify_linear(model, sample, seed=7)
+    print(tracer.flame())
+    print(registry.to_prometheus())
+
+``obs.drift`` is intentionally *not* imported here: it depends on the
+cost model, which sits above the instrumented layers; importing it
+eagerly would create an import cycle through ``repro.net``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Tuple
+
+from repro.obs.metrics import (
+    NOOP_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NoopRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.tracing import (
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NoopRegistry",
+    "NoopTracer",
+    "NOOP_REGISTRY",
+    "NOOP_TRACER",
+    "Span",
+    "Tracer",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_tracing",
+    "get_metrics",
+    "get_tracer",
+    "observed",
+    "set_metrics",
+    "set_tracer",
+]
+
+
+@contextmanager
+def observed() -> Iterator[Tuple[Tracer, MetricsRegistry]]:
+    """Enable tracing and metrics for a region, restoring the previous
+    tracer/registry afterwards.  Yields ``(tracer, registry)``."""
+    previous_tracer = get_tracer()
+    previous_registry = get_metrics()
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    set_tracer(tracer)
+    set_metrics(registry)
+    try:
+        yield tracer, registry
+    finally:
+        set_tracer(previous_tracer)
+        set_metrics(previous_registry)

@@ -1,6 +1,5 @@
 """Tests for the plaintext and Paillier baselines."""
 
-from fractions import Fraction
 
 import numpy as np
 import pytest

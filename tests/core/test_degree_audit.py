@@ -9,7 +9,6 @@ from repro.exceptions import ValidationError
 from repro.math.multivariate import MultivariatePolynomial
 from repro.ml.datasets import interaction_boundary
 from repro.ml.svm import train_svm
-from repro.utils.rng import ReproRandom
 
 
 class TestAuditDegree:

@@ -1,6 +1,5 @@
 """Tests for N-party private partner matching."""
 
-import numpy as np
 import pytest
 
 from repro.core.similarity import (

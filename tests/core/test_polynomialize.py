@@ -1,6 +1,5 @@
 """Tests for RBF/sigmoid kernel polynomialization (Section IV-B)."""
 
-import numpy as np
 import pytest
 
 from repro.core.classification import (

@@ -5,7 +5,6 @@ from fractions import Fraction
 import pytest
 
 from repro.core.ompe import (
-    OMPEConfig,
     OMPEFunction,
     ReceiverPool,
     SenderPool,

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.classification import classify_linear
-from repro.core.ompe import OMPEConfig, OMPEFunction
+from repro.core.ompe import OMPEFunction
 from repro.core.ompe.receiver import OMPEReceiver
 from repro.core.ompe.sender import OMPESender
 from repro.core.privacy import (

@@ -6,7 +6,6 @@ from fractions import Fraction
 import numpy as np
 import pytest
 
-from repro.core.ompe import OMPEConfig
 from repro.core.similarity import (
     MetricParams,
     build_t_squared_polynomial,

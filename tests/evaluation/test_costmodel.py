@@ -1,12 +1,12 @@
 """Tests for the analytic communication-cost model."""
 
-from fractions import Fraction
 
 import pytest
 
 from repro.core.ompe import OMPEConfig, OMPEFunction, execute_ompe
 from repro.core.similarity import evaluate_similarity_private
 from repro.evaluation.costmodel import (
+    breakdown_from_transcript,
     predict_classification_bytes,
     predict_similarity_bytes,
 )
@@ -49,6 +49,29 @@ class TestClassificationModel:
         config, report = _measured_bytes(q, k, n, degree)
         predicted = predict_classification_bytes(config, n, degree).total_bytes
         assert abs(predicted - report.total_bytes) / report.total_bytes < 0.25
+
+    @pytest.mark.parametrize(
+        "q,k,n,degree",
+        [(1, 2, 2, 1), (2, 3, 2, 1), (2, 3, 4, 1), (3, 4, 3, 1), (2, 2, 2, 3)],
+    )
+    def test_per_phase_within_tolerance(self, q, k, n, degree):
+        """Every *large* phase tracks its prediction, not just the total."""
+        config, report = _measured_bytes(q, k, n, degree)
+        measured = breakdown_from_transcript(report.transcript)
+        assert measured.total_bytes == report.total_bytes
+        predicted = predict_classification_bytes(config, n, degree)
+        for phase, predicted_bytes in predicted.by_phase().items():
+            observed = measured.by_phase()[phase]
+            if predicted_bytes < 64:
+                assert abs(observed - predicted_bytes) <= 64, phase
+            else:
+                error = abs(observed - predicted_bytes) / predicted_bytes
+                assert error < 0.35, f"{phase}: {observed} vs {predicted_bytes}"
+
+    def test_measured_breakdown_matches_transcript_by_phase(self, fast_config):
+        config, report = _measured_bytes(2, 2, 3, 1)
+        measured = breakdown_from_transcript(report.transcript)
+        assert measured.by_phase() == report.transcript.bytes_by_phase()
 
     def test_phase_breakdown_sums(self, fast_config):
         breakdown = predict_classification_bytes(fast_config, 3, 1)

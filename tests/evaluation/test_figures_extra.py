@@ -1,12 +1,9 @@
 """Extra coverage for figure runners' alternate code paths."""
 
-import pytest
 
-from repro.core.ompe import OMPEConfig
 from repro.evaluation.figures import run_fig5, run_fig6
 from repro.evaluation.harness import ExperimentResult
 from repro.evaluation.plotting import render_experiment
-from repro.math.groups import fast_group
 
 
 class TestFig5ProtocolPath:

@@ -3,11 +3,13 @@
 import pytest
 
 import repro.evaluation  # noqa: F401 — populate the registry
+from repro import obs
 from repro.evaluation.harness import (
     ExperimentResult,
     available_experiments,
     register,
     run_experiment,
+    write_metrics_snapshot,
 )
 from repro.exceptions import ValidationError
 
@@ -50,6 +52,29 @@ class TestExperimentResult:
     def test_to_text_empty_rows(self):
         empty = ExperimentResult("t", "T", ["x"], [])
         assert "t" in empty.to_text()
+
+
+class TestObservabilityWiring:
+    def test_experiment_runs_inside_a_span(self):
+        with obs.observed() as (tracer, _):
+            run_experiment("fig6")
+        spans = tracer.find("experiment")
+        assert spans and spans[0].attributes["experiment"] == "fig6"
+
+    def test_metrics_snapshot_attached_when_registry_live(self, tmp_path):
+        with obs.observed():
+            result = run_experiment("fig6")
+        assert result.metrics is not None
+        path = tmp_path / "metrics.json"
+        assert write_metrics_snapshot(result, str(path)) is True
+        assert path.exists()
+
+    def test_no_registry_means_no_snapshot(self, tmp_path):
+        result = run_experiment("fig6")
+        assert result.metrics is None
+        path = tmp_path / "metrics.json"
+        assert write_metrics_snapshot(result, str(path)) is False
+        assert not path.exists()
 
 
 class TestRendering:

@@ -1,10 +1,8 @@
 """Tests for the report module (run_all, rendering, CLI flags)."""
 
-import pytest
 
 from repro.evaluation.harness import ExperimentResult
 from repro.evaluation.report import (
-    main,
     render_markdown,
     render_text,
     run_all,

@@ -6,7 +6,6 @@ protocol over the measured network substrate, and check the outcome
 against the plaintext ground truth.
 """
 
-import math
 from fractions import Fraction
 
 import numpy as np
@@ -18,7 +17,6 @@ from repro.core.classification import (
     private_classify,
 )
 from repro.core.baselines import classify_paillier
-from repro.core.ompe import OMPEConfig
 from repro.core.privacy import extract_view, scan_view_for_values
 from repro.core.similarity import (
     MetricParams,

@@ -10,7 +10,7 @@ from fractions import Fraction
 
 import pytest
 
-from repro.core.ompe import OMPEConfig, OMPEFunction
+from repro.core.ompe import OMPEFunction
 from repro.core.ompe.receiver import OMPEReceiver
 from repro.core.ompe.sender import OMPESender
 from repro.crypto.ot import OneOfNReceiver, OneOfNSender
@@ -128,7 +128,7 @@ class TestOTTampering:
         sender_b = OneOfNSender(group, rng.fork("b"))
         receiver = OneOfNReceiver(group, rng.fork("r"))
         setup_a = sender_a.setup()
-        setup_b = sender_b.setup()
+        sender_b.setup()  # B's session exists but its setup is unused
         choice_a = receiver.choose(setup_a, 0, 2)
         # Feed A's choice to B (session ids differ).
         with pytest.raises(ObliviousTransferError):

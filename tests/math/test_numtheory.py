@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.exceptions import KeyGenerationError, ValidationError
+from repro.exceptions import ValidationError
 from repro.math.numtheory import (
     crt_combine,
     extended_gcd,

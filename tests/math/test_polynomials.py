@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 
 from repro.exceptions import ValidationError
 from repro.math.polynomials import Polynomial
-from repro.utils.rng import ReproRandom
 
 coeff_lists = st.lists(
     st.fractions(max_denominator=100), min_size=1, max_size=6

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.exceptions import ValidationError
 from repro.ml.datasets import two_gaussians
 from repro.ml.svm import SMOConfig, SMOTrainer, accuracy
 

@@ -10,7 +10,6 @@ from repro.ml.datasets import concentric_circles, two_gaussians
 from repro.ml.kernels import linear_kernel
 from repro.ml.svm import (
     SMOConfig,
-    SMOTrainer,
     SVMModel,
     accuracy,
     make_linear_model,

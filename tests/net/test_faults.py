@@ -4,21 +4,20 @@ from fractions import Fraction
 
 import pytest
 
+from repro import obs
+
 from repro.core.ompe import OMPEFunction
 from repro.core.ompe.receiver import OMPEReceiver
 from repro.core.ompe.sender import OMPESender
-from repro.exceptions import (
-    ObliviousTransferError,
-    ProtocolError,
-    ReproError,
-    ValidationError,
-)
+from repro.exceptions import ProtocolError, ReproError, ValidationError
 from repro.math.multivariate import MultivariatePolynomial
 from repro.net import (
     Channel,
     CorruptingChannel,
+    DelayingChannel,
     DroppingChannel,
     DuplicatingChannel,
+    RetryingChannel,
 )
 from repro.utils.rng import ReproRandom
 
@@ -86,6 +85,90 @@ class TestCorruptingChannel:
         assert channel.receive("b") == b"evil"
 
 
+class TestDelayingChannel:
+    def test_inflates_simulated_time_only(self):
+        channel = DelayingChannel(Channel("a", "b"), 0.25)
+        channel.send("a", "m", b"x")
+        channel.send("a", "m2", b"y")
+        assert channel.delayed == 2
+        assert channel.extra_delay_s == 0.5
+        assert channel.simulated_time == channel.inner.simulated_time + 0.5
+        # Delivery itself is untouched (FIFO, no loss).
+        assert channel.receive("b", "m") == b"x"
+        assert channel.receive("b", "m2") == b"y"
+
+    def test_probability_gates_injection(self):
+        channel = DelayingChannel(Channel("a", "b"), 1.0, 0.0)
+        channel.send("a", "m", b"x")
+        assert channel.delayed == 0
+        assert channel.extra_delay_s == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            DelayingChannel(Channel("a", "b"), -0.1)
+        with pytest.raises(ValidationError):
+            DelayingChannel(Channel("a", "b"), 0.1, delay_probability=2.0)
+
+
+class TestRetryingChannel:
+    def test_transparent_over_reliable_channel(self):
+        channel = RetryingChannel(Channel("a", "b"))
+        channel.send("a", "m", b"x")
+        assert channel.retries == 0
+        assert channel.receive("b") == b"x"
+
+    def test_recovers_from_drops(self):
+        # Seeded so some sends are dropped at least once but none are
+        # lost 4 times in a row.
+        lossy = DroppingChannel(Channel("a", "b"), 0.5, ReproRandom(12))
+        channel = RetryingChannel(lossy, max_retries=10)
+        for index in range(20):
+            channel.send("a", f"m{index}", index)
+        for index in range(20):
+            assert channel.receive("b", f"m{index}") == index
+        assert channel.retries > 0
+        assert lossy.dropped == channel.retries
+
+    def test_exhaustion_raises(self):
+        lossy = DroppingChannel(Channel("a", "b"), 1.0, ReproRandom(13))
+        channel = RetryingChannel(lossy, max_retries=2)
+        with pytest.raises(ProtocolError, match="lost after 2 retries"):
+            channel.send("a", "m", b"x")
+        assert channel.retries == 2
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RetryingChannel(Channel("a", "b"), max_retries=0)
+
+
+class TestFaultObservability:
+    def test_faults_visible_as_counters_and_span_attributes(self):
+        with obs.observed() as (tracer, registry):
+            with tracer.span("workload") as span:
+                dropping = DroppingChannel(Channel("a", "b"), 1.0, ReproRandom(14))
+                dropping.send("a", "m", b"x")
+                delaying = DelayingChannel(Channel("a", "b"), 0.1)
+                delaying.send("a", "m", b"x")
+        counter = registry.counter("repro_faults_injected_total")
+        assert counter.value(kind="drop") == 1
+        assert counter.value(kind="delay") == 1
+        assert span.attributes["faults.drop"] == 1
+        assert span.attributes["faults.delay"] == 1
+
+    def test_retries_visible_as_counter_and_span_attribute(self):
+        with obs.observed() as (tracer, registry):
+            with tracer.span("workload") as span:
+                lossy = DroppingChannel(Channel("a", "b"), 0.5, ReproRandom(15))
+                channel = RetryingChannel(lossy, max_retries=10)
+                for index in range(10):
+                    channel.send("a", f"m{index}", index)
+        assert channel.retries > 0
+        assert (
+            registry.counter("repro_net_retries_total").total() == channel.retries
+        )
+        assert span.attributes["net.retries"] == channel.retries
+
+
 class TestProtocolUnderFaults:
     def _parties(self, fast_config, channel):
         polynomial = MultivariatePolynomial.affine(
@@ -125,6 +208,30 @@ class TestProtocolUnderFaults:
         receiver.send_request()  # dropped
         with pytest.raises(ProtocolError):
             sender.handle_request()
+
+    def test_retrying_channel_completes_protocol_over_lossy_link(
+        self, fast_config
+    ):
+        """Recovery path: a full OMPE run succeeds over a 40%-loss link,
+        and the retries show up in the trace and the fault counters."""
+        lossy = DroppingChannel(
+            Channel("alice", "bob"), 0.4, ReproRandom(31)
+        )
+        channel = RetryingChannel(lossy, max_retries=25)
+        with obs.observed() as (tracer, registry):
+            sender, receiver = self._parties(fast_config, channel)
+            value = self._drive(sender, receiver)
+        assert value is not None
+        assert channel.retries > 0
+        assert lossy.dropped == channel.retries
+        counter = registry.counter("repro_faults_injected_total")
+        assert counter.value(kind="drop") == lossy.dropped
+        # Retries annotate the protocol-phase spans they occurred inside,
+        # so the trace shows which phase absorbed the loss.
+        retries_traced = sum(
+            s.attributes.get("net.retries", 0) for s, _ in tracer.spans()
+        )
+        assert retries_traced == channel.retries
 
     def test_corrupted_ot_payload_detected(self, fast_config):
         """Corrupt only the OT transfer bytes: the MAC check aborts."""

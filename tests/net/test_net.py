@@ -11,7 +11,6 @@ from repro.net import (
     LinkModel,
     Message,
     Party,
-    ProtocolReport,
     Transcript,
     connect_parties,
     finish_report,

@@ -1,0 +1,108 @@
+"""Tests for cost-model drift detection."""
+
+import json
+from fractions import Fraction
+
+from repro import obs
+from repro.core.ompe import OMPEFunction, execute_ompe
+from repro.evaluation.costmodel import predict_classification_bytes
+from repro.math.multivariate import MultivariatePolynomial
+from repro.obs.drift import (
+    ABSOLUTE_FLOOR_BYTES,
+    compare_to_prediction,
+    drift_from_metrics,
+    drift_from_transcript,
+)
+
+
+def _run_ompe(config, dimension=3, seed=11):
+    polynomial = MultivariatePolynomial.affine(
+        [Fraction(i + 1, 3) for i in range(dimension)], Fraction(1, 2)
+    )
+    return execute_ompe(
+        OMPEFunction.from_polynomial(polynomial),
+        tuple(Fraction(1, i + 2) for i in range(dimension)),
+        config=config,
+        seed=seed,
+    )
+
+
+class TestCompareToPrediction:
+    def test_accurate_observation_passes(self, fast_config):
+        predicted = predict_classification_bytes(fast_config, 3, 1)
+        report = compare_to_prediction(predicted.by_phase(), predicted)
+        assert report.ok
+        assert report.total_observed == report.total_predicted
+        assert all(phase.ratio == 1.0 for phase in report.phases)
+
+    def test_inflated_phase_is_flagged(self, fast_config):
+        predicted = predict_classification_bytes(fast_config, 3, 1)
+        observed = predicted.by_phase()
+        observed["ot-transfers"] = int(observed["ot-transfers"] * 2)
+        report = compare_to_prediction(observed, predicted)
+        assert not report.ok
+        assert [phase.phase for phase in report.drifted_phases] == ["ot-transfers"]
+
+    def test_tiny_phases_use_absolute_slack(self, fast_config):
+        predicted = predict_classification_bytes(fast_config, 3, 1)
+        observed = predicted.by_phase()
+        # 7 -> 20 bytes is a 186% relative error but far below the floor.
+        assert observed["request"] < ABSOLUTE_FLOOR_BYTES
+        observed["request"] = 20
+        assert compare_to_prediction(observed, predicted).ok
+
+    def test_unknown_large_phase_is_flagged(self, fast_config):
+        predicted = predict_classification_bytes(fast_config, 3, 1)
+        observed = predicted.by_phase()
+        observed["mystery"] = 4096
+        report = compare_to_prediction(observed, predicted)
+        assert not report.ok
+        drifted = {phase.phase for phase in report.drifted_phases}
+        assert drifted == {"mystery"}
+        mystery = next(p for p in report.phases if p.phase == "mystery")
+        assert mystery.ratio == float("inf")
+
+    def test_observations_averaged_over_runs(self, fast_config):
+        predicted = predict_classification_bytes(fast_config, 3, 1)
+        doubled = {k: 2 * v for k, v in predicted.by_phase().items()}
+        assert not compare_to_prediction(doubled, predicted).ok
+        assert compare_to_prediction(doubled, predicted, runs=2).ok
+
+    def test_report_renders_text_and_dict(self, fast_config):
+        predicted = predict_classification_bytes(fast_config, 3, 1)
+        report = compare_to_prediction(predicted.by_phase(), predicted)
+        text = report.to_text()
+        assert "ot-transfers" in text
+        assert "ok" in text
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+        assert len(payload["phases"]) == 6
+
+
+class TestLiveDrift:
+    def test_transcript_of_real_run_within_tolerance(self, fast_config):
+        outcome = _run_ompe(fast_config)
+        report = drift_from_transcript(
+            outcome.report.transcript, fast_config, dimension=3
+        )
+        assert report.ok, report.to_text()
+        assert report.total_observed == outcome.report.total_bytes
+
+    def test_metrics_of_real_runs_within_tolerance(self, fast_config):
+        with obs.observed() as (_, registry):
+            _run_ompe(fast_config, seed=21)
+            _run_ompe(fast_config, seed=22)
+        report = drift_from_metrics(registry, fast_config, dimension=3)
+        assert report.runs == 2
+        assert report.ok, report.to_text()
+
+    def test_metrics_drift_detects_inflation(self, fast_config):
+        with obs.observed() as (_, registry):
+            _run_ompe(fast_config, seed=23)
+            # Simulate a serialization regression: extra traffic in one phase.
+            registry.counter("repro_phase_bytes_total").inc(
+                10_000, phase="ot-transfers"
+            )
+        report = drift_from_metrics(registry, fast_config, dimension=3)
+        assert not report.ok
+        assert "ot-transfers" in {p.phase for p in report.drifted_phases}

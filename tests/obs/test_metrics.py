@@ -1,0 +1,135 @@
+"""Tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs import (
+    NOOP_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+)
+
+
+class TestCounter:
+    def test_inc_and_value_per_label_set(self):
+        counter = Counter("c")
+        counter.inc(phase="points")
+        counter.inc(3, phase="points")
+        counter.inc(phase="params")
+        assert counter.value(phase="points") == 4
+        assert counter.value(phase="params") == 1
+        assert counter.value(phase="unseen") == 0
+        assert counter.total() == 5
+
+    def test_label_order_is_irrelevant(self):
+        counter = Counter("c")
+        counter.inc(a="1", b="2")
+        counter.inc(b="2", a="1")
+        assert counter.value(a="1", b="2") == 2
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValidationError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value() == 2
+
+    def test_inc_accumulates(self):
+        gauge = Gauge("g")
+        gauge.inc(2)
+        gauge.inc(-3)
+        assert gauge.value() == -1
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        histogram = Histogram("h", buckets=(10.0, 100.0))
+        histogram.observe(5)
+        histogram.observe(50)
+        histogram.observe(500)
+        assert histogram.bucket_counts() == {10.0: 1, 100.0: 2}
+        assert histogram.count() == 3
+        assert histogram.sum() == 555
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValidationError):
+            Histogram("h", buckets=(100.0, 10.0))
+
+
+class TestRegistry:
+    def test_memoizes_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValidationError):
+            registry.gauge("x")
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_things_total", "Things.").inc(2, kind="a")
+        registry.gauge("repro_level").set(7)
+        registry.histogram("repro_sizes", buckets=(10.0,)).observe(3)
+        text = registry.to_prometheus()
+        assert "# HELP repro_things_total Things." in text
+        assert "# TYPE repro_things_total counter" in text
+        assert 'repro_things_total{kind="a"} 2' in text
+        assert "repro_level 7" in text
+        assert 'repro_sizes_bucket{le="10"} 1' in text
+        assert 'repro_sizes_bucket{le="+Inf"} 1' in text
+        assert "repro_sizes_sum 3" in text
+        assert "repro_sizes_count 1" in text
+
+    def test_snapshot_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(phase="points")
+        registry.histogram("h").observe(100)
+        parsed = json.loads(registry.to_json())
+        assert parsed["c"]["kind"] == "counter"
+        assert parsed["c"]["series"][0]["labels"] == {"phase": "points"}
+        assert parsed["h"]["series"][0]["count"] == 1
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.names() == []
+
+
+class TestGlobalRegistry:
+    def test_disabled_by_default(self):
+        assert get_metrics() is NOOP_REGISTRY
+        assert get_metrics().enabled is False
+
+    def test_noop_instruments_are_inert(self):
+        instrument = NOOP_REGISTRY.counter("anything")
+        instrument.inc(5, phase="x")
+        instrument.observe(1)
+        instrument.set(2)
+        assert instrument.total() == 0
+        assert NOOP_REGISTRY.to_prometheus() == ""
+        assert NOOP_REGISTRY.snapshot() == {}
+
+    def test_enable_disable_roundtrip(self):
+        registry = enable_metrics()
+        try:
+            assert get_metrics() is registry
+            get_metrics().counter("seen").inc()
+            assert registry.counter("seen").total() == 1
+        finally:
+            disable_metrics()
+        assert get_metrics() is NOOP_REGISTRY

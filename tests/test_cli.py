@@ -120,6 +120,54 @@ class TestExperiment:
         assert "Retrieval" in capsys.readouterr().out
 
 
+class TestObserve:
+    def test_traced_run_with_drift_check(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        assert main([
+            "observe", "--runs", "2", "--security-degree", "1",
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+        ]) == 0
+        output = capsys.readouterr().out
+        # All three acceptance artifacts: span tree, Prometheus dump,
+        # drift report.
+        assert "== span tree ==" in output
+        assert "ompe.interpolate" in output
+        assert "== metrics (prometheus) ==" in output
+        assert "repro_phase_bytes_total" in output
+        assert "== cost-model drift ==" in output
+        assert "ot-transfers" in output
+        assert "DRIFT" not in output
+        # Exported artifacts parse.
+        import json
+
+        spans = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        assert {span["name"] for span in spans} >= {
+            "ompe", "ompe.params", "ompe.points",
+            "ompe.ot_setup", "ompe.ot_transfer", "ompe.interpolate",
+        }
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["repro_ompe_runs_total"]["series"][0]["value"] == 2
+
+    def test_drift_exit_code(self, capsys):
+        # An absurdly tight tolerance forces the drift verdict.
+        code = main(["observe", "--security-degree", "1",
+                     "--tolerance", "0.0001"])
+        assert code == 3
+        assert "DRIFT detected" in capsys.readouterr().err
+
+    def test_leaves_global_observability_disabled(self):
+        from repro import obs
+
+        assert main(["observe", "--security-degree", "1"]) in (0, 3)
+        assert obs.get_tracer().enabled is False
+        assert obs.get_metrics().enabled is False
+
+
 class TestErrorHandling:
     def test_repro_error_becomes_exit_code(self, tmp_path, capsys):
         missing = tmp_path / "missing.libsvm"
