@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli experiment table1            # regenerate a table/figure
     python -m repro.cli experiment --all
     python -m repro.cli observe --runs 3             # traced run + drift check
+    python -m repro.cli serve-bench --jobs 16 --workers 1,2,4
 
 The CLI is a thin layer over the public API; each subcommand maps to
 one documented library call, so it doubles as executable documentation.
@@ -191,6 +192,85 @@ def _cmd_observe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_worker_counts(text: str) -> List[int]:
+    """Parse ``--workers "1,2,4"`` into validated worker counts."""
+    from repro.exceptions import ValidationError
+
+    try:
+        counts = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise ValidationError(
+            f"--workers expects a comma-separated list of integers, got {text!r}"
+        ) from None
+    if not counts or any(count < 1 for count in counts):
+        raise ValidationError(
+            f"--workers needs one or more positive counts, got {text!r}"
+        )
+    return counts
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.engine import EnginePolicy, run_engine
+    from repro.exceptions import ValidationError
+    from repro.math.groups import fast_group
+    from repro.ml.svm import make_linear_model
+    from repro.utils.rng import ReproRandom
+
+    if args.jobs < 1:
+        raise ValidationError(f"--jobs must be at least 1, got {args.jobs}")
+    if args.dimension < 1:
+        raise ValidationError(
+            f"--dimension must be at least 1, got {args.dimension}"
+        )
+    worker_counts = _parse_worker_counts(args.workers)
+
+    rng = ReproRandom(args.seed)
+    model = make_linear_model(
+        [rng.uniform(-2.0, 2.0) for _ in range(args.dimension)],
+        rng.uniform(-1.0, 1.0),
+    )
+    samples = [
+        [rng.uniform(-1.0, 1.0) for _ in range(args.dimension)]
+        for _ in range(args.jobs)
+    ]
+    config = OMPEConfig(security_degree=args.security_degree, group=fast_group())
+    policy = EnginePolicy(timeout_s=args.timeout, max_retries=args.max_retries)
+
+    print(f"{'workers':>7s} {'jobs/s':>9s} {'elapsed':>9s} {'failed':>6s} "
+          f"{'ompe runs':>9s}")
+    baseline: Optional[float] = None
+    exit_code = 0
+    for workers in worker_counts:
+        report = run_engine(
+            model,
+            samples,
+            config=config,
+            workers=workers,
+            pool_size=args.pool_size,
+            queue_capacity=args.queue_capacity,
+            policy=policy,
+            seed=args.seed,
+        )
+        snapshot = report.metrics.snapshot()
+        ompe_runs = sum(
+            entry["value"]
+            for entry in snapshot.get("repro_ompe_runs_total", {}).get("series", [])
+        )
+        speedup = ""
+        if baseline is None:
+            baseline = report.jobs_per_second
+        elif baseline > 0:
+            speedup = f"  ({report.jobs_per_second / baseline:.2f}x vs first)"
+        print(
+            f"{workers:7d} {report.jobs_per_second:9.2f} "
+            f"{report.elapsed_s:8.2f}s {len(report.failed):6d} "
+            f"{int(ompe_runs):9d}{speedup}"
+        )
+        if report.failed:
+            exit_code = 1
+    return exit_code
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     ids = available_experiments() if args.all else [args.experiment]
     if not args.all and args.experiment is None:
@@ -267,6 +347,22 @@ def build_parser() -> argparse.ArgumentParser:
     observe.add_argument("--metrics-out", default=None,
                          help="write the metrics snapshot as JSON")
 
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="benchmark the multi-core protocol engine (jobs/sec per worker count)",
+    )
+    serve_bench.add_argument("--dimension", type=int, default=3)
+    serve_bench.add_argument("--jobs", type=int, default=16)
+    serve_bench.add_argument("--workers", default="1,2,4",
+                             help="comma-separated worker counts to sweep")
+    serve_bench.add_argument("--pool-size", type=int, default=16)
+    serve_bench.add_argument("--queue-capacity", type=int, default=64)
+    serve_bench.add_argument("--security-degree", type=int, default=2)
+    serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument("--timeout", type=float, default=None,
+                             help="per-job timeout in seconds")
+    serve_bench.add_argument("--max-retries", type=int, default=2)
+
     return parser
 
 
@@ -278,6 +374,7 @@ _HANDLERS = {
     "similarity": _cmd_similarity,
     "experiment": _cmd_experiment,
     "observe": _cmd_observe,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

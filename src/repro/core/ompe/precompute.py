@@ -107,7 +107,17 @@ class SenderPool:
         return len(self._bundles)
 
     def pop(self) -> SenderBundle:
-        """Consume one bundle (each must be used at most once)."""
+        """Consume one bundle (each must be used at most once).
+
+        Exhaustion contract (pinned by ``tests/core/test_precompute.py``):
+        a raw pool raises :class:`~repro.exceptions.OMPEError` when
+        popped empty — it never regenerates silently, because a reused
+        or implicitly re-derived mask/amplifier would break one-time
+        randomness.  Refill is a *caller* policy:
+        :class:`~repro.core.classification.session.PrivateClassificationSession`
+        and the :mod:`repro.engine` workers construct a fresh pool from
+        their own seeded stream when this error would otherwise trip.
+        """
         if not self._bundles:
             raise OMPEError("sender precomputation pool exhausted")
         return self._bundles.pop()
@@ -203,7 +213,12 @@ class ReceiverPool:
         return len(self._bundles)
 
     def pop(self) -> ReceiverBundle:
-        """Consume one bundle (each must be used at most once)."""
+        """Consume one bundle (each must be used at most once).
+
+        Same exhaustion contract as :meth:`SenderPool.pop`: raises
+        :class:`~repro.exceptions.OMPEError` when empty, never refills
+        itself — transparent refill belongs to the session/engine layer.
+        """
         if not self._bundles:
             raise OMPEError("receiver precomputation pool exhausted")
         return self._bundles.pop()

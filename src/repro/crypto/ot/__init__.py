@@ -2,7 +2,12 @@
 
 from repro.crypto.ot.base import OTChoice, OTSetup, OTTransfer
 from repro.crypto.ot.k_of_n import KOfNReceiver, KOfNSender, run_k_of_n
-from repro.crypto.ot.one_of_n import OneOfNReceiver, OneOfNSender, run_one_of_n
+from repro.crypto.ot.one_of_n import (
+    OneOfNReceiver,
+    OneOfNSender,
+    TransferMaterial,
+    run_one_of_n,
+)
 from repro.crypto.ot.one_of_two import OneOfTwoReceiver, OneOfTwoSender, run_one_of_two
 
 __all__ = [
@@ -14,6 +19,7 @@ __all__ = [
     "run_k_of_n",
     "OneOfNReceiver",
     "OneOfNSender",
+    "TransferMaterial",
     "run_one_of_n",
     "OneOfTwoReceiver",
     "OneOfTwoSender",

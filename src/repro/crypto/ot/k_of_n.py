@@ -27,7 +27,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.crypto.ot.base import OTChoice, OTSetup, OTTransfer
-from repro.crypto.ot.one_of_n import OneOfNReceiver, OneOfNSender
+from repro.crypto.ot.one_of_n import OneOfNReceiver, OneOfNSender, TransferMaterial
 from repro.exceptions import ObliviousTransferError, ValidationError
 from repro.math.groups import SchnorrGroup
 from repro.utils.rng import ReproRandom
@@ -55,16 +55,25 @@ class KOfNSender:
     def transfer(
         self, messages: Sequence[bytes], choices: Sequence[OTChoice]
     ) -> List[OTTransfer]:
-        """Answer every parallel session over the same message vector."""
+        """Answer every parallel session over the same message vector.
+
+        The per-slot key-derivation material (validated payload, context
+        suffixes) is memoized once in a :class:`TransferMaterial` and
+        shared across all ``k`` sessions instead of being rebuilt per
+        session — in a batched conversation that is ``k·m`` sessions
+        over ``M·batch`` slots.  Outputs are identical to the unshared
+        path on the same seeds.
+        """
         if len(choices) != len(self._subsenders):
             raise ObliviousTransferError(
                 f"{len(choices)} choices for {len(self._subsenders)} sessions"
             )
+        material = TransferMaterial(messages)
         with obs.get_tracer().span(
             "ot.transfer", sessions=len(choices), slots=len(messages)
         ):
             transfers = [
-                sub.transfer(messages, choice)
+                sub.transfer(messages, choice, material=material)
                 for sub, choice in zip(self._subsenders, choices)
             ]
         metrics = obs.get_metrics()

@@ -43,6 +43,30 @@ def _slot_context(session: bytes, slot: int) -> bytes:
     return session + b"|slot:" + str(slot).encode("ascii")
 
 
+class TransferMaterial:
+    """Memoized sender-side material shared by parallel sessions.
+
+    The ``k``-of-``n`` construction answers every one of its ``k·m``
+    parallel sessions over the *same* message vector.  Everything about
+    that vector that does not depend on the session — the validated
+    payload copy and the per-slot key-derivation context suffixes — is
+    deterministic, so it is computed once here and reused by every
+    session instead of once per session.  Purely a cache: a transfer
+    produced through a shared :class:`TransferMaterial` is bit-identical
+    to one produced without it (covered by ``tests/crypto/test_ot.py``).
+    """
+
+    __slots__ = ("payload", "slot_suffixes", "sessions_served")
+
+    def __init__(self, messages: Sequence[bytes]) -> None:
+        self.payload = validate_messages(messages)
+        self.slot_suffixes: Tuple[bytes, ...] = tuple(
+            b"|slot:" + str(slot).encode("ascii")
+            for slot in range(len(self.payload))
+        )
+        self.sessions_served = 0
+
+
 class OneOfNSender:
     """Sender side of the 1-out-of-n OT."""
 
@@ -58,35 +82,48 @@ class OneOfNSender:
         self._setup = OTSetup(session=session, blinding_points=(w,))
         return self._setup
 
-    def transfer(self, messages: Sequence[bytes], choice: OTChoice) -> OTTransfer:
-        """Wrap every message so only the chosen slot is recoverable."""
+    def transfer(
+        self,
+        messages: Sequence[bytes],
+        choice: OTChoice,
+        material: Optional[TransferMaterial] = None,
+    ) -> OTTransfer:
+        """Wrap every message so only the chosen slot is recoverable.
+
+        ``material`` optionally carries the pre-validated payload and
+        per-slot context suffixes shared with sibling parallel sessions
+        (see :class:`TransferMaterial`); the output is identical with or
+        without it.
+        """
         if self._setup is None:
             raise ObliviousTransferError("transfer before setup")
         if choice.session != self._setup.session:
             raise ObliviousTransferError("choice belongs to a different session")
         if len(choice.blinded_keys) != 1:
             raise ObliviousTransferError("1-of-n choice must carry one blinded key")
-        payload = validate_messages(messages)
+        if material is None:
+            material = TransferMaterial(messages)
+        material.sessions_served += 1
+        payload = material.payload
         group = self.group
         (w,) = self._setup.blinding_points
         blinded = choice.blinded_keys[0]
         if not group.contains(blinded):
             raise ObliviousTransferError("blinded key is not a group element")
         w_inverse = group.inv(w)
+        session = self._setup.session
         ephemeral_points: List[int] = []
         wrapped: List[bytes] = []
         shifted = blinded  # V · w^{-i}, updated incrementally per slot.
-        for slot, message in enumerate(payload):
+        for message, suffix in zip(payload, material.slot_suffixes):
             r = group.random_exponent(self._rng)
             ephemeral_points.append(group.exp_g(r))
             key_point = group.exp(shifted, r)
             key_bytes = group.encode_element(key_point)
-            wrapped.append(
-                wrap_message(key_bytes, message, _slot_context(self._setup.session, slot))
-            )
+            wrapped.append(wrap_message(key_bytes, message, session + suffix))
             shifted = group.mul(shifted, w_inverse)
         return OTTransfer(
-            session=self._setup.session,
+            session=session,
             ephemeral_points=tuple(ephemeral_points),
             wrapped=tuple(wrapped),
         )

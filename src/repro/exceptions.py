@@ -57,6 +57,14 @@ class OMPEError(ProtocolError):
     """The oblivious multivariate polynomial evaluation failed."""
 
 
+class EngineError(ProtocolError):
+    """The multi-core protocol engine failed (dead worker, bad job)."""
+
+
+class EngineTimeout(EngineError):
+    """A job exceeded the engine's per-job timeout budget."""
+
+
 class TrainingError(ReproError):
     """SVM training did not converge or received unusable data."""
 

@@ -10,8 +10,9 @@ tests and the privacy analysis.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from fractions import Fraction
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.exceptions import InterpolationError
 from repro.math.polynomials import Number, Polynomial
@@ -52,25 +53,81 @@ def lagrange_interpolate(
     return result
 
 
+#: Capacity of the zero-basis weight cache.  One entry per distinct node
+#: set; a batched/pooled run revisits node sets whenever seeds repeat
+#: (benchmark reruns, engine drains, drift checks on fixed workloads).
+_ZERO_WEIGHT_CACHE_CAP = 512
+
+_ZERO_WEIGHT_CACHE: "OrderedDict[Tuple[Number, ...], Tuple[Number, ...]]" = (
+    OrderedDict()
+)
+_ZERO_WEIGHT_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def _zero_basis_weights(xs: Tuple[Number, ...]) -> Tuple[Number, ...]:
+    """Lagrange basis weights at ``v = 0``: ``w_j = Π_{i≠j} x_i/(x_i - x_j)``.
+
+    The weights depend only on the node set, never on the values, so
+    they are memoized per node tuple (bounded LRU).  Exact arithmetic
+    makes a cache hit bit-identical to recomputation; the float path is
+    identical too because the multiplication order is preserved.
+    """
+    cached = _ZERO_WEIGHT_CACHE.get(xs)
+    if cached is not None:
+        _ZERO_WEIGHT_STATS["hits"] += 1
+        _ZERO_WEIGHT_CACHE.move_to_end(xs)
+        return cached
+    _ZERO_WEIGHT_STATS["misses"] += 1
+    weights: List[Number] = []
+    for j, xj in enumerate(xs):
+        weight: Number = 1
+        for i, xi in enumerate(xs):
+            if i == j:
+                continue
+            weight = weight * _divide(xi, xi - xj)
+        weights.append(weight)
+    result = tuple(weights)
+    _ZERO_WEIGHT_CACHE[xs] = result
+    if len(_ZERO_WEIGHT_CACHE) > _ZERO_WEIGHT_CACHE_CAP:
+        _ZERO_WEIGHT_CACHE.popitem(last=False)
+    return result
+
+
+def clear_zero_weight_cache() -> None:
+    """Drop all cached zero-basis weights and reset hit/miss counters."""
+    _ZERO_WEIGHT_CACHE.clear()
+    _ZERO_WEIGHT_STATS["hits"] = 0
+    _ZERO_WEIGHT_STATS["misses"] = 0
+
+
+def zero_weight_cache_stats() -> Dict[str, int]:
+    """Current ``{"hits", "misses", "size"}`` of the weight cache."""
+    stats = dict(_ZERO_WEIGHT_STATS)
+    stats["size"] = len(_ZERO_WEIGHT_CACHE)
+    return stats
+
+
 def lagrange_at_zero(xs: Sequence[Number], ys: Sequence[Number]) -> Number:
     """Evaluate the interpolating polynomial at 0 directly.
 
     This is the protocol's secret-recovery step ``B(0)``; it costs
     ``O(m^2)`` without constructing coefficients:
     ``B(0) = Σ_j y_j Π_{i≠j} x_i / (x_i - x_j)``.
+
+    The basis weights depend only on the nodes, so they are cached per
+    node set (see :func:`zero_weight_cache_stats`); repeated
+    reconstructions over the same nodes — batched conversations,
+    engine workers draining seeded workloads, benchmark reruns — pay
+    the ``O(m^2)`` division work once.
     """
     _check_nodes(xs, ys)
     if any(x == 0 for x in xs):
         raise InterpolationError("nodes must be nonzero to evaluate at zero")
+    weights = _zero_basis_weights(tuple(xs))
     total: Number = 0
-    for j, (xj, yj) in enumerate(zip(xs, ys)):
+    for yj, weight in zip(ys, weights):
         if yj == 0:
             continue
-        weight: Number = 1
-        for i, xi in enumerate(xs):
-            if i == j:
-                continue
-            weight = weight * _divide(xi, xi - xj)
         total = total + yj * weight
     return total
 

@@ -136,3 +136,67 @@ class TestPooledExecution:
         b = execute_ompe(function, ALPHA, config=fast_config, seed=14,
                          sender_pool=sender_pool)
         assert a.amplifier != b.amplifier
+
+
+class TestExhaustionContract:
+    """Pin the exhaustion/refill split documented on ``pop()``: raw
+    pools fail loud when empty and never regenerate themselves; the
+    session and engine layers refill transparently from their own
+    seeded streams."""
+
+    def test_raw_pools_never_self_refill(self, fast_config):
+        sender_pool = SenderPool(fast_config, 1, 2, ReproRandom(21))
+        receiver_pool = ReceiverPool(fast_config, 2, 1, 2, ReproRandom(22))
+        for _ in range(2):
+            sender_pool.pop()
+            receiver_pool.pop()
+        assert len(sender_pool) == 0 and len(receiver_pool) == 0
+        # Still empty on the next pop — exhaustion is a hard error,
+        # repeated pops do not regenerate bundles behind the caller.
+        for _ in range(2):
+            with pytest.raises(OMPEError, match="exhausted"):
+                sender_pool.pop()
+            with pytest.raises(OMPEError, match="exhausted"):
+                receiver_pool.pop()
+
+    def test_execute_ompe_surfaces_exhaustion(self, fast_config, function):
+        sender_pool = SenderPool(fast_config, 1, 1, ReproRandom(23))
+        execute_ompe(function, ALPHA, config=fast_config, seed=30,
+                     sender_pool=sender_pool)
+        with pytest.raises(OMPEError, match="exhausted"):
+            execute_ompe(function, ALPHA, config=fast_config, seed=31,
+                         sender_pool=sender_pool)
+
+    def test_session_refills_transparently(self, fast_config):
+        from repro.core.classification.session import (
+            PrivateClassificationSession,
+        )
+        from repro.ml.svm.model import make_linear_model
+
+        model = make_linear_model([1.0, -0.5], bias=0.1)
+        session = PrivateClassificationSession(
+            model, config=fast_config, pool_size=2, seed=99
+        )
+        # 5 queries through a 2-bundle pool: refills absorb exhaustion.
+        outcomes = [
+            session.classify([0.2 * i, -0.1 * i]) for i in range(5)
+        ]
+        assert all(o.label in (-1.0, 1.0) for o in outcomes)
+        assert session.queries_served == 5
+
+    def test_engine_worker_refills_transparently(self, fast_config):
+        from repro.engine import make_spec
+        from repro.engine.jobs import ClassificationJob
+        from repro.engine.worker import WorkerState, execute_job
+        from repro.ml.svm.model import make_linear_model
+
+        model = make_linear_model([1.0, -0.5], bias=0.1)
+        spec = make_spec(model, config=fast_config, seed=99, pool_size=2)
+        state = WorkerState.from_spec(spec, worker_id=0)
+        jobs = [
+            ClassificationJob(job_id=i, sample=(0.2 * i, -0.1 * i), seed=i)
+            for i in range(5)
+        ]
+        results = [execute_job(state, job, attempt=1) for job in jobs]
+        assert all(result.ok for result in results)
+        assert state.refills == 3  # ceil(5 / 2) refills for 5 queries

@@ -11,6 +11,7 @@ from repro.crypto.ot import (
     OneOfTwoSender,
     KOfNReceiver,
     KOfNSender,
+    TransferMaterial,
     run_k_of_n,
     run_one_of_n,
     run_one_of_two,
@@ -232,3 +233,69 @@ class TestKOfN:
         messages = [f"{i}".encode() for i in range(n)]
         received, _ = run_k_of_n(group, messages, indices, rng.fork("ot"))
         assert received == [messages[i] for i in indices]
+
+
+class TestTransferMaterial:
+    """The k·m-session memoization must be output-transparent: a
+    transfer built through shared :class:`TransferMaterial` is
+    bit-identical to one built without it on the same seeds."""
+
+    def _transfer_pair(self, group, seed, material):
+        """One full 1-of-n exchange; sender/receiver streams fixed by
+        ``seed`` so the only variable is the ``material`` argument."""
+        sender = OneOfNSender(group, ReproRandom(seed).fork("sender"))
+        receiver = OneOfNReceiver(group, ReproRandom(seed).fork("receiver"))
+        setup = sender.setup()
+        choice = receiver.choose(setup, 2, 5)
+        messages = [f"msg-{i}".encode() for i in range(5)]
+        transfer = sender.transfer(messages, choice, material=material)
+        return transfer, receiver.retrieve(transfer)
+
+    def test_material_path_is_bit_identical(self, group):
+        messages = [f"msg-{i}".encode() for i in range(5)]
+        plain_transfer, plain_message = self._transfer_pair(group, 42, None)
+        material = TransferMaterial(messages)
+        shared_transfer, shared_message = self._transfer_pair(
+            group, 42, material
+        )
+        assert shared_transfer.session == plain_transfer.session
+        assert shared_transfer.ephemeral_points == plain_transfer.ephemeral_points
+        assert shared_transfer.wrapped == plain_transfer.wrapped
+        assert shared_message == plain_message == b"msg-2"
+        assert material.sessions_served == 1
+
+    def test_material_reused_across_sessions(self, group):
+        """One material can serve many sessions; every session still
+        wraps with its own session id, so transfers differ while each
+        retrieve succeeds."""
+        messages = [f"item-{i}".encode() for i in range(4)]
+        material = TransferMaterial(messages)
+        transfers = []
+        for round_index in range(3):
+            sender = OneOfNSender(group, ReproRandom(100 + round_index))
+            receiver = OneOfNReceiver(group, ReproRandom(200 + round_index))
+            setup = sender.setup()
+            choice = receiver.choose(setup, round_index, 4)
+            transfer = sender.transfer(messages, choice, material=material)
+            transfers.append(transfer)
+            assert receiver.retrieve(transfer) == messages[round_index]
+        assert material.sessions_served == 3
+        assert len({t.session for t in transfers}) == 3
+
+    def test_material_validates_payload(self):
+        with pytest.raises(ValidationError):
+            TransferMaterial([])
+        with pytest.raises(ValidationError):
+            TransferMaterial([b"ok", "not-bytes"])
+
+    def test_k_of_n_outputs_unchanged_by_memoization(self, group):
+        """End-to-end: the k-of-n sender (which now routes every
+        sub-session through one shared material) returns the exact
+        messages for the chosen indices — same as the pre-memoization
+        contract pinned by the suite above."""
+        messages = [f"item-{i}".encode() for i in range(8)]
+        received, transfers = run_k_of_n(
+            group, messages, [0, 3, 7], ReproRandom(77)
+        )
+        assert received == [b"item-0", b"item-3", b"item-7"]
+        assert len({t.session for t in transfers}) == 3

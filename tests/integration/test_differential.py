@@ -1,0 +1,136 @@
+"""Differential tests: every protocol path agrees on the observable outputs.
+
+Three implementations compute ``sign(d(t̃))`` for the same model and
+samples — the plain (non-private) decision function, the one-shot OMPE
+protocol, and the batched OMPE conversation.  Their masked values
+differ by construction (independent ``r_a`` draws), but the *labels and
+signs* must be identical on identical inputs: any divergence means one
+path evaluates a different polynomial than the others.
+
+A fourth pairing checks the engine: classification through
+:class:`repro.engine.ProtocolEngine` must produce the same labels as
+:func:`repro.core.classification.classify_linear` with the engine's own
+derived per-job seeds.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.classification import classify_linear
+from repro.core.ompe import OMPEFunction, execute_ompe, execute_ompe_batch
+from repro.engine import run_engine
+from repro.ml.svm.model import make_linear_model
+from repro.utils.rng import ReproRandom, derive_seed
+
+SEED = 20160627
+
+
+def _sign(value) -> int:
+    return (value > 0) - (value < 0)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return make_linear_model([1.5, -2.0, 0.5], bias=0.25)
+
+
+@pytest.fixture(scope="module")
+def samples():
+    rng = ReproRandom(SEED)
+    near_boundary = [0.0, 0.125, 0.0]  # d = 0.25 - 0.25 = 0, the boundary
+    random_points = [
+        [rng.uniform(-1.0, 1.0) for _ in range(3)] for _ in range(6)
+    ]
+    return [near_boundary] + random_points
+
+
+class TestOneShotVsBatchVsPlain:
+    def test_labels_and_signs_agree(self, model, fast_config, samples):
+        function = OMPEFunction.from_polynomial(
+            model.linear_decision_polynomial()
+        )
+        exact_samples = [
+            tuple(Fraction(value) for value in sample) for sample in samples
+        ]
+
+        plain_signs = [
+            _sign(model.exact_decision_value(list(sample)))
+            for sample in exact_samples
+        ]
+        one_shot = [
+            execute_ompe(
+                function,
+                sample,
+                config=fast_config,
+                seed=derive_seed(SEED, "one-shot", index),
+            )
+            for index, sample in enumerate(exact_samples)
+        ]
+        batch = execute_ompe_batch(
+            function, exact_samples, config=fast_config, seed=SEED
+        )
+
+        assert [_sign(o.value) for o in one_shot] == plain_signs
+        assert [_sign(v) for v in batch.values] == plain_signs
+        # Amplifiers are positive in every path (sign preservation).
+        assert all(o.amplifier > 0 for o in one_shot)
+        assert all(a > 0 for a in batch.amplifiers)
+
+    def test_batch_is_deterministic_per_seed(self, model, fast_config, samples):
+        function = OMPEFunction.from_polynomial(
+            model.linear_decision_polynomial()
+        )
+        exact_samples = [
+            tuple(Fraction(value) for value in sample) for sample in samples
+        ]
+        first = execute_ompe_batch(
+            function, exact_samples, config=fast_config, seed=SEED
+        )
+        second = execute_ompe_batch(
+            function, exact_samples, config=fast_config, seed=SEED
+        )
+        assert first.values == second.values
+        assert first.amplifiers == second.amplifiers
+
+
+class TestEngineVsDirectProtocol:
+    def test_engine_labels_match_classify_linear(
+        self, model, fast_config, samples
+    ):
+        report = run_engine(
+            model,
+            samples,
+            config=fast_config,
+            workers=2,
+            pool_size=4,
+            seed=SEED,
+        )
+        assert not report.failed
+        direct_labels = [
+            classify_linear(
+                model,
+                sample,
+                config=fast_config,
+                seed=derive_seed(SEED, "job", index),
+            ).label
+            for index, sample in enumerate(samples)
+        ]
+        assert [result.label for result in report.results] == direct_labels
+
+    def test_boundary_sample_classified_positive_everywhere(
+        self, model, fast_config, samples
+    ):
+        """d(t̃) = 0 must label +1 (the paper's boundary convention) in
+        the plain path, the one-shot protocol, and the engine."""
+        boundary = samples[0]
+        assert model.exact_decision_value(list(boundary)) == 0
+        direct = classify_linear(model, boundary, config=fast_config, seed=1)
+        assert direct.label == 1.0
+        report = run_engine(
+            model, [boundary], config=fast_config, workers=1,
+            pool_size=2, seed=SEED,
+        )
+        assert report.results[0].label == 1.0

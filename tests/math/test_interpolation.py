@@ -8,11 +8,13 @@ from hypothesis import strategies as st
 
 from repro.exceptions import InterpolationError
 from repro.math.interpolation import (
+    clear_zero_weight_cache,
     lagrange_at_zero,
     lagrange_interpolate,
     newton_coefficients,
     newton_evaluate,
     newton_interpolate,
+    zero_weight_cache_stats,
 )
 from repro.math.polynomials import Polynomial
 from repro.utils.rng import ReproRandom
@@ -72,6 +74,74 @@ class TestLagrange:
         recovered = lagrange_interpolate(nodes, values)
         for x in (0.0, 0.5, -1.5):
             assert recovered(x) == pytest.approx(poly(x), rel=1e-6, abs=1e-6)
+
+
+class TestZeroWeightCache:
+    """The per-node-set basis-weight cache must be output-transparent:
+    cached evaluation is bit-identical to the uncached path."""
+
+    def test_cached_identical_to_uncached(self):
+        """Same nodes/values through a cold and a warm cache produce the
+        exact same rational — the ISSUE's identical-outputs criterion."""
+        poly, nodes, values = random_poly_and_nodes(17, 5)
+        clear_zero_weight_cache()
+        cold = lagrange_at_zero(nodes, values)
+        stats_after_cold = zero_weight_cache_stats()
+        warm = lagrange_at_zero(nodes, values)
+        stats_after_warm = zero_weight_cache_stats()
+        assert cold == warm == poly(0)
+        assert stats_after_cold["misses"] == 1
+        assert stats_after_warm["hits"] == stats_after_cold["hits"] + 1
+
+    def test_cached_identical_in_float_mode(self):
+        rng = ReproRandom(23)
+        poly = Polynomial.random(4, rng, exact=False)
+        nodes = [float(x) for x in rng.distinct_fractions(5, -3, 3)]
+        values = [poly(x) for x in nodes]
+        clear_zero_weight_cache()
+        cold = lagrange_at_zero(nodes, values)
+        warm = lagrange_at_zero(nodes, values)
+        # Bit-identical, not approximately equal: the cache must not
+        # change the multiplication/accumulation order.
+        assert cold == warm
+        assert isinstance(cold, float)
+
+    def test_distinct_node_sets_get_distinct_entries(self):
+        clear_zero_weight_cache()
+        _, nodes_a, values_a = random_poly_and_nodes(31, 3)
+        _, nodes_b, values_b = random_poly_and_nodes(37, 3)
+        assert tuple(nodes_a) != tuple(nodes_b)
+        lagrange_at_zero(nodes_a, values_a)
+        lagrange_at_zero(nodes_b, values_b)
+        assert zero_weight_cache_stats()["size"] == 2
+
+    def test_different_values_same_nodes_hit_cache(self):
+        """The cache keys on nodes only — weights are value-independent
+        — so re-interpolating new values over known nodes hits."""
+        poly_a, nodes, _ = random_poly_and_nodes(41, 4)
+        poly_b = Polynomial.random(4, ReproRandom(43))
+        clear_zero_weight_cache()
+        assert lagrange_at_zero(nodes, [poly_a(x) for x in nodes]) == poly_a(0)
+        assert lagrange_at_zero(nodes, [poly_b(x) for x in nodes]) == poly_b(0)
+        stats = zero_weight_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+
+    def test_clear_resets_stats_and_entries(self):
+        _, nodes, values = random_poly_and_nodes(47, 2)
+        lagrange_at_zero(nodes, values)
+        clear_zero_weight_cache()
+        stats = zero_weight_cache_stats()
+        assert stats == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_validation_still_enforced_with_warm_cache(self):
+        """A warm cache must not bypass the zero-node/duplicate checks."""
+        _, nodes, values = random_poly_and_nodes(53, 3)
+        clear_zero_weight_cache()
+        lagrange_at_zero(nodes, values)
+        with pytest.raises(InterpolationError):
+            lagrange_at_zero([Fraction(0)] + list(nodes[1:]), values)
+        with pytest.raises(InterpolationError):
+            lagrange_at_zero([nodes[0]] + list(nodes[:-1]), values)
 
 
 class TestNewton:
