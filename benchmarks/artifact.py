@@ -1,0 +1,53 @@
+"""Shared benchmark artifact writer.
+
+Every bench in this directory persists its measurements as a
+``BENCH_<name>.json`` document with the same envelope (bench name, seed,
+interpreter, payload), so cross-run and cross-machine comparisons never
+have to guess at file layout.  The per-test snapshots written by
+``conftest.py`` land in ``benchmarks/results/`` (gitignored); curated
+artifacts — the hot-path speedup table ``BENCH_hotpath.json`` — are
+written next to the benches and committed.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Optional
+
+BENCH_DIR = Path(__file__).resolve().parent
+RESULTS_DIR = BENCH_DIR / "results"
+
+#: Root seed shared by every bench (the paper's publication year).
+BENCH_SEED = 2016
+
+
+def write_artifact(
+    name: str,
+    payload: dict,
+    directory: Optional[Path] = None,
+    seed: int = BENCH_SEED,
+) -> Path:
+    """Write ``payload`` as ``BENCH_<name>.json`` and return the path.
+
+    ``directory`` defaults to the gitignored ``results/`` scratch
+    directory; pass :data:`BENCH_DIR` for artifacts meant to be
+    committed.
+    """
+    directory = RESULTS_DIR if directory is None else directory
+    directory.mkdir(exist_ok=True)
+    document = {
+        "bench": name,
+        "seed": seed,
+        "python": platform.python_implementation()
+        + " "
+        + ".".join(str(v) for v in sys.version_info[:3]),
+        **payload,
+    }
+    path = directory / f"BENCH_{name}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return path

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import pytest
 
+from artifact import write_artifact
 from repro.core.similarity import evaluate_similarity_private
 from repro.evaluation.figures import run_fig10
 from repro.ml.svm.model import make_linear_model
@@ -21,6 +22,7 @@ def fig10_result(light_config):
     result = run_fig10(config=light_config)
     print()
     print(result.to_text())
+    write_artifact("fig10_rows", {"rows": result.rows})
     return result
 
 

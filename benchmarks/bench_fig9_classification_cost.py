@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import pytest
 
+from artifact import write_artifact
 from repro.core.classification import classify_linear_batch
 from repro.evaluation.figures import run_fig9
 from repro.evaluation.tables import train_table1_models
@@ -26,6 +27,7 @@ def fig9_result(light_config):
     )
     print()
     print(result.to_text())
+    write_artifact("fig9_rows", {"rows": result.rows})
     return result
 
 

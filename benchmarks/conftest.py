@@ -19,23 +19,21 @@ Two session-wide behaviors come from the autouse fixture below:
 
 from __future__ import annotations
 
-import json
 import random
 import re
+import sys
 import time
 from pathlib import Path
 
 import numpy as np
 import pytest
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from artifact import BENCH_SEED, write_artifact
 from repro import obs
 from repro.core.ompe import OMPEConfig
 from repro.math.groups import fast_group
-
-#: Root seed shared by every bench (the paper's publication year).
-BENCH_SEED = 2016
-
-RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
 @pytest.fixture(autouse=True)
@@ -57,18 +55,15 @@ def bench_observability(request):
     finally:
         duration_s = time.perf_counter() - start
         obs.set_metrics(previous)
-        RESULTS_DIR.mkdir(exist_ok=True)
         slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name).strip("_")
-        payload = {
-            "bench": request.node.nodeid,
-            "seed": BENCH_SEED,
-            "duration_s": duration_s,
-            "metrics": registry.snapshot(),
-        }
-        path = RESULTS_DIR / f"BENCH_{slug}.json"
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        write_artifact(
+            slug,
+            {
+                "nodeid": request.node.nodeid,
+                "duration_s": duration_s,
+                "metrics": registry.snapshot(),
+            },
+        )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,67 @@
+"""Composition cache for OMPE sender functions.
+
+An OMPE run evaluates the sender's secret polynomial at all ``M``
+point/vector pairs; the similarity protocol chains *three* OMPE runs
+per model pair, and matching workloads replay the same reference-model
+polynomials across many pairs.  Rebuilding the function wrapper — and,
+with it, the scaled-integer compiled form that
+:class:`~repro.math.multivariate.MultivariatePolynomial` attaches to an
+instance — for every run throws that work away.
+
+This module memoizes the polynomial → function composition in a small
+LRU keyed by the polynomial itself (multivariate polynomials are
+immutable, hashable by term map).  A cache hit returns the *same*
+function object, so its compiled scaled-integer form, per-variable
+power-table layout, and monomial ordering are shared across the M
+evaluation points of a run and across chained runs.  The cache is pure
+memoization: building a fresh function yields identical evaluations,
+and the naive-arithmetic mode bypasses it entirely.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict
+
+from repro.math import fastpath
+
+_CACHE: "OrderedDict" = OrderedDict()
+_CACHE_CAP = 128
+_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def cached_composition(key, build: Callable):
+    """Return ``build()`` memoized under ``key`` (LRU, output-identical).
+
+    ``key`` must be hashable and uniquely determine the composition —
+    the callers key by the immutable polynomial.  With the hot path
+    disabled this always rebuilds, keeping the naive reference free of
+    cross-run state.
+    """
+    if not fastpath.enabled():
+        return build()
+    hit = _CACHE.get(key)
+    if hit is not None:
+        _STATS["hits"] += 1
+        _CACHE.move_to_end(key)
+        return hit
+    _STATS["misses"] += 1
+    value = build()
+    _CACHE[key] = value
+    if len(_CACHE) > _CACHE_CAP:
+        _CACHE.popitem(last=False)
+    return value
+
+
+def clear_composition_cache() -> None:
+    """Drop every cached composition and reset the hit/miss counters."""
+    _CACHE.clear()
+    _STATS["hits"] = 0
+    _STATS["misses"] = 0
+
+
+def composition_cache_stats() -> Dict[str, int]:
+    """Current ``{"hits", "misses", "size"}`` of the composition cache."""
+    stats = dict(_STATS)
+    stats["size"] = len(_CACHE)
+    return stats

@@ -28,7 +28,7 @@ from repro.core.ompe.function import as_exact_vector
 from repro.crypto.ot.k_of_n import KOfNReceiver
 from repro.exceptions import OMPEError, ProtocolAbort
 from repro.math.interpolation import lagrange_at_zero
-from repro.math.polynomials import Number, Polynomial
+from repro.math.polynomials import Number, Polynomial, evaluate_all
 from repro.net.party import Party
 from repro.utils.rng import ReproRandom
 from repro.utils.serialization import decode_value
@@ -142,7 +142,8 @@ class OMPEReceiver(Party):
                 for index, node in enumerate(bundle.nodes):
                     disguise = bundle.disguises[index]
                     if disguise is None:
-                        vector = tuple(g(node) for g in hiders)
+                        # Shared node power tables across the n hiders.
+                        vector = tuple(evaluate_all(hiders, node))
                     else:
                         vector = disguise
                     pairs.append((node, vector))
@@ -175,7 +176,8 @@ class OMPEReceiver(Party):
             disguise_draw = draw.fork("disguises")
             for index, node in enumerate(nodes):
                 if index in position_set:
-                    vector = tuple(g(node) for g in hiders)
+                    # Shared node power tables across the n hiders.
+                    vector = tuple(evaluate_all(hiders, node))
                 else:
                     # Fresh hiding polynomials with random constant terms:
                     # disguises are identically distributed with covers.
@@ -188,7 +190,7 @@ class OMPEReceiver(Party):
                     fakes = self._hiding_polynomials(
                         disguise_draw.fork("poly", index), constants
                     )
-                    vector = tuple(g(node) for g in fakes)
+                    vector = tuple(evaluate_all(fakes, node))
                 pairs.append((node, vector))
             self._nodes = nodes
             self._cover_positions = positions

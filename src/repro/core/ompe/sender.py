@@ -21,6 +21,7 @@ from repro.core.ompe.config import OMPEConfig, draw_amplifier
 from repro.core.ompe.function import OMPEFunction
 from repro.crypto.ot.k_of_n import KOfNSender
 from repro.exceptions import OMPEError, ProtocolAbort
+from repro.math import fastpath
 from repro.math.polynomials import Number, Polynomial
 from repro.net.party import Party
 from repro.utils.rng import ReproRandom
@@ -138,6 +139,15 @@ class OMPESender(Party):
             "ompe.evaluate", party=self.name, phase="evaluate", pairs=len(pairs)
         ):
             with self.timings.measure("sender/evaluate"):
+                # With identity amplifier/offset (amplify=False runs,
+                # e.g. the similarity protocol's third OMPE), skip the
+                # no-op Fraction multiply/add on the hot path — the
+                # values are unchanged (x*1 == x, x+0 == x exactly).
+                # Exact mode only: float -0.0 + 0 would flip its sign
+                # bit and change the encoded transcript.
+                skip = fastpath.enabled() and self.config.exact
+                skip_amplifier = skip and self.amplifier == 1
+                skip_offset = skip and self.offset_value == 0
                 evaluations: List[bytes] = []
                 for node, vector in pairs:
                     if len(vector) != self.function.arity:
@@ -145,11 +155,12 @@ class OMPESender(Party):
                             f"vector of length {len(vector)} for arity "
                             f"{self.function.arity}"
                         )
-                    value = (
-                        self._mask(node)
-                        + self.amplifier * self.function(vector)
-                        + self.offset_value
-                    )
+                    value = self.function(vector)
+                    if not skip_amplifier:
+                        value = self.amplifier * value
+                    value = self._mask(node) + value
+                    if not skip_offset:
+                        value = value + self.offset_value
                     evaluations.append(encode_value(value))
         with tracer.span(
             "ompe.ot_setup",

@@ -92,7 +92,12 @@ def _roots_on_segment(
     upper: float,
     resolution: int,
 ) -> List[float]:
-    """All roots of a continuous function on [lower, upper] via scanning."""
+    """All roots of a continuous function on [lower, upper] via scanning.
+
+    Scalar reference for the batched scan in
+    :func:`kernel_boundary_points`; the differential tests pin the two
+    against each other.
+    """
     if resolution < 2:
         raise ValidationError(f"resolution must be at least 2, got {resolution}")
     xs = np.linspace(lower, upper, resolution)
@@ -141,26 +146,100 @@ def kernel_boundary_points(
     Scans every edge of the hypercube for sign changes of the decision
     function and refines each crossing by bisection — the nonlinear
     generalization of Eq. (5).
+
+    The whole scan grid (all ``n·2^(n-1)`` edges at once) is evaluated
+    in one vectorized :meth:`~repro.ml.svm.model.SVMModel.decision_values`
+    call, and all bracketed crossings are refined by lockstep bisection
+    — one batched evaluation per bisection level instead of one scalar
+    kernel evaluation per point (the scan used to dominate similarity
+    wall time).
     """
     if lower >= upper:
         raise ValidationError(f"lower ({lower}) must be below upper ({upper})")
+    if resolution < 2:
+        raise ValidationError(f"resolution must be at least 2, got {resolution}")
     n = model.dimension
-    points: List[Point] = []
+    xs = np.linspace(lower, upper, resolution)
+    edges: List[Tuple[int, np.ndarray]] = []
     for axis in range(n):
         others = [i for i in range(n) if i != axis]
         for corner in _corner_assignments(n - 1, lower, upper):
             template = np.zeros(n)
             for position, index in enumerate(others):
                 template[index] = corner[position]
+            edges.append((axis, template))
+    grid = np.empty((len(edges) * resolution, n))
+    for row, (axis, template) in enumerate(edges):
+        block = grid[row * resolution : (row + 1) * resolution]
+        block[:] = template
+        block[:, axis] = xs
+    values = model.decision_values(grid).reshape(len(edges), resolution)
 
-            def along_edge(u: float) -> float:
-                template[axis] = u
-                return model.decision_value(template)
+    # Per-edge ordered root slots: exact grid hits resolve immediately,
+    # sign changes become brackets refined below.
+    slots: List[List] = [[] for _ in edges]
+    brackets: List[Tuple[int, int]] = []  # (edge index, slot index)
+    bracket_left: List[float] = []
+    bracket_right: List[float] = []
+    bracket_f_left: List[float] = []
+    for e, f in enumerate(values):
+        index = 0
+        while index < resolution - 1:
+            if abs(f[index]) < _EPS:
+                slots[e].append(float(xs[index]))
+                index += 1
+                continue
+            if f[index] * f[index + 1] < 0.0:
+                brackets.append((e, len(slots[e])))
+                slots[e].append(None)
+                bracket_left.append(float(xs[index]))
+                bracket_right.append(float(xs[index + 1]))
+                bracket_f_left.append(float(f[index]))
+            index += 1
+        if abs(f[-1]) < _EPS:
+            slots[e].append(float(xs[-1]))
 
-            for root in _roots_on_segment(along_edge, lower, upper, resolution):
-                point = template.copy()
-                point[axis] = root
-                points.append(tuple(float(v) for v in point))
+    if brackets:
+        left = np.asarray(bracket_left)
+        right = np.asarray(bracket_right)
+        f_left = np.asarray(bracket_f_left)
+        roots = np.full(len(brackets), np.nan)
+        active = np.ones(len(brackets), dtype=bool)
+        probe = np.empty((len(brackets), n))
+        for b, (e, _) in enumerate(brackets):
+            axis, template = edges[e]
+            probe[b] = template
+        axes = np.asarray([edges[e][0] for e, _ in brackets])
+        for _ in range(80):
+            if not active.any():
+                break
+            middle = 0.5 * (left + right)
+            probe[np.arange(len(brackets)), axes] = middle
+            f_middle = model.decision_values(probe[active])
+            indices = np.flatnonzero(active)
+            converged = (np.abs(f_middle) < _EPS) | (
+                (right[indices] - left[indices]) < 1e-14
+            )
+            done = indices[converged]
+            roots[done] = middle[done]
+            active[done] = False
+            live = indices[~converged]
+            f_live = f_middle[~converged]
+            descend = f_left[live] * f_live < 0.0
+            right[live[descend]] = middle[live[descend]]
+            left[live[~descend]] = middle[live[~descend]]
+            f_left[live[~descend]] = f_live[~descend]
+        still = np.flatnonzero(active)
+        roots[still] = 0.5 * (left[still] + right[still])
+        for b, (e, slot) in enumerate(brackets):
+            slots[e][slot] = float(roots[b])
+
+    points: List[Point] = []
+    for e, (axis, template) in enumerate(edges):
+        for root in slots[e]:
+            point = template.copy()
+            point[axis] = root
+            points.append(tuple(float(v) for v in point))
     points = _dedupe(points)
     if not points:
         raise SimilarityError(

@@ -13,6 +13,7 @@ from fractions import Fraction
 from typing import Sequence, Tuple
 
 from repro.exceptions import ValidationError
+from repro.math import fastpath
 
 #: Snap denominator: 2^40 keeps IEEE doubles essentially intact.
 _SNAP = 1 << 40
@@ -29,11 +30,25 @@ def snap_vector(values: Sequence[float]) -> Tuple[Fraction, ...]:
 
 
 def exact_dot(first: Sequence[Fraction], second: Sequence[Fraction]) -> Fraction:
-    """Exact dot product."""
+    """Exact dot product.
+
+    Hot path: rescale each vector onto a common denominator once, take
+    the integer dot product, normalise once — instead of a ``Fraction``
+    multiply-add (with gcd) per coordinate.  Same canonical value.
+    """
     if len(first) != len(second):
         raise ValidationError(
             f"dot product of mismatched lengths {len(first)} and {len(second)}"
         )
+    if fastpath.enabled():
+        scaled_a = fastpath.scale_to_integers(first)
+        if scaled_a is not None:
+            scaled_b = fastpath.scale_to_integers(second)
+            if scaled_b is not None:
+                numerator = sum(
+                    a * b for a, b in zip(scaled_a[0], scaled_b[0])
+                )
+                return Fraction(numerator, scaled_a[1] * scaled_b[1])
     return sum((a * b for a, b in zip(first, second)), Fraction(0))
 
 
@@ -61,4 +76,14 @@ def exact_distance_squared(
     """Exact squared Euclidean distance."""
     if len(first) != len(second):
         raise ValidationError("distance of mismatched vectors")
+    if fastpath.enabled():
+        combined = fastpath.scale_to_integers(tuple(first) + tuple(second))
+        if combined is not None:
+            half = len(first)
+            numerators, common, _ = combined
+            total = sum(
+                (a - b) ** 2
+                for a, b in zip(numerators[:half], numerators[half:])
+            )
+            return Fraction(total, common * common)
     return sum(((a - b) ** 2 for a, b in zip(first, second)), Fraction(0))

@@ -44,6 +44,7 @@ from repro.core.similarity.linear import (
 )
 from repro.core.similarity.metric import MetricParams
 from repro.exceptions import SimilarityError, ValidationError
+from repro.math import fastpath
 from repro.math.polynomials import Number
 from repro.ml.svm.model import SVMModel
 from repro.net.channel import Channel
@@ -80,11 +81,54 @@ def _normal_inner_function(
     peer_sv_count: int,
     dimension: int,
 ) -> OMPEFunction:
-    """Sender function computing ``⟨n_A, n_B⟩`` from Bob's packed model."""
+    """Sender function computing ``⟨n_A, n_B⟩`` from Bob's packed model.
+
+    The naive evaluator performs ``k_B · k_A`` exact kernel evaluations
+    in ``Fraction`` arithmetic per point.  The hot path rescales Alice's
+    duals and support vectors to integers once at construction, rescales
+    the packed input once per call, and then the whole double loop is
+    integer dots / powers with a single normalising ``Fraction`` at the
+    end — the dominant win for nonlinear similarity (same value, same
+    type, pinned by the differential suite).
+    """
     alice_duals = [snap(c) for c in model_a.dual_coefficients]
     alice_svs = [snap_vector(row) for row in model_a.support_vectors]
+    # Scaled-integer form of Alice's model (denominators divide 2^40).
+    dual_numerators, dual_den, _ = fastpath.scale_to_integers(alice_duals)
+    flat_svs = [value for row in alice_svs for value in row]
+    sv_numerators_flat, sv_den, _ = fastpath.scale_to_integers(flat_svs)
+    sv_numerators = [
+        sv_numerators_flat[row * dimension : (row + 1) * dimension]
+        for row in range(len(alice_svs))
+    ]
+
+    def evaluate_fast(packed: Sequence[Number]):
+        scaled = fastpath.scale_to_integers(packed)
+        if scaled is None or not isinstance(packed[0], Fraction):
+            return fastpath.MISS
+        point_numerators, point_den, _ = scaled
+        # inner = a0 · (sv · x) + b0 over the common denominator
+        # K = a0.den · sv_den · point_den · b0.den; kernel = inner^p / K^p.
+        base_den = a0.denominator * sv_den * point_den
+        inner_scale = a0.numerator * b0.denominator
+        inner_shift = b0.numerator * base_den
+        kernel_den = base_den * b0.denominator
+        total = 0
+        for j in range(peer_sv_count):
+            start = peer_sv_count + j * dimension
+            vector = point_numerators[start : start + dimension]
+            partial = 0
+            for dual_num, sv_row in zip(dual_numerators, sv_numerators):
+                dot = sum(a * b for a, b in zip(sv_row, vector))
+                partial += dual_num * (inner_scale * dot + inner_shift) ** degree
+            total += point_numerators[j] * partial
+        return Fraction(total, point_den * dual_den * kernel_den**degree)
 
     def evaluate(packed: Sequence[Number]) -> Number:
+        if fastpath.enabled():
+            value = evaluate_fast(packed)
+            if value is not fastpath.MISS:
+                return value
         duals = packed[:peer_sv_count]
         total = Fraction(0) if isinstance(packed[0], Fraction) else 0.0
         for j in range(peer_sv_count):

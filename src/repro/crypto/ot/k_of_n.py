@@ -29,6 +29,7 @@ from repro import obs
 from repro.crypto.ot.base import OTChoice, OTSetup, OTTransfer
 from repro.crypto.ot.one_of_n import OneOfNReceiver, OneOfNSender, TransferMaterial
 from repro.exceptions import ObliviousTransferError, ValidationError
+from repro.math import fastpath
 from repro.math.groups import SchnorrGroup
 from repro.utils.rng import ReproRandom
 
@@ -69,12 +70,22 @@ class KOfNSender:
                 f"{len(choices)} choices for {len(self._subsenders)} sessions"
             )
         material = TransferMaterial(messages)
+        # Montgomery batch inversion of every session's blinding point:
+        # one extended gcd for all k sessions instead of one each.  The
+        # inverses are unique, so transfers are unchanged.
+        inverses: Sequence[Optional[int]]
+        if fastpath.enabled() and len(self._subsenders) > 1:
+            inverses = self.group.batch_inv(
+                [sub._setup.blinding_points[0] for sub in self._subsenders]
+            )
+        else:
+            inverses = [None] * len(self._subsenders)
         with obs.get_tracer().span(
             "ot.transfer", sessions=len(choices), slots=len(messages)
         ):
             transfers = [
-                sub.transfer(messages, choice, material=material)
-                for sub, choice in zip(self._subsenders, choices)
+                sub.transfer(messages, choice, material=material, w_inverse=inverse)
+                for sub, choice, inverse in zip(self._subsenders, choices, inverses)
             ]
         metrics = obs.get_metrics()
         if metrics.enabled:

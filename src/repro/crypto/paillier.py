@@ -20,10 +20,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.exceptions import DecryptionError, KeyGenerationError, ValidationError
-from repro.math.numtheory import generate_prime, lcm, modular_inverse
+from repro.math import fastpath
+from repro.math.numtheory import crt_combine, generate_prime, lcm, modular_inverse
 from repro.utils.rng import ReproRandom
 
 Number = Union[int, float, Fraction]
@@ -42,15 +43,31 @@ class PaillierPublicKey:
     def n_squared(self) -> int:
         return self.n * self.n
 
-    def encrypt_raw(self, message: int, rng: ReproRandom) -> int:
-        """Encrypt an integer already reduced into ``Z_n``."""
+    def encrypt_raw(
+        self,
+        message: int,
+        rng: ReproRandom,
+        pool: Optional["RandomizerPool"] = None,
+    ) -> int:
+        """Encrypt an integer already reduced into ``Z_n``.
+
+        ``pool`` optionally supplies a precomputed ``r^n`` randomizer
+        (see :class:`RandomizerPool`); the pool draws its ``r`` values
+        from the same rng in the same order, so pooled and unpooled
+        encryption of the same message sequence yield identical
+        ciphertexts.
+        """
         if not 0 <= message < self.n:
             raise ValidationError("message out of range for modulus")
-        r = rng.randrange_coprime(self.n)
         n_sq = self.n_squared
+        if pool is not None:
+            randomizer = pool.take()
+        else:
+            r = rng.randrange_coprime(self.n)
+            randomizer = pow(r, self.n, n_sq)
         # (1 + n)^m = 1 + m*n (mod n^2) — the g = n + 1 shortcut.
         g_m = (1 + message * self.n) % n_sq
-        return (g_m * pow(r, self.n, n_sq)) % n_sq
+        return (g_m * randomizer) % n_sq
 
     def add(self, ciphertext_a: int, ciphertext_b: int) -> int:
         """Homomorphic addition of plaintexts."""
@@ -66,11 +83,22 @@ class PaillierPublicKey:
 
 @dataclass(frozen=True)
 class PaillierPrivateKey:
-    """Private key ``(λ, μ)`` bound to its public key."""
+    """Private key ``(λ, μ)`` bound to its public key.
+
+    When the prime factors ``p`` and ``q`` are retained (the default
+    for keys from :func:`generate_keypair`), decryption runs through
+    the standard CRT split — two half-size exponentiations modulo
+    ``p²`` and ``q²`` instead of one full-size exponentiation modulo
+    ``n²``, ~3-4x faster and bit-identical on every decryptable
+    ciphertext.  Keys built without factors (``p = q = None``) and the
+    naive-arithmetic mode use the textbook ``λ``-based path.
+    """
 
     public_key: PaillierPublicKey
     lam: int
     mu: int
+    p: Optional[int] = None
+    q: Optional[int] = None
 
     def decrypt_raw(self, ciphertext: int) -> int:
         """Decrypt to an integer in ``Z_n``."""
@@ -78,10 +106,34 @@ class PaillierPrivateKey:
         n_sq = self.public_key.n_squared
         if not 0 < ciphertext < n_sq:
             raise DecryptionError("ciphertext out of range")
+        if fastpath.enabled() and self.p is not None and self.q is not None:
+            return self._decrypt_crt(ciphertext)
         x = pow(ciphertext, self.lam, n_sq)
         if (x - 1) % n != 0:
             raise DecryptionError("ciphertext is not a valid Paillier encryption")
         return ((x - 1) // n * self.mu) % n
+
+    def _decrypt_crt(self, ciphertext: int) -> int:
+        """CRT decryption: recover ``m mod p`` and ``m mod q`` separately.
+
+        For prime factor ``s``, ``L_s(c^{s-1} mod s²) · h_s mod s``
+        equals ``m mod s`` with ``L_s(x) = (x - 1) / s`` and
+        ``h_s = (-n/s)^{-1} mod s`` (the ``g = n + 1`` simplification).
+        The same validity condition as the textbook path applies:
+        ``c^{s-1} ≡ 1 (mod s)`` for units, so a non-unit ciphertext is
+        rejected exactly as the ``λ`` path rejects it.
+        """
+        p, q = self.p, self.q
+        residues: List[int] = []
+        for prime in (p, q):
+            prime_sq = prime * prime
+            x = pow(ciphertext, prime - 1, prime_sq)
+            if (x - 1) % prime != 0:
+                raise DecryptionError("ciphertext is not a valid Paillier encryption")
+            l_value = (x - 1) // prime % prime
+            h = modular_inverse(-(self.public_key.n // prime) % prime, prime)
+            residues.append(l_value * h % prime)
+        return crt_combine(residues, (p, q))
 
 
 def generate_keypair(
@@ -102,7 +154,54 @@ def generate_keypair(
     # μ = (L(g^λ mod n²))⁻¹ = λ⁻¹ mod n for g = n + 1.
     mu = modular_inverse(lam, n)
     public = PaillierPublicKey(n=n)
-    return public, PaillierPrivateKey(public_key=public, lam=lam, mu=mu)
+    return public, PaillierPrivateKey(public_key=public, lam=lam, mu=mu, p=p, q=q)
+
+
+class RandomizerPool:
+    """Precomputed ``r^n`` randomizers for Paillier encryption.
+
+    The ``r^n mod n²`` exponentiation dominates encryption cost and is
+    independent of the message, so it can be hoisted into an offline
+    phase and amortized across a batch — the PINFER-style randomizer
+    precomputation.  The pool draws its ``r`` values from the caller's
+    rng in encryption order, so the ``i``-th pooled encryption uses
+    exactly the randomizer the ``i``-th unpooled encryption would have
+    drawn: ciphertext streams are identical.
+    """
+
+    def __init__(
+        self, public_key: PaillierPublicKey, rng: ReproRandom, batch: int = 32
+    ) -> None:
+        if batch < 1:
+            raise ValidationError(f"batch must be at least 1, got {batch}")
+        self.public_key = public_key
+        self._rng = rng
+        self._batch = batch
+        self._ready: List[int] = []
+        self.precomputed_total = 0
+
+    def refill(self, count: Optional[int] = None) -> None:
+        """Precompute ``count`` (default: one batch of) randomizers."""
+        count = self._batch if count is None else count
+        n = self.public_key.n
+        n_sq = self.public_key.n_squared
+        fresh = [
+            pow(self._rng.randrange_coprime(n), n, n_sq) for _ in range(count)
+        ]
+        fresh.reverse()  # take() pops from the end, oldest first
+        self._ready[:0] = fresh
+        self.precomputed_total += count
+
+    def take(self) -> int:
+        """Pop the next randomizer, refilling the pool when empty."""
+        if not self._ready:
+            self.refill()
+        return self._ready.pop()
+
+    @property
+    def available(self) -> int:
+        """Randomizers currently precomputed and unused."""
+        return len(self._ready)
 
 
 class FixedPointCodec:
@@ -143,15 +242,26 @@ class PaillierCipher:
         private_key: Optional[PaillierPrivateKey] = None,
         precision: int = DEFAULT_PRECISION,
         rng: Optional[ReproRandom] = None,
+        pool_batch: Optional[int] = None,
     ) -> None:
         self.public_key = public_key
         self.private_key = private_key
         self.codec = FixedPointCodec(public_key, precision)
         self._rng = rng or ReproRandom()
+        self.pool: Optional[RandomizerPool] = None
+        if pool_batch is not None:
+            self.pool = RandomizerPool(public_key, self._rng, batch=pool_batch)
 
     def encrypt(self, value: Number) -> int:
-        """Encrypt a signed rational (fixed-point)."""
-        return self.public_key.encrypt_raw(self.codec.encode(value), self._rng)
+        """Encrypt a signed rational (fixed-point).
+
+        With a randomizer pool configured (``pool_batch``), the ``r^n``
+        work is taken from the precomputed pool; the ciphertext stream
+        is identical to the unpooled one on the same rng seed.
+        """
+        return self.public_key.encrypt_raw(
+            self.codec.encode(value), self._rng, pool=self.pool
+        )
 
     def decrypt(self, ciphertext: int, scale_power: int = 1) -> Fraction:
         """Decrypt to a signed rational."""

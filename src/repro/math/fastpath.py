@@ -1,0 +1,124 @@
+"""Global switch and shared helpers for the hot-path arithmetic engine.
+
+The protocol stack carries two parallel arithmetic implementations:
+
+* the **naive reference** — straight ``pow()`` for group exponentiation
+  and :class:`fractions.Fraction` operator arithmetic everywhere.  This
+  is the seed implementation, retained verbatim as the correctness
+  oracle;
+* the **hot path** — windowed fixed-base exponentiation tables, Jacobi
+  membership tests, Shamir dual-table OT key derivation, and
+  scaled-integer evaluation of rational polynomials that defers the
+  single ``Fraction`` normalisation to the very end.
+
+Every hot path is *output-identical* to the naive reference: same
+integers out of the group layer, same (canonically normalised)
+``Fraction`` values out of the polynomial layer, and therefore the same
+protocol transcripts, labels, and similarity values on the same seeds.
+``tests/core/test_hotpath_differential.py`` pins that guarantee and
+``benchmarks/bench_hotpath_arith.py`` measures the gap.
+
+The switch is process-global: :func:`set_enabled` /
+:func:`naive_arithmetic` flip it (benchmarks and differential tests),
+and the ``REPRO_NAIVE_ARITH=1`` environment variable disables the hot
+path at import time (engine worker processes inherit it).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from fractions import Fraction
+from math import gcd
+from typing import Iterator, Optional, Sequence, Tuple
+
+_ENABLED = os.environ.get("REPRO_NAIVE_ARITH", "").strip().lower() not in (
+    "1",
+    "true",
+    "yes",
+)
+
+
+def enabled() -> bool:
+    """True when the hot-path arithmetic engine is active."""
+    return _ENABLED
+
+
+def set_enabled(value: bool) -> None:
+    """Enable or disable every hot-path shortcut (process-global)."""
+    global _ENABLED
+    _ENABLED = bool(value)
+
+
+@contextmanager
+def naive_arithmetic() -> Iterator[None]:
+    """Run the enclosed block on the naive reference arithmetic."""
+    previous = _ENABLED
+    set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+@contextmanager
+def hotpath_arithmetic() -> Iterator[None]:
+    """Force the hot path inside the block (symmetry helper for benches)."""
+    previous = _ENABLED
+    set_enabled(True)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+#: Sentinel returned by fast evaluators when the input shape is not
+#: rational (floats, symbolic values) and the naive path must run.
+MISS = object()
+
+
+def rational_parts(value) -> Optional[Tuple[int, int]]:
+    """Return ``(numerator, denominator)`` for int/Fraction, else None.
+
+    Booleans are rejected: they are ``int`` subclasses but never valid
+    protocol values (serialization refuses them too).
+    """
+    if isinstance(value, Fraction):
+        return value.numerator, value.denominator
+    if isinstance(value, int) and not isinstance(value, bool):
+        return value, 1
+    return None
+
+
+def scale_to_integers(
+    values: Sequence,
+) -> Optional[Tuple[Tuple[int, ...], int, bool]]:
+    """Rescale rationals onto a common denominator.
+
+    Returns ``(numerators, common_denominator, has_fraction)`` where
+    ``value[i] == numerators[i] / common_denominator`` exactly, or
+    ``None`` when any value is not an int/Fraction.  ``has_fraction``
+    records whether any input was a :class:`Fraction` *instance* — the
+    naive path's result type depends on that, not on the denominator.
+    """
+    numerators = []
+    denominators = []
+    has_fraction = False
+    for value in values:
+        if isinstance(value, Fraction):
+            has_fraction = True
+            numerators.append(value.numerator)
+            denominators.append(value.denominator)
+        elif isinstance(value, int) and not isinstance(value, bool):
+            numerators.append(value)
+            denominators.append(1)
+        else:
+            return None
+    common = 1
+    for denominator in denominators:
+        common = common * denominator // gcd(common, denominator)
+    scaled = tuple(
+        numerator * (common // denominator)
+        for numerator, denominator in zip(numerators, denominators)
+    )
+    return scaled, common, has_fraction

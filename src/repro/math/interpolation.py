@@ -15,6 +15,7 @@ from fractions import Fraction
 from typing import Dict, List, Sequence, Tuple
 
 from repro.exceptions import InterpolationError
+from repro.math import fastpath
 from repro.math.polynomials import Number, Polynomial
 
 
@@ -78,19 +79,50 @@ def _zero_basis_weights(xs: Tuple[Number, ...]) -> Tuple[Number, ...]:
         _ZERO_WEIGHT_CACHE.move_to_end(xs)
         return cached
     _ZERO_WEIGHT_STATS["misses"] += 1
-    weights: List[Number] = []
-    for j, xj in enumerate(xs):
-        weight: Number = 1
-        for i, xi in enumerate(xs):
-            if i == j:
-                continue
-            weight = weight * _divide(xi, xi - xj)
-        weights.append(weight)
-    result = tuple(weights)
+    result = None
+    if fastpath.enabled() and len(xs) > 1:
+        result = _fast_zero_basis_weights(xs)
+    if result is None:
+        weights: List[Number] = []
+        for j, xj in enumerate(xs):
+            weight: Number = 1
+            for i, xi in enumerate(xs):
+                if i == j:
+                    continue
+                weight = weight * _divide(xi, xi - xj)
+            weights.append(weight)
+        result = tuple(weights)
     _ZERO_WEIGHT_CACHE[xs] = result
     if len(_ZERO_WEIGHT_CACHE) > _ZERO_WEIGHT_CACHE_CAP:
         _ZERO_WEIGHT_CACHE.popitem(last=False)
     return result
+
+
+def _fast_zero_basis_weights(xs: Tuple[Number, ...]):
+    """Integer fast path for the zero-basis weights (rational nodes).
+
+    Rescaling the nodes to ``n_i / D`` over a common denominator makes
+    ``D`` cancel out of every factor, so
+    ``w_j = Π_{i≠j} n_i / Π_{i≠j} (n_i - n_j)`` — two integer product
+    chains and a single normalising ``Fraction`` per weight, instead of
+    ``m - 1`` Fraction divisions.  Returns ``None`` for non-rational
+    nodes (naive path handles those).
+    """
+    scaled = fastpath.scale_to_integers(xs)
+    if scaled is None:
+        return None
+    nodes, _, _ = scaled
+    weights = []
+    for j, nj in enumerate(nodes):
+        numerator = 1
+        denominator = 1
+        for i, ni in enumerate(nodes):
+            if i == j:
+                continue
+            numerator *= ni
+            denominator *= ni - nj
+        weights.append(Fraction(numerator, denominator))
+    return tuple(weights)
 
 
 def clear_zero_weight_cache() -> None:

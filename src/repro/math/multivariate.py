@@ -16,15 +16,24 @@ from fractions import Fraction
 from typing import Dict, Mapping, Sequence, Tuple, Union
 
 from repro.exceptions import ValidationError
+from repro.math import fastpath
 from repro.math.polynomials import Number, Polynomial
 
 Exponents = Tuple[int, ...]
 
 
 class MultivariatePolynomial:
-    """Immutable sparse multivariate polynomial in ``arity`` variables."""
+    """Immutable sparse multivariate polynomial in ``arity`` variables.
 
-    __slots__ = ("_arity", "_terms")
+    Like :class:`repro.math.polynomials.Polynomial`, evaluation carries
+    a scaled-integer fast path: rational coefficients are rescaled once
+    onto a common denominator and each evaluation at a rational point
+    becomes integer monomial products over shared per-variable power
+    tables, normalised by a single final ``Fraction``.  Identical
+    values and result types to the naive reference.
+    """
+
+    __slots__ = ("_arity", "_terms", "_fast")
 
     def __init__(self, arity: int, terms: Mapping[Exponents, Number]) -> None:
         if arity < 1:
@@ -45,6 +54,7 @@ class MultivariatePolynomial:
                 del cleaned[key]
         self._arity = arity
         self._terms = cleaned
+        self._fast = None  # lazy scaled-integer form; False = not rational
 
     # -- constructors ------------------------------------------------------
 
@@ -126,6 +136,90 @@ class MultivariatePolynomial:
 
     # -- evaluation -------------------------------------------------------------
 
+    def _fast_form(self):
+        """Scaled-integer form of the term map (computed once).
+
+        ``(exponent_rows, numerators, common_den, has_fraction,
+        max_exponents)`` with term order fixed by the term dict, or
+        ``False`` when any coefficient is not an int/Fraction.
+        """
+        form = self._fast
+        if form is None:
+            rows = tuple(self._terms.keys())
+            scaled = fastpath.scale_to_integers(tuple(self._terms.values()))
+            if scaled is None or not rows:
+                form = False
+            else:
+                numerators, common_den, has_fraction = scaled
+                max_exponents = tuple(
+                    max(row[axis] for row in rows) for axis in range(self._arity)
+                )
+                form = (rows, numerators, common_den, has_fraction, max_exponents)
+            self._fast = form
+        return form
+
+    def _evaluate_fast(self, values: Tuple[Number, ...]):
+        """Scaled-integer evaluation; :data:`fastpath.MISS` → naive path.
+
+        Writes each coordinate as ``a_i / b_i`` and computes
+        ``N = Σ_t c_t · Π_i a_i^{e_i} · b_i^{E_i - e_i}`` over integers
+        (``E_i`` the maximum exponent of variable ``i``), so the value
+        is exactly ``N / (den · Π_i b_i^{E_i})`` — one ``Fraction``
+        normalisation per evaluation.  Claims only the cases where the
+        naive reference would itself return a ``Fraction``.
+        """
+        form = self._fast_form()
+        if form is False:
+            return fastpath.MISS
+        rows, numerators, common_den, has_fraction, max_exponents = form
+        point_numerators = []
+        point_denominators = []
+        fraction_result = has_fraction
+        for axis, value in enumerate(values):
+            if isinstance(value, Fraction):
+                # A Fraction coordinate only fractionalises the naive
+                # result if some term actually raises it to a power.
+                if max_exponents[axis] > 0:
+                    fraction_result = True
+                point_numerators.append(value.numerator)
+                point_denominators.append(value.denominator)
+            elif isinstance(value, int) and not isinstance(value, bool):
+                point_numerators.append(value)
+                point_denominators.append(1)
+            else:
+                return fastpath.MISS
+        if not fraction_result:
+            return fastpath.MISS  # all-int: naive evaluation is integer-only
+        a_power_tables = []
+        b_power_tables = []
+        total_denominator = common_den
+        for a, b, top in zip(point_numerators, point_denominators, max_exponents):
+            a_powers = [1]
+            for _ in range(top):
+                a_powers.append(a_powers[-1] * a)
+            a_power_tables.append(a_powers)
+            if b == 1:
+                b_power_tables.append(None)
+            else:
+                b_powers = [1]
+                for _ in range(top):
+                    b_powers.append(b_powers[-1] * b)
+                b_power_tables.append(b_powers)
+                total_denominator *= b_powers[top]
+        total = 0
+        for row, numerator in zip(rows, numerators):
+            term = numerator
+            for axis, exponent in enumerate(row):
+                if exponent:
+                    term *= a_power_tables[axis][exponent]
+                b_powers = b_power_tables[axis]
+                if b_powers is not None:
+                    remaining = max_exponents[axis] - exponent
+                    if remaining:
+                        term *= b_powers[remaining]
+            total += term
+        return Fraction(total, total_denominator)
+
     def __call__(self, point: Sequence[Number]) -> Number:
         """Evaluate at a point (sequence of ``arity`` numbers)."""
         values = tuple(point)
@@ -133,6 +227,10 @@ class MultivariatePolynomial:
             raise ValidationError(
                 f"point has {len(values)} coordinates, expected {self._arity}"
             )
+        if fastpath.enabled():
+            value = self._evaluate_fast(values)
+            if value is not fastpath.MISS:
+                return value
         total: Number = 0
         for exponents, coefficient in self._terms.items():
             term = coefficient

@@ -13,6 +13,7 @@ from fractions import Fraction
 from typing import Callable, List, Sequence, Union
 
 from repro.exceptions import ValidationError
+from repro.math import fastpath
 from repro.utils.rng import ReproRandom
 
 Number = Union[int, float, Fraction]
@@ -23,9 +24,17 @@ class Polynomial:
 
     Coefficients are stored lowest-degree first with trailing zeros
     stripped (the zero polynomial stores a single zero coefficient).
+
+    Evaluation carries an integer fast path: rational coefficient sets
+    are lazily rescaled once onto a common denominator, after which
+    every evaluation at a rational point is pure integer arithmetic
+    with a single ``Fraction`` normalisation at the end — same value,
+    same result type as the naive Horner reference (which remains the
+    code path for floats, and whenever
+    :func:`repro.math.fastpath.enabled` is off).
     """
 
-    __slots__ = ("_coefficients",)
+    __slots__ = ("_coefficients", "_fast")
 
     def __init__(self, coefficients: Sequence[Number]) -> None:
         coeffs = list(coefficients)
@@ -34,6 +43,7 @@ class Polynomial:
         while len(coeffs) > 1 and coeffs[-1] == 0:
             coeffs.pop()
         self._coefficients = tuple(coeffs)
+        self._fast = None  # lazy scaled-integer form; False = not rational
 
     # -- constructors ----------------------------------------------------------
 
@@ -129,8 +139,59 @@ class Polynomial:
 
     # -- evaluation ---------------------------------------------------------------
 
+    def _fast_form(self):
+        """Scaled-integer form ``(numerators, common_den, has_fraction)``.
+
+        Computed once per instance; ``False`` when any coefficient is
+        not an int/Fraction (floats stay on the naive path).
+        """
+        form = self._fast
+        if form is None:
+            scaled = fastpath.scale_to_integers(self._coefficients)
+            form = scaled if scaled is not None else False
+            self._fast = form
+        return form
+
+    def _evaluate_fast(self, point: Number):
+        """Scaled-integer Horner; :data:`fastpath.MISS` → use naive path.
+
+        Only claims the cases where the naive reference would produce a
+        :class:`Fraction` (a Fraction coefficient or a Fraction point):
+        the weighted Horner recurrence computes ``N = Σ c_j a^j b^(d-j)``
+        over plain integers and normalises once via
+        ``Fraction(N, den · b^d)``, which is exactly the canonical form
+        the naive operator chain arrives at.
+        """
+        form = self._fast_form()
+        if form is False:
+            return fastpath.MISS
+        scaled, den, has_fraction = form
+        if isinstance(point, Fraction):
+            a, b = point.numerator, point.denominator
+        elif isinstance(point, int) and not isinstance(point, bool):
+            if not has_fraction:
+                return fastpath.MISS  # all-int Horner is already integer-only
+            a, b = point, 1
+        else:
+            return fastpath.MISS
+        degree = len(scaled) - 1
+        accumulator = scaled[degree]
+        if b == 1:
+            for index in range(degree - 1, -1, -1):
+                accumulator = accumulator * a + scaled[index]
+            return Fraction(accumulator, den)
+        b_power = 1
+        for index in range(degree - 1, -1, -1):
+            b_power *= b
+            accumulator = accumulator * a + scaled[index] * b_power
+        return Fraction(accumulator, den * b_power)
+
     def __call__(self, point: Number) -> Number:
-        """Evaluate via Horner's rule."""
+        """Evaluate via Horner's rule (integer fast path when rational)."""
+        if fastpath.enabled():
+            value = self._evaluate_fast(point)
+            if value is not fastpath.MISS:
+                return value
         result: Number = 0
         for coeff in reversed(self._coefficients):
             result = result * point + coeff
@@ -220,3 +281,61 @@ class Polynomial:
     def to_float(self) -> "Polynomial":
         """Return a copy with all coefficients as floats."""
         return Polynomial([float(c) for c in self._coefficients])
+
+
+def evaluate_all(polynomials: Sequence[Polynomial], point: Number) -> List[Number]:
+    """Evaluate several polynomials at one shared point.
+
+    The OMPE receiver evaluates all ``n`` hiding polynomials ``g_i`` at
+    each cover node ``v``; building the ``v^j`` (and denominator) power
+    tables once and reusing them across the batch beats ``n``
+    independent Horner runs.  Falls back to per-polynomial evaluation —
+    and therefore to the naive reference — for floats or when the hot
+    path is disabled.  Values and result types are identical either
+    way.
+    """
+    if not fastpath.enabled():
+        return [polynomial(point) for polynomial in polynomials]
+    if isinstance(point, Fraction):
+        a, b = point.numerator, point.denominator
+        point_is_fraction = True
+    elif isinstance(point, int) and not isinstance(point, bool):
+        a, b = point, 1
+        point_is_fraction = False
+    else:
+        return [polynomial(point) for polynomial in polynomials]
+    max_degree = 0
+    forms = []
+    for polynomial in polynomials:
+        form = polynomial._fast_form()
+        forms.append(form)
+        if form is not False:
+            max_degree = max(max_degree, len(form[0]) - 1)
+    a_powers = [1]
+    b_powers = [1]
+    for _ in range(max_degree):
+        a_powers.append(a_powers[-1] * a)
+        b_powers.append(b_powers[-1] * b)
+    results: List[Number] = []
+    for polynomial, form in zip(polynomials, forms):
+        if form is False:
+            results.append(polynomial(point))
+            continue
+        scaled, den, has_fraction = form
+        if not (has_fraction or point_is_fraction):
+            results.append(polynomial(point))  # all-int: naive is integer Horner
+            continue
+        degree = len(scaled) - 1
+        if b == 1:
+            total = sum(
+                coefficient * a_powers[index]
+                for index, coefficient in enumerate(scaled)
+            )
+            results.append(Fraction(total, den))
+        else:
+            total = sum(
+                coefficient * a_powers[index] * b_powers[degree - index]
+                for index, coefficient in enumerate(scaled)
+            )
+            results.append(Fraction(total, den * b_powers[degree]))
+    return results

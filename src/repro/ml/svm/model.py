@@ -25,6 +25,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.math import fastpath
 from repro.math.multinomial import compositions, multinomial_coefficient
 from repro.math.multivariate import MultivariatePolynomial
 from repro.ml.kernels import Kernel, linear_kernel
@@ -193,6 +194,85 @@ class SVMModel:
             return self.linear_decision_polynomial()
         return self.polynomial_decision_polynomial()
 
+    def _exact_scaled_form(self):
+        """Scaled-integer form of the snapped model, built once per model.
+
+        The model is treated as immutable after construction (as every
+        protocol does); the cache holds the snapped duals / support
+        vectors / kernel constants rescaled onto common integer
+        denominators so :meth:`exact_decision_value` can run the per-SV
+        kernel loop in plain integer arithmetic.
+        """
+        cached = self.__dict__.get("_scaled_form_cache")
+        if cached is not None:
+            return cached
+        name, params = self.kernel_spec
+        duals = [_to_fraction(c) for c in self.dual_coefficients]
+        dual_numerators, dual_den, _ = fastpath.scale_to_integers(duals)
+        flat = [_to_fraction(v) for row in self.support_vectors for v in row]
+        sv_numerators_flat, sv_den, _ = fastpath.scale_to_integers(flat)
+        dimension = self.dimension
+        sv_numerators = [
+            sv_numerators_flat[row * dimension : (row + 1) * dimension]
+            for row in range(self.n_support)
+        ]
+        form = {
+            "bias": _to_fraction(self.bias),
+            "dual_numerators": dual_numerators,
+            "dual_den": dual_den,
+            "sv_numerators": sv_numerators,
+            "sv_den": sv_den,
+        }
+        if name in ("poly", "polynomial"):
+            form["degree"] = int(params.get("degree", 3))
+            form["a0"] = _to_fraction(params.get("a0", 1.0))
+            form["b0"] = _to_fraction(params.get("b0", 0.0))
+        elif name == "linear":
+            weights = [_to_fraction(w) for w in self.weight_vector()]
+            numerators, den, _ = fastpath.scale_to_integers(weights)
+            form["weight_numerators"] = numerators
+            form["weight_den"] = den
+        self.__dict__["_scaled_form_cache"] = form
+        return form
+
+    def _exact_decision_value_fast(self, exact_point: Sequence[Fraction]):
+        """Scaled-integer evaluation of ``d(t)`` (bit-identical to naive).
+
+        Every operand is a snapped :class:`Fraction`, so the naive loop
+        always returns a canonical ``Fraction``; computing one big
+        integer numerator and normalising once yields the same canonical
+        value without a gcd per multiply-add.
+        """
+        scaled_point = fastpath.scale_to_integers(exact_point)
+        if scaled_point is None:
+            return fastpath.MISS
+        point_numerators, point_den, _ = scaled_point
+        form = self._exact_scaled_form()
+        bias = form["bias"]
+        name = self.kernel_spec[0]
+        if name == "linear":
+            numerator = sum(
+                w * c for w, c in zip(form["weight_numerators"], point_numerators)
+            )
+            den = form["weight_den"] * point_den
+            return Fraction(bias.numerator * den + bias.denominator * numerator,
+                            bias.denominator * den)
+        degree = form["degree"]
+        a0, b0 = form["a0"], form["b0"]
+        # inner = a0 · (sv·t) + b0 over the common denominator:
+        # kernel = (inner_scale·dot + inner_shift)^p / kernel_den^p.
+        base_den = a0.denominator * form["sv_den"] * point_den
+        inner_scale = a0.numerator * b0.denominator
+        inner_shift = b0.numerator * base_den
+        kernel_den = base_den * b0.denominator
+        total = 0
+        for dual_num, sv_row in zip(form["dual_numerators"], form["sv_numerators"]):
+            dot = sum(a * b for a, b in zip(sv_row, point_numerators))
+            total += dual_num * (inner_scale * dot + inner_shift) ** degree
+        den = form["dual_den"] * kernel_den**degree
+        return Fraction(bias.numerator * den + bias.denominator * total,
+                        bias.denominator * den)
+
     def exact_decision_value(self, point: Sequence) -> Fraction:
         """Exact (Fraction) evaluation of ``d`` via the kernel form.
 
@@ -206,6 +286,10 @@ class SVMModel:
             raise ValidationError(
                 f"point must have {self.dimension} coordinates, got {len(exact_point)}"
             )
+        if fastpath.enabled() and name in ("linear", "poly", "polynomial"):
+            value = self._exact_decision_value_fast(exact_point)
+            if value is not fastpath.MISS:
+                return value
         duals = [_to_fraction(c) for c in self.dual_coefficients]
         svs = [[_to_fraction(v) for v in row] for row in self.support_vectors]
         total = _to_fraction(self.bias)

@@ -1,0 +1,312 @@
+"""Differential and property tests for the hot-path arithmetic engine.
+
+Every optimized path in :mod:`repro.math` must be *output-identical* to
+the naive reference — same values, same Python types — on the same
+inputs.  These tests pin that guarantee at the math layer; the
+protocol-level guarantee (identical transcripts/labels/similarity) lives
+in ``tests/core/test_hotpath_differential.py``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.math import fastpath
+from repro.math.groups import (
+    _FIXED_BASE_TABLE_CAP,
+    _FIXED_BASE_TABLES,
+    DUAL_TABLE_MIN_SLOTS,
+    DualBaseExponentiator,
+    FixedBaseTable,
+    small_test_group,
+)
+from repro.math.interpolation import lagrange_at_zero
+from repro.math.multivariate import MultivariatePolynomial
+from repro.math.numtheory import (
+    batch_modular_inverse,
+    jacobi_symbol,
+    modular_inverse,
+    simultaneous_exp,
+    sliding_window_pow,
+)
+from repro.math.polynomials import Polynomial, evaluate_all
+from repro.utils.rng import ReproRandom
+
+fractions_st = st.fractions(
+    min_value=-100, max_value=100, max_denominator=1 << 20
+)
+mixed_st = st.one_of(st.integers(min_value=-100, max_value=100), fractions_st)
+
+
+class TestSwitch:
+    def test_default_enabled(self):
+        assert fastpath.enabled()
+
+    def test_naive_context_restores(self):
+        assert fastpath.enabled()
+        with fastpath.naive_arithmetic():
+            assert not fastpath.enabled()
+            with fastpath.hotpath_arithmetic():
+                assert fastpath.enabled()
+            assert not fastpath.enabled()
+        assert fastpath.enabled()
+
+    def test_set_enabled(self):
+        fastpath.set_enabled(False)
+        try:
+            assert not fastpath.enabled()
+        finally:
+            fastpath.set_enabled(True)
+
+
+class TestScaleHelpers:
+    def test_rational_parts(self):
+        assert fastpath.rational_parts(Fraction(3, 7)) == (3, 7)
+        assert fastpath.rational_parts(5) == (5, 1)
+        assert fastpath.rational_parts(1.5) is None
+        assert fastpath.rational_parts(True) is None
+
+    def test_scale_to_integers(self):
+        scaled = fastpath.scale_to_integers([Fraction(1, 2), Fraction(1, 3), 2])
+        assert scaled == ((3, 2, 12), 6, True)
+
+    def test_scale_all_ints(self):
+        assert fastpath.scale_to_integers([2, -3]) == ((2, -3), 1, False)
+
+    def test_scale_rejects_floats(self):
+        assert fastpath.scale_to_integers([Fraction(1, 2), 0.5]) is None
+
+    @given(st.lists(mixed_st, min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_scale_roundtrip(self, values):
+        numerators, common, has_fraction = fastpath.scale_to_integers(values)
+        for value, numerator in zip(values, numerators):
+            assert Fraction(numerator, common) == value
+        assert has_fraction == any(isinstance(v, Fraction) for v in values)
+
+
+class TestNumtheoryHotpaths:
+    @given(
+        st.integers(min_value=2, max_value=1 << 128),
+        st.integers(min_value=0, max_value=1 << 128),
+        st.integers(min_value=3, max_value=1 << 128),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_sliding_window_pow_matches_pow(self, base, exponent, modulus):
+        assert sliding_window_pow(base, exponent, modulus) == pow(
+            base, exponent, modulus
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=1 << 64),
+        st.integers(min_value=0, max_value=1 << 64),
+        st.integers(min_value=1, max_value=1 << 64),
+        st.integers(min_value=0, max_value=1 << 64),
+        st.integers(min_value=2, max_value=1 << 64),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_simultaneous_exp_matches_product(self, a, x, b, y, modulus):
+        expected = (pow(a, x, modulus) * pow(b, y, modulus)) % modulus
+        assert simultaneous_exp(a, x, b, y, modulus) == expected
+
+    def test_batch_inverse_matches_individual(self):
+        modulus = 10007
+        values = [1, 2, 3, 5000, 10006, 42]
+        batched = batch_modular_inverse(values, modulus)
+        assert batched == [modular_inverse(v, modulus) for v in values]
+
+    def test_batch_inverse_empty(self):
+        assert batch_modular_inverse([], 97) == []
+
+    def test_batch_inverse_reports_culprit(self):
+        with pytest.raises(ValidationError):
+            batch_modular_inverse([3, 14, 5], 21)  # 14 shares a factor
+
+    @given(st.lists(st.integers(min_value=1, max_value=10006), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_batch_inverse_property(self, values):
+        modulus = 10007  # prime, so every nonzero value is invertible
+        for value, inverse in zip(values, batch_modular_inverse(values, modulus)):
+            assert value * inverse % modulus == 1
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=200, deadline=None)
+    def test_jacobi_equals_euler_criterion(self, a):
+        prime = 1000003
+        euler = pow(a % prime, (prime - 1) // 2, prime)
+        expected = 0 if a % prime == 0 else (1 if euler == 1 else -1)
+        assert jacobi_symbol(a, prime) == expected
+
+    def test_jacobi_rejects_even_modulus(self):
+        with pytest.raises(ValidationError):
+            jacobi_symbol(3, 10)
+        with pytest.raises(ValidationError):
+            jacobi_symbol(3, -7)
+
+
+class TestGroupHotpaths:
+    def test_contains_matches_naive(self, group):
+        draw = ReproRandom(7)
+        for _ in range(50):
+            element = draw.randint(1, group.p - 1)
+            with fastpath.naive_arithmetic():
+                naive = group.contains(element)
+            assert group.contains(element) == naive
+
+    def test_exp_g_matches_naive(self, group):
+        draw = ReproRandom(8)
+        for _ in range(30):
+            exponent = draw.randint(0, group.q - 1)
+            with fastpath.naive_arithmetic():
+                naive = group.exp_g(exponent)
+            assert group.exp_g(exponent) == naive
+
+    def test_fixed_base_table_matches_pow(self):
+        group = small_test_group()
+        table = FixedBaseTable(group.g, group.p, group.q.bit_length())
+        for exponent in [0, 1, 2, group.q - 1, 12345 % group.q]:
+            assert table.power(exponent) == pow(group.g, exponent, group.p)
+
+    def test_table_cache_keyed_by_parameters_not_identity(self):
+        # Two equal-parameter instances share one cache entry.
+        first = small_test_group()
+        second = small_test_group()
+        assert first is not second
+        assert first.fixed_base_table() is second.fixed_base_table()
+
+    def test_table_cache_bounded(self):
+        group = small_test_group()
+        group.fixed_base_table()
+        key = (group.p, group.q, group.g)
+        # Flood the cache with synthetic keys: the LRU must stay capped
+        # and evict the oldest entries first.
+        sentinel = FixedBaseTable(2, 1000003, 20)
+        for index in range(_FIXED_BASE_TABLE_CAP + 4):
+            _FIXED_BASE_TABLES[("synthetic", index)] = sentinel
+            while len(_FIXED_BASE_TABLES) > _FIXED_BASE_TABLE_CAP:
+                _FIXED_BASE_TABLES.popitem(last=False)
+        assert len(_FIXED_BASE_TABLES) <= _FIXED_BASE_TABLE_CAP
+        assert key not in _FIXED_BASE_TABLES
+        # A fresh request rebuilds transparently.
+        assert group.fixed_base_table().power(5) == pow(group.g, 5, group.p)
+        for index in range(_FIXED_BASE_TABLE_CAP + 4):
+            _FIXED_BASE_TABLES.pop(("synthetic", index), None)
+
+    def test_dual_base_exponentiator_matches_reference(self, group):
+        draw = ReproRandom(11)
+        blinded = group.random_element(draw)
+        w = group.random_element(draw)
+        w_inverse = group.inv(w)
+        derive = DualBaseExponentiator(group, blinded, w_inverse)
+        for index in range(DUAL_TABLE_MIN_SLOTS + 4):
+            r = group.random_exponent(draw)
+            shifted = group.mul(blinded, pow(w_inverse, index, group.p))
+            assert derive.key_point(index, r) == group.exp(shifted, r)
+
+    def test_batch_inv_matches_inv(self, group):
+        draw = ReproRandom(12)
+        elements = [group.random_element(draw) for _ in range(9)]
+        assert group.batch_inv(elements) == [group.inv(e) for e in elements]
+
+
+coefficients_st = st.lists(mixed_st, min_size=1, max_size=7)
+
+
+class TestPolynomialFastPath:
+    @given(coefficients_st, mixed_st)
+    @settings(max_examples=200, deadline=None)
+    def test_univariate_matches_naive(self, coefficients, point):
+        polynomial = Polynomial(coefficients)
+        fast = polynomial(point)
+        with fastpath.naive_arithmetic():
+            naive = Polynomial(coefficients)(point)
+        assert fast == naive
+        assert type(fast) is type(naive)
+
+    def test_float_point_falls_back(self):
+        polynomial = Polynomial([Fraction(1, 2), Fraction(1, 3)])
+        assert polynomial(0.5) == pytest.approx(2 / 3)
+
+    @given(st.lists(coefficients_st, min_size=1, max_size=5), mixed_st)
+    @settings(max_examples=100, deadline=None)
+    def test_evaluate_all_matches_per_polynomial(self, coefficient_lists, point):
+        polynomials = [Polynomial(c) for c in coefficient_lists]
+        shared = list(evaluate_all(polynomials, point))
+        with fastpath.naive_arithmetic():
+            naive = [Polynomial(c)(point) for c in coefficient_lists]
+        assert shared == naive
+        for a, b in zip(shared, naive):
+            assert type(a) is type(b)
+
+    def test_integer_result_type_preserved(self):
+        # All-int polynomial at an int point: naive returns int.
+        polynomial = Polynomial([1, 2, 3])
+        value = polynomial(2)
+        assert value == 17 and type(value) is int
+        # Fraction point always fractionalises (Horner multiplies by it).
+        value = polynomial(Fraction(2))
+        assert value == 17 and type(value) is Fraction
+
+
+mvp_terms_st = st.dictionaries(
+    st.tuples(
+        st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3)
+    ),
+    mixed_st,
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestMultivariateFastPath:
+    @given(mvp_terms_st, mixed_st, mixed_st)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_naive(self, terms, x, y):
+        polynomial = MultivariatePolynomial(2, terms)
+        fast = polynomial((x, y))
+        with fastpath.naive_arithmetic():
+            naive = MultivariatePolynomial(2, terms)((x, y))
+        assert fast == naive
+        assert type(fast) is type(naive)
+
+    def test_unused_axis_fraction_keeps_int_type(self):
+        # The second variable never appears with a positive exponent, so
+        # the naive evaluator never multiplies by it: the result stays
+        # int even though the coordinate is a Fraction.
+        polynomial = MultivariatePolynomial(2, {(1, 0): 2})
+        value = polynomial((3, Fraction(1, 2)))
+        assert value == 6 and type(value) is int
+
+
+class TestInterpolationFastPath:
+    @given(
+        st.lists(
+            st.fractions(min_value=-50, max_value=50, max_denominator=97),
+            min_size=2,
+            max_size=6,
+            unique=True,
+        ),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_lagrange_at_zero_matches_naive(self, nodes, data):
+        if any(node == 0 for node in nodes):
+            nodes = [node + 51 for node in nodes]
+        values = [
+            data.draw(fractions_st, label=f"value{i}") for i in range(len(nodes))
+        ]
+        fast = lagrange_at_zero(nodes, values)
+        with fastpath.naive_arithmetic():
+            naive = lagrange_at_zero(nodes, values)
+        assert fast == naive
+        assert type(fast) is type(naive)
+
+    def test_reconstructs_constant_term(self):
+        polynomial = Polynomial([Fraction(5, 7), Fraction(2), Fraction(-3, 2)])
+        nodes = [Fraction(1), Fraction(2), Fraction(3)]
+        assert lagrange_at_zero(nodes, [polynomial(n) for n in nodes]) == Fraction(5, 7)
