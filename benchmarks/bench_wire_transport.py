@@ -1,0 +1,84 @@
+"""TCP transport cost: framed round trips and full sessions over loopback.
+
+``test_benchmark_classify_in_memory`` and
+``test_benchmark_classify_over_tcp`` run the *same* private
+classification (same model, sample, seed, config) on both transports,
+so their ratio is the real-socket overhead on top of the protocol's
+compute — the number to quote when extrapolating the paper's cost
+tables from the simulated channel to a deployment.
+``test_benchmark_frame_round_trip`` isolates the framing layer itself.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.classification import private_classify
+from repro.ml.svm.model import make_linear_model
+from repro.net.service import TrainerClient, TrainerServer
+from repro.net.wire import WireConnection
+
+pytestmark = pytest.mark.socket
+
+_MODEL_WEIGHTS = [0.75, -0.5, 0.25]
+_MODEL_BIAS = 0.125
+_SAMPLE = (0.5, -0.25, 0.75)
+
+
+def test_benchmark_frame_round_trip(benchmark):
+    """One 4 KiB frame out and back through the framing layer."""
+    left_sock, right_sock = socket.socketpair()
+    left = WireConnection(left_sock, timeout=10.0)
+    right = WireConnection(right_sock, timeout=10.0)
+
+    def echo():
+        try:
+            while True:
+                right.send_frame(right.recv_frame())
+        except Exception:
+            return  # peer closed — benchmark is done
+
+    thread = threading.Thread(target=echo, daemon=True)
+    thread.start()
+    payload = b"\xa5" * 4096
+
+    def round_trip():
+        left.send_frame(payload)
+        return left.recv_frame()
+
+    received = benchmark(round_trip)
+    assert received == payload
+    left.close()
+    right.close()
+    thread.join(5.0)
+
+
+def test_benchmark_classify_in_memory(benchmark, bench_config):
+    """Reference: the same session on the in-memory channel."""
+    model = make_linear_model(_MODEL_WEIGHTS, _MODEL_BIAS)
+    outcome = benchmark(
+        lambda: private_classify(model, _SAMPLE, config=bench_config, seed=1)
+    )
+    assert outcome.report.total_bytes > 0
+
+
+def test_benchmark_classify_over_tcp(benchmark, bench_config):
+    """One full private classification session over a live socket."""
+    model = make_linear_model(_MODEL_WEIGHTS, _MODEL_BIAS)
+    server = TrainerServer(model, config=bench_config)
+    host, port = server.address
+    thread = threading.Thread(
+        target=lambda: server.serve_forever(), daemon=True
+    )
+    thread.start()
+    client = TrainerClient(host, port, config=bench_config)
+
+    outcome = benchmark(lambda: client.classify(_SAMPLE, seed=1))
+
+    client.close()
+    server.close()  # unblocks the accept loop; serve_forever returns
+    thread.join(5.0)
+    reference = private_classify(model, _SAMPLE, config=bench_config, seed=1)
+    assert outcome.randomized_value == reference.randomized_value
+    assert outcome.report.total_bytes == reference.report.total_bytes

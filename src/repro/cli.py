@@ -10,6 +10,9 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli experiment table1            # regenerate a table/figure
     python -m repro.cli experiment --all
     python -m repro.cli observe --runs 3             # traced run + drift check
+    python -m repro.cli serve model.json --port 9000 # host a trainer over TCP
+    python -m repro.cli remote-classify d.libsvm --connect 127.0.0.1:9000
+    python -m repro.cli remote-similarity model_b.json --connect 127.0.0.1:9000
     python -m repro.cli serve-bench --jobs 16 --workers 1,2,4
 
 The CLI is a thin layer over the public API; each subcommand maps to
@@ -271,6 +274,82 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _parse_endpoint(text: str) -> tuple:
+    """Parse ``--connect host:port`` into ``(host, port)``."""
+    from repro.exceptions import ValidationError
+
+    host, separator, port_text = text.rpartition(":")
+    if not separator or not host:
+        raise ValidationError(
+            f"--connect expects host:port, got {text!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValidationError(
+            f"--connect expects a numeric port, got {port_text!r}"
+        ) from None
+    return host, port
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.net.service import TrainerServer
+
+    model = load_model(args.model)
+    config = OMPEConfig(security_degree=args.security_degree)
+    with TrainerServer(
+        model,
+        host=args.host,
+        port=args.port,
+        config=config,
+        session_timeout=args.timeout,
+    ) as server:
+        host, port = server.address
+        print(f"serving {args.model} on {host}:{port} "
+              f"({'linear' if model.is_linear() else 'kernel'} model, "
+              f"dimension {model.dimension})")
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(str(port))
+        served = server.serve_forever(max_sessions=args.max_sessions)
+        print(f"served {served} sessions")
+    return 0
+
+
+def _cmd_remote_classify(args: argparse.Namespace) -> int:
+    from repro.net.service import TrainerClient
+
+    host, port = _parse_endpoint(args.connect)
+    X, y = read_libsvm(args.data)
+    limit = min(args.limit, X.shape[0]) if args.limit else X.shape[0]
+    config = OMPEConfig(security_degree=args.security_degree)
+    correct = 0
+    with TrainerClient(host, port, config=config, timeout=args.timeout) as client:
+        for index in range(limit):
+            outcome = client.classify(X[index], seed=args.seed + index)
+            marker = "ok " if outcome.label == y[index] else "ERR"
+            correct += outcome.label == y[index]
+            print(f"sample {index}: predicted {outcome.label:+.0f}, "
+                  f"actual {y[index]:+.0f} {marker}  [{outcome.total_bytes} B]")
+    print(f"accuracy: {correct / limit:.1%} over {limit} samples "
+          f"(private protocol over TCP)")
+    return 0
+
+
+def _cmd_remote_similarity(args: argparse.Namespace) -> int:
+    from repro.net.service import TrainerClient
+
+    host, port = _parse_endpoint(args.connect)
+    model = load_model(args.model)
+    config = OMPEConfig(security_degree=args.security_degree)
+    with TrainerClient(host, port, config=config, timeout=args.timeout) as client:
+        outcome = client.evaluate_similarity(model, seed=args.seed)
+    print(f"similarity T = {outcome.t:.6g} (privacy-preserving over TCP; "
+          f"{outcome.total_bytes} B over {outcome.total_rounds} rounds)")
+    print("smaller T = more similar models")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     ids = available_experiments() if args.all else [args.experiment]
     if not args.all and args.experiment is None:
@@ -347,6 +426,45 @@ def build_parser() -> argparse.ArgumentParser:
     observe.add_argument("--metrics-out", default=None,
                          help="write the metrics snapshot as JSON")
 
+    serve = sub.add_parser(
+        "serve",
+        help="host a trained model as a TCP trainer service",
+    )
+    serve.add_argument("model")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 picks a free port (printed on startup)")
+    serve.add_argument("--port-file", default=None,
+                       help="write the bound port to this file (for scripts)")
+    serve.add_argument("--max-sessions", type=int, default=None,
+                       help="exit after serving this many sessions")
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       help="per-connection socket timeout in seconds")
+    serve.add_argument("--security-degree", type=int, default=2)
+
+    remote_classify = sub.add_parser(
+        "remote-classify",
+        help="classify samples against a served model over TCP",
+    )
+    remote_classify.add_argument("data")
+    remote_classify.add_argument("--connect", required=True,
+                                 help="trainer service endpoint host:port")
+    remote_classify.add_argument("--limit", type=int, default=10)
+    remote_classify.add_argument("--seed", type=int, default=0)
+    remote_classify.add_argument("--timeout", type=float, default=30.0)
+    remote_classify.add_argument("--security-degree", type=int, default=2)
+
+    remote_similarity = sub.add_parser(
+        "remote-similarity",
+        help="compare a local model against a served model over TCP",
+    )
+    remote_similarity.add_argument("model")
+    remote_similarity.add_argument("--connect", required=True,
+                                   help="trainer service endpoint host:port")
+    remote_similarity.add_argument("--seed", type=int, default=0)
+    remote_similarity.add_argument("--timeout", type=float, default=30.0)
+    remote_similarity.add_argument("--security-degree", type=int, default=2)
+
     serve_bench = sub.add_parser(
         "serve-bench",
         help="benchmark the multi-core protocol engine (jobs/sec per worker count)",
@@ -374,6 +492,9 @@ _HANDLERS = {
     "similarity": _cmd_similarity,
     "experiment": _cmd_experiment,
     "observe": _cmd_observe,
+    "serve": _cmd_serve,
+    "remote-classify": _cmd_remote_classify,
+    "remote-similarity": _cmd_remote_similarity,
     "serve-bench": _cmd_serve_bench,
 }
 

@@ -24,6 +24,30 @@ from repro.ml.svm.model import SVMModel
 from repro.utils.rng import ReproRandom
 
 
+def decision_function_for_model(model: SVMModel) -> OMPEFunction:
+    """The sender-side OMPE function of a model's decision boundary.
+
+    Linear models expose the decision polynomial directly; polynomial-
+    kernel models use the exact kernel-form evaluator (the ``direct``
+    method of :mod:`repro.core.classification.nonlinear`).  Shared by
+    in-process sessions and the TCP trainer service so both construct
+    the same function for the same model.
+    """
+    if model.is_linear():
+        return OMPEFunction.from_polynomial(model.linear_decision_polynomial())
+    name, params = model.kernel_spec
+    if name not in ("poly", "polynomial"):
+        raise ValidationError(
+            "sessions support linear and polynomial-kernel models; "
+            "polynomialize RBF/sigmoid models first"
+        )
+    return OMPEFunction.from_callable(
+        arity=model.dimension,
+        total_degree=int(params.get("degree", 3)),
+        evaluate=model.exact_decision_value,
+    )
+
+
 class PrivateClassificationSession:
     """A long-lived trainer/client pairing over one model.
 
@@ -54,22 +78,7 @@ class PrivateClassificationSession:
         self._root = ReproRandom(seed)
         self._queries = 0
         self._refills = 0
-        if model.is_linear():
-            self._function = OMPEFunction.from_polynomial(
-                model.linear_decision_polynomial()
-            )
-        else:
-            name, params = model.kernel_spec
-            if name not in ("poly", "polynomial"):
-                raise ValidationError(
-                    "sessions support linear and polynomial-kernel models; "
-                    "polynomialize RBF/sigmoid models first"
-                )
-            self._function = OMPEFunction.from_callable(
-                arity=model.dimension,
-                total_degree=int(params.get("degree", 3)),
-                evaluate=model.exact_decision_value,
-            )
+        self._function = decision_function_for_model(model)
         self._sender_pool: Optional[SenderPool] = None
         self._receiver_pool: Optional[ReceiverPool] = None
         self._refill()

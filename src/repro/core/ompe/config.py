@@ -20,8 +20,10 @@ from typing import Optional
 
 from repro.exceptions import ValidationError
 from repro.math.groups import SchnorrGroup, fast_group
+from repro.utils.serialization import register_payload_type
 
 
+@register_payload_type("ompe/config")
 @dataclass(frozen=True)
 class OMPEConfig:
     """Parameters of one OMPE execution (shared by both parties)."""

@@ -117,3 +117,109 @@ def execute_ompe(
         offset=sender.offset_value,
         report=report,
     )
+
+
+def run_ompe_sender(
+    function: OMPEFunction,
+    channel,
+    config: Optional[OMPEConfig] = None,
+    seed: Optional[int] = None,
+    amplify: bool = True,
+    offset: bool = False,
+    name: str = "alice",
+    pool=None,
+    timings: Optional[TimingRecorder] = None,
+) -> OMPEOutcome:
+    """Run only the *sender* role over an already-connected channel.
+
+    The distributed counterpart of :func:`execute_ompe`: each process
+    calls its own role driver against its endpoint of a
+    :class:`~repro.net.wire.WireChannel` (any blocking channel with the
+    same contract works).  The drivers reproduce ``execute_ompe``'s
+    seed discipline exactly — ``ReproRandom(seed).fork("sender")`` /
+    ``.fork("receiver")`` — so a split run with the same seed produces
+    bit-identical messages, masked values, and outputs.
+
+    The returned outcome carries this role's view only: ``value`` is
+    ``None`` (the output belongs to the receiver) and the report's
+    transcript is this endpoint's copy of the conversation.
+    """
+    config = config or OMPEConfig()
+    timings = timings or TimingRecorder()
+    sender = OMPESender(
+        name,
+        function,
+        config,
+        rng=ReproRandom(seed).fork("sender"),
+        amplify=amplify,
+        offset=offset,
+        timings=timings,
+        pool=pool,
+    )
+    sender.connect(channel)
+    with obs.get_tracer().span(
+        "ompe.sender", party=name, phase="protocol", degree=function.total_degree
+    ):
+        sender.handle_request()
+        sender.handle_points()
+        sender.handle_choices()
+    # No drain assertion here: the sender's final step is a send, so any
+    # data readable at this instant is the peer's *next* protocol phase
+    # racing ahead on a multiplexed connection, not an undrained message
+    # of this run.  The receiver side keeps the strict check.
+    report = ProtocolReport(
+        result=None,
+        transcript=channel.transcript,
+        timings=timings,
+        simulated_network_s=channel.simulated_time,
+    )
+    return OMPEOutcome(
+        value=None,
+        amplifier=sender.amplifier,
+        offset=sender.offset_value,
+        report=report,
+    )
+
+
+def run_ompe_receiver(
+    input_vector: Sequence[Number],
+    channel,
+    config: Optional[OMPEConfig] = None,
+    seed: Optional[int] = None,
+    name: str = "bob",
+    pool=None,
+    timings: Optional[TimingRecorder] = None,
+) -> OMPEOutcome:
+    """Run only the *receiver* role over an already-connected channel.
+
+    See :func:`run_ompe_sender`.  ``value`` is the receiver's secret
+    output ``r_a P(α) + r_b``; the sender's randomizers are not in this
+    role's view, so ``amplifier``/``offset`` are ``None``.  The
+    receiver side owns the ``repro_ompe_runs_total`` increment, keeping
+    the shared-registry count identical to an in-process run.
+    """
+    config = config or OMPEConfig()
+    timings = timings or TimingRecorder()
+    receiver = OMPEReceiver(
+        name,
+        input_vector,
+        config,
+        rng=ReproRandom(seed).fork("receiver"),
+        timings=timings,
+        pool=pool,
+    )
+    receiver.connect(channel)
+    with obs.get_tracer().span(
+        "ompe.receiver", party=name, phase="protocol"
+    ):
+        receiver.send_request()
+        receiver.handle_params()
+        receiver.handle_ot_setups()
+        value = receiver.finish()
+    metrics = obs.get_metrics()
+    if metrics.enabled:
+        metrics.counter(
+            "repro_ompe_runs_total", "Completed OMPE protocol executions"
+        ).inc()
+    report = finish_report(value, channel, timings)
+    return OMPEOutcome(value=value, amplifier=None, offset=None, report=report)

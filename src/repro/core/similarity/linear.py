@@ -97,6 +97,24 @@ def build_t_squared_polynomial(
     return left * right * Fraction(1, 4)
 
 
+def linear_geometry(model: SVMModel, params: MetricParams):
+    """Snapped centroid and normal of a linear model's bounded hyperplane.
+
+    Shared by the in-process protocol and the remote role drivers
+    (:mod:`repro.core.similarity.remote`) so both sides derive identical
+    exact-rational geometry from the same model.
+    """
+    m = snap_vector(
+        centroid(
+            linear_boundary_points(
+                model.weight_vector(), model.bias, params.lower, params.upper
+            )
+        )
+    )
+    w = snap_vector(model.weight_vector())
+    return m, w
+
+
 def evaluate_similarity_private(
     model_a: SVMModel,
     model_b: SVMModel,
@@ -138,22 +156,8 @@ def _evaluate_similarity_private(
     root = ReproRandom(seed)
 
     # Step 1 — local geometry, snapped to exact rationals.
-    m_a = snap_vector(
-        centroid(
-            linear_boundary_points(
-                model_a.weight_vector(), model_a.bias, params.lower, params.upper
-            )
-        )
-    )
-    m_b = snap_vector(
-        centroid(
-            linear_boundary_points(
-                model_b.weight_vector(), model_b.bias, params.lower, params.upper
-            )
-        )
-    )
-    w_a = snap_vector(model_a.weight_vector())
-    w_b = snap_vector(model_b.weight_vector())
+    m_a, w_a = linear_geometry(model_a, params)
+    m_b, w_b = linear_geometry(model_b, params)
 
     # Step 2 — Bob sends the two inseparable norms in the clear.
     with obs.get_tracer().span("similarity.clear", party="bob", phase="norms"):

@@ -25,8 +25,10 @@ import numpy as np
 from repro.core.similarity.boundary import centroid, model_boundary_points
 from repro.exceptions import SimilarityError, ValidationError
 from repro.ml.svm.model import SVMModel
+from repro.utils.serialization import register_payload_type
 
 
+@register_payload_type("similarity/metric-params")
 @dataclass(frozen=True)
 class MetricParams:
     """Public parameters of the metric.

@@ -151,6 +151,21 @@ def _normal_inner_function(
     )
 
 
+def kernel_centroid(model: SVMModel, params: MetricParams):
+    """Snapped centroid of a kernel model's boundary-point scan.
+
+    Shared by the in-process protocol and the remote role drivers so
+    both sides derive identical exact-rational geometry.
+    """
+    return snap_vector(
+        centroid(
+            kernel_boundary_points(
+                model, params.lower, params.upper, params.resolution
+            )
+        )
+    )
+
+
 def exact_normal_inner(
     model_a: SVMModel, model_b: SVMModel
 ) -> Fraction:
@@ -210,20 +225,8 @@ def _evaluate_similarity_private_nonlinear(
     root = ReproRandom(seed)
 
     # Step 1 — local geometry (kernel boundary scan), snapped.
-    m_a = snap_vector(
-        centroid(
-            kernel_boundary_points(
-                model_a, params.lower, params.upper, params.resolution
-            )
-        )
-    )
-    m_b = snap_vector(
-        centroid(
-            kernel_boundary_points(
-                model_b, params.lower, params.upper, params.resolution
-            )
-        )
-    )
+    m_a = kernel_centroid(model_a, params)
+    m_b = kernel_centroid(model_b, params)
 
     # Step 2 — Bob sends K(m_B, m_B) and ⟨n_B, n_B⟩ in the clear.
     k_mm_b = exact_poly_kernel(m_b, m_b, a0, b0, degree)

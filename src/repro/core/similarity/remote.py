@@ -1,0 +1,333 @@
+"""Role-split similarity drivers for the TCP transport.
+
+:func:`~repro.core.similarity.linear.evaluate_similarity_private` runs
+both trainers lock-step in one process.  These drivers split that flow
+into Alice's side (the OMPE sender of all three runs) and Bob's side
+(the receiver, who learns ``T``), each running against its own endpoint
+of a real connection.
+
+Each protocol phase — the clear norm exchange and the three OMPE runs —
+gets a *fresh channel* from ``channel_factory`` (for the TCP transport,
+a fresh :class:`~repro.net.wire.WireChannel` over the same connection),
+so per-phase reports carry per-phase transcripts exactly like the
+in-process protocol.  Seeds derive identically on both sides
+(``ReproRandom(seed).fork("run1"/"run2"/"run3").seed``), making the
+split runs bit-identical to the in-process reference: same masked
+values, same ``T²``, same per-phase byte counts.
+
+What crosses the wire before these drivers start — model metadata like
+the peer's support-vector count for the nonlinear normal function —
+travels in the service layer's session-open control exchange
+(:mod:`repro.net.service`), not on the protocol channels, so protocol
+transcripts stay comparable across transports.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Callable, Dict, Optional
+
+from repro import obs
+from repro.core.ompe import OMPEConfig, OMPEFunction
+from repro.core.ompe.protocol import run_ompe_receiver, run_ompe_sender
+from repro.core.similarity.exact import (
+    exact_norm_squared,
+    exact_poly_kernel,
+    snap,
+)
+from repro.core.similarity.linear import (
+    PrivateSimilarityOutcome,
+    build_t_squared_polynomial,
+    linear_geometry,
+)
+from repro.core.similarity.metric import MetricParams
+from repro.core.similarity.nonlinear import (
+    _normal_inner_function,
+    _pack_model,
+    _polynomial_kernel_params,
+    exact_normal_inner,
+    kernel_centroid,
+)
+from repro.exceptions import SimilarityError, ValidationError
+from repro.math.multivariate import MultivariatePolynomial
+from repro.ml.svm.model import SVMModel
+from repro.net.runner import ProtocolReport
+from repro.utils.rng import ReproRandom
+
+#: Factory yielding one fresh channel endpoint per protocol phase.
+ChannelFactory = Callable[[], object]
+
+
+def _clear_report(channel) -> ProtocolReport:
+    return ProtocolReport(
+        result=None,
+        transcript=channel.transcript,
+        simulated_network_s=channel.simulated_time,
+    )
+
+
+def run_similarity_alice_linear(
+    model_a: SVMModel,
+    channel_factory: ChannelFactory,
+    params: Optional[MetricParams] = None,
+    config: Optional[OMPEConfig] = None,
+    seed: Optional[int] = None,
+) -> Dict[str, ProtocolReport]:
+    """Alice's (sender) side of the private linear similarity protocol.
+
+    Returns Alice's per-phase reports; the similarity value belongs to
+    Bob and never enters Alice's view.
+    """
+    params = params or MetricParams()
+    config = config or OMPEConfig()
+    if not model_a.is_linear():
+        raise ValidationError("linear similarity requires a linear model")
+    root = ReproRandom(seed)
+    m_a, w_a = linear_geometry(model_a, params)
+
+    clear = channel_factory()
+    norm_m_b, norm_w_b = clear.receive("alice", "similarity/norms")
+    clear_report = _clear_report(clear)
+    if norm_w_b == 0:
+        raise SimilarityError("Bob's normal vector is degenerate (zero)")
+    norm_w_a = exact_norm_squared(w_a)
+    if norm_w_a == 0:
+        raise SimilarityError("Alice's normal vector is degenerate (zero)")
+
+    run1 = run_ompe_sender(
+        OMPEFunction.from_polynomial(
+            _affine_polynomial(list(m_a))
+        ),
+        channel_factory(),
+        config=config,
+        seed=root.fork("run1").seed,
+        amplify=True,
+        offset=False,
+        name="alice",
+    )
+    run2 = run_ompe_sender(
+        OMPEFunction.from_polynomial(
+            _affine_polynomial(list(w_a))
+        ),
+        channel_factory(),
+        config=config,
+        seed=root.fork("run2").seed,
+        amplify=True,
+        offset=True,
+        name="alice",
+    )
+
+    c1 = exact_norm_squared(m_a) + norm_m_b
+    c2 = snap(params.l0) ** 4
+    c3 = 1 / (norm_w_a * norm_w_b)
+    c4 = 1 + snap(params.sin_theta0) ** 2
+    polynomial = build_t_squared_polynomial(
+        c1, c2, c3, c4,
+        1 / run1.amplifier, 1 / run2.amplifier**2, -run2.offset,
+    )
+    run3 = run_ompe_sender(
+        OMPEFunction.from_polynomial(polynomial),
+        channel_factory(),
+        config=config,
+        seed=root.fork("run3").seed,
+        amplify=False,
+        offset=False,
+        name="alice",
+    )
+    return {
+        "clear": clear_report,
+        "centroid_ompe": run1.report,
+        "normal_ompe": run2.report,
+        "area_ompe": run3.report,
+    }
+
+
+def run_similarity_bob_linear(
+    model_b: SVMModel,
+    channel_factory: ChannelFactory,
+    params: Optional[MetricParams] = None,
+    config: Optional[OMPEConfig] = None,
+    seed: Optional[int] = None,
+) -> PrivateSimilarityOutcome:
+    """Bob's (receiver) side — he learns the triangle metric ``T``."""
+    params = params or MetricParams()
+    config = config or OMPEConfig()
+    if not model_b.is_linear():
+        raise ValidationError("linear similarity requires a linear model")
+    root = ReproRandom(seed)
+    m_b, w_b = linear_geometry(model_b, params)
+
+    clear = channel_factory()
+    clear.send(
+        "bob",
+        "similarity/norms",
+        (exact_norm_squared(m_b), exact_norm_squared(w_b)),
+    )
+    clear_report = _clear_report(clear)
+    if exact_norm_squared(w_b) == 0:
+        raise SimilarityError("Bob's normal vector is degenerate (zero)")
+
+    run1 = run_ompe_receiver(
+        m_b, channel_factory(), config=config,
+        seed=root.fork("run1").seed, name="bob",
+    )
+    run2 = run_ompe_receiver(
+        w_b, channel_factory(), config=config,
+        seed=root.fork("run2").seed, name="bob",
+    )
+    run3 = run_ompe_receiver(
+        (run1.value, run2.value), channel_factory(), config=config,
+        seed=root.fork("run3").seed, name="bob",
+    )
+    return _bob_outcome(run3.value, clear_report, run1, run2, run3)
+
+
+def run_similarity_alice_nonlinear(
+    model_a: SVMModel,
+    peer_sv_count: int,
+    channel_factory: ChannelFactory,
+    params: Optional[MetricParams] = None,
+    config: Optional[OMPEConfig] = None,
+    seed: Optional[int] = None,
+) -> Dict[str, ProtocolReport]:
+    """Alice's side of the kernel similarity protocol.
+
+    ``peer_sv_count`` is Bob's support-vector count, needed to shape
+    the packed-model normal function; it arrives via the service
+    layer's session-open exchange.
+    """
+    params = params or MetricParams()
+    config = config or OMPEConfig()
+    if peer_sv_count < 1:
+        raise ValidationError(
+            f"peer_sv_count must be at least 1, got {peer_sv_count}"
+        )
+    a0, b0, degree = _polynomial_kernel_params(model_a)
+    root = ReproRandom(seed)
+    m_a = kernel_centroid(model_a, params)
+
+    clear = channel_factory()
+    k_mm_b, k_ww_b = clear.receive("alice", "similarity/kernel-norms")
+    clear_report = _clear_report(clear)
+    k_ww_a = exact_normal_inner(model_a, model_a)
+    if k_ww_a <= 0 or k_ww_b <= 0:
+        raise SimilarityError("degenerate feature-space normal")
+
+    run1 = run_ompe_sender(
+        OMPEFunction.from_callable(
+            arity=model_a.dimension,
+            total_degree=degree,
+            evaluate=lambda y: exact_poly_kernel(m_a, y, a0, b0, degree),
+        ),
+        channel_factory(),
+        config=config,
+        seed=root.fork("run1").seed,
+        amplify=True,
+        offset=False,
+        name="alice",
+    )
+    run2 = run_ompe_sender(
+        _normal_inner_function(
+            model_a, a0, b0, degree, peer_sv_count, model_a.dimension
+        ),
+        channel_factory(),
+        config=config,
+        seed=root.fork("run2").seed,
+        amplify=True,
+        offset=True,
+        name="alice",
+    )
+
+    c1 = exact_poly_kernel(m_a, m_a, a0, b0, degree) + k_mm_b
+    c2 = snap(params.l0) ** 4
+    c3 = 1 / (k_ww_a * k_ww_b)
+    c4 = 1 + snap(params.sin_theta0) ** 2
+    polynomial = build_t_squared_polynomial(
+        c1, c2, c3, c4,
+        1 / run1.amplifier, 1 / run2.amplifier**2, -run2.offset,
+    )
+    run3 = run_ompe_sender(
+        OMPEFunction.from_polynomial(polynomial),
+        channel_factory(),
+        config=config,
+        seed=root.fork("run3").seed,
+        amplify=False,
+        offset=False,
+        name="alice",
+    )
+    return {
+        "clear": clear_report,
+        "centroid_ompe": run1.report,
+        "normal_ompe": run2.report,
+        "area_ompe": run3.report,
+    }
+
+
+def run_similarity_bob_nonlinear(
+    model_b: SVMModel,
+    channel_factory: ChannelFactory,
+    params: Optional[MetricParams] = None,
+    config: Optional[OMPEConfig] = None,
+    seed: Optional[int] = None,
+) -> PrivateSimilarityOutcome:
+    """Bob's side of the kernel similarity protocol."""
+    params = params or MetricParams()
+    config = config or OMPEConfig()
+    a0, b0, degree = _polynomial_kernel_params(model_b)
+    root = ReproRandom(seed)
+    m_b = kernel_centroid(model_b, params)
+
+    clear = channel_factory()
+    clear.send(
+        "bob",
+        "similarity/kernel-norms",
+        (
+            exact_poly_kernel(m_b, m_b, a0, b0, degree),
+            exact_normal_inner(model_b, model_b),
+        ),
+    )
+    clear_report = _clear_report(clear)
+
+    run1 = run_ompe_receiver(
+        m_b, channel_factory(), config=config,
+        seed=root.fork("run1").seed, name="bob",
+    )
+    run2 = run_ompe_receiver(
+        _pack_model(model_b), channel_factory(), config=config,
+        seed=root.fork("run2").seed, name="bob",
+    )
+    run3 = run_ompe_receiver(
+        (run1.value, run2.value), channel_factory(), config=config,
+        seed=root.fork("run3").seed, name="bob",
+    )
+    return _bob_outcome(run3.value, clear_report, run1, run2, run3)
+
+
+def _affine_polynomial(weights):
+    return MultivariatePolynomial.affine(weights, Fraction(0))
+
+
+def _bob_outcome(
+    t_squared, clear_report, run1, run2, run3
+) -> PrivateSimilarityOutcome:
+    if t_squared < 0:
+        raise SimilarityError(
+            f"negative T² ({t_squared}) — protocol corrupted"
+        )
+    metrics = obs.get_metrics()
+    if metrics.enabled:
+        metrics.counter(
+            "repro_similarity_runs_total",
+            "Completed private similarity evaluations",
+        ).inc(kind="remote")
+    return PrivateSimilarityOutcome(
+        t=math.sqrt(float(t_squared)),
+        t_squared=t_squared,
+        reports={
+            "clear": clear_report,
+            "centroid_ompe": run1.report,
+            "normal_ompe": run2.report,
+            "area_ompe": run3.report,
+        },
+    )

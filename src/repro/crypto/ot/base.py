@@ -17,8 +17,10 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.exceptions import ObliviousTransferError, ValidationError
+from repro.utils.serialization import register_payload_type
 
 
+@register_payload_type("ot/setup")
 @dataclass(frozen=True)
 class OTSetup:
     """Sender's public parameters for one OT session.
@@ -36,6 +38,7 @@ class OTSetup:
             raise ValidationError("session identifier must be non-empty")
 
 
+@register_payload_type("ot/choice")
 @dataclass(frozen=True)
 class OTChoice:
     """Receiver's blinded choice: one group element per parallel slot."""
@@ -44,6 +47,7 @@ class OTChoice:
     blinded_keys: Tuple[int, ...]
 
 
+@register_payload_type("ot/transfer")
 @dataclass(frozen=True)
 class OTTransfer:
     """Sender's payload: per-message ephemeral points and wrapped bytes.

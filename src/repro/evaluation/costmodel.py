@@ -119,20 +119,28 @@ def predict_classification_bytes(
     scalar = _scalar_bytes(q)
     evaluation = _evaluation_bytes(q, function_degree)
 
+    # Container/record framing of the wire codec: every container
+    # (tuple/list/dict/bytes/str) costs a 5-byte tag + count header, and
+    # every registered dataclass costs 5 bytes plus its type name.
+    frame = 5
+    setup_record = frame + len("ot/setup") + (frame + 16) + frame
+    choice_record = frame + len("ot/choice") + (frame + 16) + frame
+    transfer_record = frame + len("ot/transfer") + (frame + 16) + 2 * frame
+
     # Points: M pairs, each (node scalar, n-coordinate vector).
-    points = 4 + M * (4 + (1 + dimension) * scalar)
-    # OT setup / choice: m sessions x (session id + tuple + element).
-    ot_setup = 4 + m * (16 + 4 + element)
-    ot_choice = 4 + m * (16 + 4 + element)
-    # OT transfer: m sessions, each M ephemeral points + M wrapped
-    # (evaluation ciphertext + MAC tag).
-    ot_transfer = 4 + m * (
-        16 + 4 + M * element + 4 + M * (evaluation + TAG_BYTES)
+    points = frame + M * (2 * frame + (1 + dimension) * scalar)
+    # OT setup / choice: m session records x (session id + one element).
+    ot_setup = frame + m * (setup_record + element)
+    ot_choice = frame + m * (choice_record + element)
+    # OT transfer: m session records, each M ephemeral points + M
+    # wrapped blobs (framed evaluation ciphertext + MAC tag).
+    ot_transfer = frame + m * (
+        transfer_record + M * element + M * (frame + evaluation + TAG_BYTES)
     )
 
     return CostBreakdown(
         request_bytes=7,
-        params_bytes=4 + 3 * 7,
+        params_bytes=frame + 3 * 7,
         points_bytes=points,
         ot_setup_bytes=ot_setup,
         ot_choice_bytes=ot_choice,
@@ -152,5 +160,5 @@ def predict_similarity_bytes(config: OMPEConfig, dimension: int) -> int:
     """
     dot_product = predict_classification_bytes(config, dimension, 1).total_bytes
     area = predict_classification_bytes(config, 2, 4).total_bytes
-    clear_exchange = 4 + 2 * _scalar_bytes(config.security_degree)
+    clear_exchange = 5 + 2 * _scalar_bytes(config.security_degree)
     return 2 * dot_product + area + clear_exchange

@@ -27,8 +27,10 @@ from repro.math.numtheory import (
     modular_inverse,
 )
 from repro.utils.rng import ReproRandom
+from repro.utils.serialization import register_payload_type
 
 
+@register_payload_type("math/schnorr-group")
 @dataclass(frozen=True)
 class SchnorrGroup:
     """A prime-order-``q`` subgroup of ``Z_p^*`` with ``p = 2q + 1``.

@@ -1,6 +1,14 @@
-"""Distributed-systems substrate: parties, channels, transcripts."""
+"""Distributed-systems substrate: parties, channels, transcripts.
 
-from repro.net.channel import Channel, LinkModel
+Two interchangeable transports implement the channel contract: the
+in-memory :class:`Channel` (both parties lock-step in one process, with
+a simulated network clock) and the TCP :class:`WireChannel`
+(:mod:`repro.net.wire` — real sockets, length-prefixed frames, one
+endpoint per process).  Protocol code in :mod:`repro.core` is written
+against the contract and runs unchanged over either.
+"""
+
+from repro.net.channel import Channel, LinkModel, observe_message
 from repro.net.faults import (
     CorruptingChannel,
     DelayingChannel,
@@ -13,6 +21,14 @@ from repro.net.network import Network
 from repro.net.party import Party, connect_parties
 from repro.net.runner import ProtocolReport, finish_report
 from repro.net.transcript import Transcript, phase_of
+from repro.net.wire import (
+    MAX_FRAME_BYTES,
+    WireChannel,
+    WireConnection,
+    accept,
+    connect,
+    listen,
+)
 
 __all__ = [
     "Channel",
@@ -21,11 +37,18 @@ __all__ = [
     "DroppingChannel",
     "DuplicatingChannel",
     "LinkModel",
+    "MAX_FRAME_BYTES",
     "Message",
     "measure_size",
     "Network",
     "Party",
+    "WireChannel",
+    "WireConnection",
+    "accept",
+    "connect",
     "connect_parties",
+    "listen",
+    "observe_message",
     "ProtocolReport",
     "RetryingChannel",
     "finish_report",

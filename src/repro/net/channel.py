@@ -43,6 +43,50 @@ class LinkModel:
         return self.latency_s + size_bytes / self.bandwidth_bytes_per_s
 
 
+def observe_message(
+    message: Message, last_direction: Optional[Tuple[str, str]]
+) -> Optional[Tuple[str, str]]:
+    """Record one sent protocol message into the global metrics/tracer.
+
+    Shared by the in-memory :class:`Channel` and the TCP
+    :class:`~repro.net.wire.WireChannel` so both transports produce
+    identical metric streams for identical protocol runs.  Returns the
+    updated last-send direction (for round-trip counting); when metrics
+    are disabled the direction state is left untouched, mirroring the
+    original inline behaviour.
+    """
+    metrics = obs.get_metrics()
+    if metrics.enabled:
+        phase = phase_of(message.msg_type)
+        size = message.size_bytes
+        metrics.counter(
+            "repro_messages_total", "Protocol messages sent"
+        ).inc(phase=phase)
+        metrics.counter(
+            "repro_bytes_sent_total", "Wire bytes sent, by party"
+        ).inc(size, party=message.sender)
+        metrics.counter(
+            "repro_bytes_received_total", "Wire bytes received, by party"
+        ).inc(size, party=message.recipient)
+        metrics.counter(
+            "repro_phase_bytes_total", "Wire bytes, by protocol phase"
+        ).inc(size, phase=phase)
+        metrics.histogram(
+            "repro_message_bytes", "Wire size of individual messages"
+        ).observe(size)
+        direction = (message.sender, message.recipient)
+        if direction != last_direction:
+            metrics.counter(
+                "repro_round_trips_total",
+                "Communication rounds (direction changes)",
+            ).inc()
+            last_direction = direction
+    tracer = obs.get_tracer()
+    if tracer.enabled:
+        tracer.current().add("bytes_on_wire", message.size_bytes)
+    return last_direction
+
+
 class Channel:
     """A reliable, ordered, bidirectional channel between two parties."""
 
@@ -86,35 +130,7 @@ class Channel:
         self._inboxes[recipient].append(message)
         self.transcript.record(message)
         self.simulated_time += self.link.transfer_time(message.size_bytes)
-        metrics = obs.get_metrics()
-        if metrics.enabled:
-            phase = phase_of(msg_type)
-            size = message.size_bytes
-            metrics.counter(
-                "repro_messages_total", "Protocol messages sent"
-            ).inc(phase=phase)
-            metrics.counter(
-                "repro_bytes_sent_total", "Wire bytes sent, by party"
-            ).inc(size, party=sender)
-            metrics.counter(
-                "repro_bytes_received_total", "Wire bytes received, by party"
-            ).inc(size, party=recipient)
-            metrics.counter(
-                "repro_phase_bytes_total", "Wire bytes, by protocol phase"
-            ).inc(size, phase=phase)
-            metrics.histogram(
-                "repro_message_bytes", "Wire size of individual messages"
-            ).observe(size)
-            direction = (sender, recipient)
-            if direction != self._last_direction:
-                metrics.counter(
-                    "repro_round_trips_total",
-                    "Communication rounds (direction changes)",
-                ).inc()
-                self._last_direction = direction
-        tracer = obs.get_tracer()
-        if tracer.enabled:
-            tracer.current().add("bytes_on_wire", message.size_bytes)
+        self._last_direction = observe_message(message, self._last_direction)
         return message
 
     def receive(self, recipient: str, expected_type: Optional[str] = None) -> Any:

@@ -29,14 +29,7 @@ from repro.utils.rng import ReproRandom
 
 def _record_fault(kind: str) -> None:
     """Bump fault metrics and annotate the current span."""
-    metrics = obs.get_metrics()
-    if metrics.enabled:
-        metrics.counter(
-            "repro_faults_injected_total", "Injected channel faults, by kind"
-        ).inc(kind=kind)
-    tracer = obs.get_tracer()
-    if tracer.enabled:
-        tracer.current().add(f"faults.{kind}", 1)
+    obs.record_fault(kind)
 
 
 class DroppingChannel:

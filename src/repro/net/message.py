@@ -1,57 +1,39 @@
 """Protocol messages and wire-size accounting.
 
 Every value exchanged by the protocols travels as a :class:`Message`
-through a :class:`~repro.net.channel.Channel`.  Messages carry an
-estimated wire size so the harness can report communication costs (the
+through a :class:`~repro.net.channel.Channel`.  Messages carry their
+wire size so the harness can report communication costs (the
 distributed-systems dimension of the paper's evaluation) without a real
-network.
+network.  The size is not an estimate: :func:`measure_size` computes
+the exact length of the message codec's canonical encoding
+(:func:`repro.utils.serialization.encoded_payload_size`), so the
+simulated transport and the TCP transport (:mod:`repro.net.wire`)
+account every message identically, byte for byte.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from fractions import Fraction
 from typing import Any
 
 from repro.exceptions import ValidationError
-from repro.utils.serialization import encoded_size
+from repro.utils.serialization import encoded_payload_size
 
 _COUNTER = itertools.count(1)
 
 
 def measure_size(payload: Any) -> int:
-    """Estimate the serialized size of a payload in bytes.
+    """Exact serialized size of a payload in bytes.
 
-    Handles the protocol's actual vocabulary: bytes, scalars (int /
-    float / Fraction), tuples/lists of payloads, dataclasses (field by
-    field), dicts, and ``None``.  Integers count their true byte length
-    (group elements are big).
+    Handles the protocol's actual vocabulary: ``None``, booleans, bytes,
+    scalars (int / float / Fraction — integers count their true byte
+    length, group elements are big), strings, tuples/lists/dicts of
+    payloads, and registered protocol dataclasses.  Equal to
+    ``len(encode_payload(payload))`` by construction — the regression
+    suite pins the equality across the vocabulary.
     """
-    if payload is None:
-        return 1
-    if isinstance(payload, (bytes, bytearray)):
-        return len(payload)
-    if isinstance(payload, bool):
-        return 1
-    if isinstance(payload, (int, float, Fraction)):
-        return encoded_size(payload)
-    if isinstance(payload, str):
-        return len(payload.encode("utf-8"))
-    if isinstance(payload, (tuple, list)):
-        return 4 + sum(measure_size(item) for item in payload)
-    if isinstance(payload, dict):
-        return 4 + sum(
-            measure_size(key) + measure_size(value) for key, value in payload.items()
-        )
-    if hasattr(payload, "__dataclass_fields__"):
-        return sum(
-            measure_size(getattr(payload, name))
-            for name in payload.__dataclass_fields__
-        )
-    raise ValidationError(
-        f"cannot measure wire size of {type(payload).__name__}"
-    )
+    return encoded_payload_size(payload)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,366 @@
+"""TCP trainer service: private classification and similarity on demand.
+
+:class:`TrainerServer` hosts a trainer's model behind a listening
+socket and serves *sequential* protocol sessions; :class:`TrainerClient`
+dials it and drives the client side.  One connection carries any number
+of sessions, each opened by a control exchange and then executed by the
+role-split protocol drivers over fresh
+:class:`~repro.net.wire.WireChannel` endpoints.
+
+Control messages (``session/open``, ``session/accept``,
+``session/error``, ``session/close``) travel as ordinary framed
+messages on the same connection but *outside* any protocol channel, so
+protocol transcripts — and therefore per-phase byte accounting — stay
+bit-identical to in-process runs.  The open payload carries everything
+the peer needs before the protocol starts: the session kind, the shared
+seed, and (for kernel similarity) the client's support-vector count.
+
+Fault behaviour: every server connection runs under a per-connection
+socket timeout; a stalled or vanished client surfaces as a typed
+:class:`~repro.exceptions.ProtocolError`, bumps
+``repro_wire_faults_total``, closes that connection, and the server
+keeps serving.  Clients retry refused connections with backoff
+(:func:`repro.net.wire.connect`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.core.classification.linear import (
+    ClassificationOutcome,
+    _label_from_value,
+)
+from repro.core.classification.session import decision_function_for_model
+from repro.core.ompe import OMPEConfig
+from repro.core.ompe.protocol import run_ompe_receiver, run_ompe_sender
+from repro.core.similarity.linear import PrivateSimilarityOutcome
+from repro.core.similarity.metric import MetricParams
+from repro.core.similarity.remote import (
+    run_similarity_alice_linear,
+    run_similarity_alice_nonlinear,
+    run_similarity_bob_linear,
+    run_similarity_bob_nonlinear,
+)
+from repro.exceptions import ProtocolError, ReproError, ValidationError
+from repro.ml.svm.model import SVMModel
+from repro.net import wire
+from repro.net.wire import WireChannel, WireConnection
+from repro.utils.serialization import decode_message, encode_message
+
+#: Control message labels (never seen by protocol transcripts).
+OPEN = "session/open"
+ACCEPT = "session/accept"
+ERROR = "session/error"
+CLOSE = "session/close"
+
+_SESSION_KINDS = ("classify", "similarity")
+
+
+def send_control(connection: WireConnection, msg_type: str, payload: Any) -> None:
+    """Send one control message outside any protocol channel."""
+    connection.send_frame(encode_message(msg_type, payload))
+
+
+def recv_control(
+    connection: WireConnection, expected: Optional[str] = None
+) -> Tuple[str, Any]:
+    """Receive one control message; surfaces ``session/error`` payloads."""
+    msg_type, payload, _ = decode_message(connection.recv_frame())
+    if msg_type == ERROR:
+        raise ProtocolError(f"peer reported a session error: {payload!r}")
+    if expected is not None and msg_type != expected:
+        raise ProtocolError(
+            f"expected control message {expected!r}, got {msg_type!r}"
+        )
+    return msg_type, payload
+
+
+class TrainerServer:
+    """Hosts one trained model; serves sessions sequentially.
+
+    The server is the trainer — *Alice*, the OMPE sender — in every
+    session.  ``session_timeout`` bounds each blocking socket operation
+    on an accepted connection, so a vanished client cannot wedge the
+    serve loop.
+    """
+
+    def __init__(
+        self,
+        model: SVMModel,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional[OMPEConfig] = None,
+        params: Optional[MetricParams] = None,
+        session_timeout: Optional[float] = 30.0,
+    ) -> None:
+        self.model = model
+        self.config = config or OMPEConfig()
+        self.params = params or MetricParams()
+        self.session_timeout = session_timeout
+        self._function = decision_function_for_model(model)
+        self._socket = wire.listen(host, port)
+        self.sessions_served = 0
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — resolved even when ``port=0``."""
+        return self._socket.getsockname()[:2]
+
+    def close(self) -> None:
+        self._socket.close()
+
+    def __enter__(self) -> "TrainerServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- serving -------------------------------------------------------------
+
+    def serve_forever(
+        self,
+        max_sessions: Optional[int] = None,
+        accept_timeout: Optional[float] = None,
+    ) -> int:
+        """Accept connections until ``max_sessions`` sessions completed.
+
+        Returns the number of sessions served.  A faulty connection is
+        closed and counted as a fault, not a served session; the loop
+        continues with the next client.
+        """
+        while max_sessions is None or self.sessions_served < max_sessions:
+            try:
+                connection = wire.accept(self._socket, timeout=accept_timeout)
+            except ProtocolError:
+                break  # accept timed out — treat as a stop request
+            connection.set_timeout(self.session_timeout)
+            budget = (
+                None
+                if max_sessions is None
+                else max_sessions - self.sessions_served
+            )
+            try:
+                self._serve_connection(connection, budget)
+            except ReproError as error:
+                obs.record_fault(
+                    "session-aborted",
+                    "repro_service_faults_total",
+                    "Trainer service sessions aborted, by kind",
+                )
+                try:
+                    send_control(connection, ERROR, str(error))
+                except ReproError:
+                    pass  # the connection is already gone
+            finally:
+                connection.close()
+        return self.sessions_served
+
+    def _serve_connection(
+        self, connection: WireConnection, budget: Optional[int]
+    ) -> None:
+        while budget is None or budget > 0:
+            try:
+                msg_type, request = recv_control(connection)
+            except ProtocolError:
+                return  # client closed (or stalled out) between sessions
+            if msg_type == CLOSE:
+                return
+            if msg_type != OPEN:
+                raise ProtocolError(
+                    f"expected {OPEN!r} or {CLOSE!r}, got {msg_type!r}"
+                )
+            self._serve_session(connection, request)
+            self.sessions_served += 1
+            if budget is not None:
+                budget -= 1
+
+    def _serve_session(
+        self, connection: WireConnection, request: Any
+    ) -> None:
+        if not isinstance(request, dict):
+            raise ProtocolError("session/open payload must be a mapping")
+        kind = request.get("kind")
+        if kind not in _SESSION_KINDS:
+            raise ProtocolError(
+                f"unknown session kind {kind!r}; supported: {_SESSION_KINDS}"
+            )
+        seed = request.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise ProtocolError("session seed must be an int or None")
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_service_sessions_total",
+                "Trainer service sessions served, by kind",
+            ).inc(kind=kind)
+        with obs.get_tracer().span(
+            "service.session", party="alice", phase="service", kind=kind
+        ):
+            if kind == "classify":
+                self._serve_classify(connection, seed)
+            else:
+                self._serve_similarity(connection, request, seed)
+
+    def _serve_classify(
+        self, connection: WireConnection, seed: Optional[int]
+    ) -> None:
+        send_control(
+            connection,
+            ACCEPT,
+            {
+                "dimension": self.model.dimension,
+                "degree": self._function.total_degree,
+            },
+        )
+        channel = WireChannel("alice", "bob", connection)
+        run_ompe_sender(
+            self._function,
+            channel,
+            config=self.config,
+            seed=seed,
+            amplify=True,
+            offset=False,
+            name="alice",
+        )
+
+    def _serve_similarity(
+        self, connection: WireConnection, request: Any, seed: Optional[int]
+    ) -> None:
+        linear = self.model.is_linear()
+        if bool(request.get("linear")) != linear:
+            raise ProtocolError(
+                "similarity requires both models to be linear or both kernel"
+            )
+        send_control(connection, ACCEPT, {"linear": linear})
+        factory = lambda: WireChannel("alice", "bob", connection)
+        if linear:
+            run_similarity_alice_linear(
+                self.model, factory,
+                params=self.params, config=self.config, seed=seed,
+            )
+        else:
+            peer_sv_count = request.get("n_support")
+            if not isinstance(peer_sv_count, int) or peer_sv_count < 1:
+                raise ProtocolError(
+                    "kernel similarity needs the client's support-vector "
+                    f"count in session/open, got {peer_sv_count!r}"
+                )
+            run_similarity_alice_nonlinear(
+                self.model, peer_sv_count, factory,
+                params=self.params, config=self.config, seed=seed,
+            )
+
+
+class TrainerClient:
+    """Client (Bob) side of the trainer service."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        config: Optional[OMPEConfig] = None,
+        params: Optional[MetricParams] = None,
+        timeout: Optional[float] = 30.0,
+        attempts: int = 5,
+        retry_delay_s: float = 0.05,
+    ) -> None:
+        self.config = config or OMPEConfig()
+        self.params = params or MetricParams()
+        self._connection = wire.connect(
+            host,
+            port,
+            timeout=timeout,
+            attempts=attempts,
+            retry_delay_s=retry_delay_s,
+        )
+
+    def close(self) -> None:
+        try:
+            send_control(self._connection, CLOSE, None)
+        except ReproError:
+            pass  # server already hung up
+        self._connection.close()
+
+    def __enter__(self) -> "TrainerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- sessions ------------------------------------------------------------
+
+    def classify(
+        self, sample: Sequence[float], seed: Optional[int] = None
+    ) -> ClassificationOutcome:
+        """Privately classify one sample against the server's model.
+
+        Given the same seed, the result — label, masked value
+        ``r_a·d(t̃)``, and per-phase byte counts — is bit-identical to
+        an in-process :func:`~repro.core.classification.private_classify`
+        against the same model.
+        """
+        sample = tuple(sample)
+        with obs.get_tracer().span(
+            "service.classify", party="bob", phase="service"
+        ):
+            send_control(
+                self._connection, OPEN, {"kind": "classify", "seed": seed}
+            )
+            _, accept = recv_control(self._connection, ACCEPT)
+            dimension = accept.get("dimension")
+            if len(sample) != dimension:
+                raise ValidationError(
+                    f"sample has {len(sample)} coordinates, server model "
+                    f"expects {dimension}"
+                )
+            channel = WireChannel("bob", "alice", self._connection)
+            outcome = run_ompe_receiver(
+                sample, channel, config=self.config, seed=seed, name="bob"
+            )
+        return ClassificationOutcome(
+            label=_label_from_value(outcome.value),
+            randomized_value=outcome.value,
+            report=outcome.report,
+        )
+
+    def evaluate_similarity(
+        self, model: SVMModel, seed: Optional[int] = None
+    ) -> PrivateSimilarityOutcome:
+        """Compare the client's model against the server's.
+
+        The client learns the triangle metric ``T``; the server learns
+        only the inseparable clear norms, exactly as in the in-process
+        protocol.
+        """
+        linear = model.is_linear()
+        with obs.get_tracer().span(
+            "service.similarity", party="bob", phase="service"
+        ):
+            send_control(
+                self._connection,
+                OPEN,
+                {
+                    "kind": "similarity",
+                    "seed": seed,
+                    "linear": linear,
+                    "n_support": None if linear else model.n_support,
+                },
+            )
+            _, accept = recv_control(self._connection, ACCEPT)
+            if bool(accept.get("linear")) != linear:
+                raise ProtocolError(
+                    "similarity requires both models to be linear or both "
+                    "kernel"
+                )
+            factory = lambda: WireChannel("bob", "alice", self._connection)
+            if linear:
+                return run_similarity_bob_linear(
+                    model, factory,
+                    params=self.params, config=self.config, seed=seed,
+                )
+            return run_similarity_bob_nonlinear(
+                model, factory,
+                params=self.params, config=self.config, seed=seed,
+            )

@@ -1,0 +1,381 @@
+"""Real TCP transport for the two-party protocols.
+
+The in-memory :class:`~repro.net.channel.Channel` runs both parties
+lock-step inside one process; this module runs them over an actual
+socket.  Three layers:
+
+* :class:`WireConnection` — length-prefixed framing over a blocking
+  socket: each frame is a 4-byte big-endian length followed by one
+  encoded message (:func:`repro.utils.serialization.encode_message`).
+  All transport failures — peer EOF, resets, timeouts, hostile length
+  prefixes — surface as typed :class:`~repro.exceptions.ProtocolError`
+  and bump ``repro_wire_faults_total{kind=...}``.
+* :class:`WireChannel` — the :class:`Channel` send/receive contract
+  (``parties``, ``transcript``, ``pending``, ``assert_drained``) over a
+  :class:`WireConnection`, so every protocol in :mod:`repro.core` runs
+  unchanged over a real connection.  ``Message.size_bytes`` is the
+  *true encoded payload size* — the same number ``measure_size``
+  computes for the in-memory transport — so per-phase byte accounting
+  (:meth:`~repro.net.transcript.Transcript.bytes_by_phase`) is
+  identical across transports.  Frame overhead (version byte, type
+  label, length prefix) is accounted separately under
+  ``repro_wire_bytes_total``.
+* :func:`listen` / :func:`connect` — socket lifecycle helpers; the
+  client side retries refused connections with a backoff
+  (``repro_wire_retries_total``), the recovery path expected from
+  clients of a restarting trainer service.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import struct
+import time
+from typing import Any, Optional, Tuple
+
+from repro import obs
+from repro.exceptions import ProtocolError, ValidationError
+from repro.net.channel import LinkModel, observe_message
+from repro.net.message import Message
+from repro.net.transcript import Transcript
+from repro.utils.serialization import decode_message, encode_message
+
+#: Hard ceiling on one frame's length prefix.  A hostile peer can claim
+#: any 32-bit length; bounding it keeps a malformed or malicious prefix
+#: from provoking a multi-gigabyte allocation before the decoder ever
+#: sees a byte.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+#: Frame header: unsigned 32-bit big-endian payload length.
+_HEADER = struct.Struct(">I")
+
+_FAULT_COUNTER = "repro_wire_faults_total"
+_FAULT_DESCRIPTION = "Observed TCP transport faults, by kind"
+
+
+def _wire_fault(kind: str) -> None:
+    obs.record_fault(kind, _FAULT_COUNTER, _FAULT_DESCRIPTION)
+
+
+class WireConnection:
+    """Length-prefixed message framing over a blocking TCP socket.
+
+    ``timeout`` bounds every blocking socket operation; an expired
+    timeout, a peer disconnect, or an oversized frame all raise
+    :class:`ProtocolError` (never a bare ``socket`` or ``struct``
+    error) so protocol drivers have exactly one failure type to handle.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        timeout: Optional[float] = None,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        if max_frame_bytes < 1:
+            raise ValidationError("max_frame_bytes must be positive")
+        self._sock = sock
+        self.max_frame_bytes = max_frame_bytes
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._closed = False
+        sock.settimeout(timeout)
+        # The protocols are strictly request/response; disabling Nagle
+        # keeps each small frame from waiting on a delayed ACK.
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # not a TCP socket (e.g. a socketpair in tests)
+
+    # -- framing -------------------------------------------------------------
+
+    def send_frame(self, data: bytes) -> int:
+        """Send one frame; returns the bytes put on the wire."""
+        if len(data) > self.max_frame_bytes:
+            _wire_fault("oversized-send")
+            raise ProtocolError(
+                f"frame of {len(data)} bytes exceeds the "
+                f"{self.max_frame_bytes}-byte frame cap"
+            )
+        frame = _HEADER.pack(len(data)) + data
+        try:
+            self._sock.sendall(frame)
+        except socket.timeout as exc:
+            _wire_fault("timeout")
+            raise ProtocolError("send timed out") from exc
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            _wire_fault("disconnect")
+            raise ProtocolError(f"peer connection lost during send: {exc}") from exc
+        self.bytes_sent += len(frame)
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_wire_bytes_total", "Raw TCP bytes, by direction"
+            ).inc(len(frame), direction="sent")
+        return len(frame)
+
+    def recv_frame(self) -> bytes:
+        """Receive one frame; returns the message bytes (header stripped)."""
+        header = self._recv_exact(_HEADER.size, "frame header")
+        (length,) = _HEADER.unpack(header)
+        if length > self.max_frame_bytes:
+            _wire_fault("oversized-recv")
+            raise ProtocolError(
+                f"peer announced a {length}-byte frame, above the "
+                f"{self.max_frame_bytes}-byte frame cap"
+            )
+        data = self._recv_exact(length, "frame body")
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_wire_bytes_total", "Raw TCP bytes, by direction"
+            ).inc(_HEADER.size + length, direction="received")
+        return data
+
+    def _recv_exact(self, count: int, what: str) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except socket.timeout as exc:
+                _wire_fault("timeout")
+                raise ProtocolError(f"timed out waiting for {what}") from exc
+            except (ConnectionResetError, OSError) as exc:
+                _wire_fault("disconnect")
+                raise ProtocolError(
+                    f"peer connection lost while reading {what}: {exc}"
+                ) from exc
+            if not chunk:
+                _wire_fault("disconnect")
+                raise ProtocolError(
+                    f"peer closed the connection while reading {what} "
+                    f"({count - remaining} of {count} bytes arrived)"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+            self.bytes_received += len(chunk)
+        return b"".join(chunks)
+
+    def set_timeout(self, timeout: Optional[float]) -> None:
+        """Re-bound every subsequent blocking operation."""
+        self._sock.settimeout(timeout)
+
+    # -- polling -------------------------------------------------------------
+
+    def readable(self) -> bool:
+        """True when unread peer data is buffered on the socket."""
+        if self._closed:
+            return False
+        ready, _, _ = select.select([self._sock], [], [], 0)
+        if not ready:
+            return False
+        # EOF also reports readable; peek to tell data from close.
+        try:
+            return bool(self._sock.recv(1, socket.MSG_PEEK))
+        except (BlockingIOError, socket.timeout):
+            return False
+        except OSError:
+            return False
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+    def __enter__(self) -> "WireConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class WireChannel:
+    """The :class:`Channel` contract over one TCP connection endpoint.
+
+    Unlike the in-memory channel — one shared object holding both
+    inboxes — each process holds *its own* ``WireChannel`` wrapping its
+    end of the connection.  ``local`` is this process's party name;
+    sends must originate from it and receives are addressed to it.
+
+    The transcript records both the messages this endpoint sends and
+    the ones it receives, so after a clean run each side holds the
+    complete conversation and ``bytes_by_phase()`` matches the
+    in-memory transcript bit for bit.  The simulated clock likewise
+    advances on both send and receive, mirroring the shared in-memory
+    clock.  Send-side metrics go through the same
+    :func:`~repro.net.channel.observe_message` helper as the in-memory
+    channel; receives only update the round-trip direction state, so
+    two endpoints sharing one registry count each message exactly once.
+    """
+
+    def __init__(
+        self,
+        local: str,
+        peer: str,
+        connection: WireConnection,
+        link: Optional[LinkModel] = None,
+        transcript: Optional[Transcript] = None,
+    ) -> None:
+        if local == peer:
+            raise ValidationError("a channel needs two distinct parties")
+        if not local or not peer:
+            raise ValidationError("party names must be non-empty")
+        self.local = local
+        self.peer = peer
+        self.parties: Tuple[str, str] = (local, peer)
+        self.connection = connection
+        self.link = link or LinkModel()
+        self.transcript = transcript if transcript is not None else Transcript()
+        self.simulated_time: float = 0.0
+        self._last_direction: Optional[Tuple[str, str]] = None
+
+    def _require_local(self, party: str, action: str) -> None:
+        if party != self.local:
+            raise ProtocolError(
+                f"{party!r} cannot {action} on {self.local!r}'s wire endpoint"
+            )
+
+    def send(self, sender: str, msg_type: str, payload: Any) -> Message:
+        """Encode and transmit one message to the peer."""
+        self._require_local(sender, "send")
+        encoded = encode_message(msg_type, payload)
+        # Header = version byte + length-prefixed type label; the rest
+        # is payload — the quantity both transports record as
+        # ``Message.size_bytes``.
+        payload_bytes = len(encoded) - (1 + 4 + len(msg_type.encode("utf-8")))
+        message = Message(
+            sender=sender,
+            recipient=self.peer,
+            msg_type=msg_type,
+            payload=payload,
+            size_bytes=payload_bytes,
+        )
+        self.connection.send_frame(encoded)
+        self.transcript.record(message)
+        self.simulated_time += self.link.transfer_time(message.size_bytes)
+        self._last_direction = observe_message(message, self._last_direction)
+        return message
+
+    def receive(self, recipient: str, expected_type: Optional[str] = None) -> Any:
+        """Block for the peer's next message; returns the payload."""
+        self._require_local(recipient, "receive")
+        data = self.connection.recv_frame()
+        msg_type, payload, payload_bytes = decode_message(data)
+        message = Message(
+            sender=self.peer,
+            recipient=recipient,
+            msg_type=msg_type,
+            payload=payload,
+            size_bytes=payload_bytes,
+        )
+        self.transcript.record(message)
+        self.simulated_time += self.link.transfer_time(message.size_bytes)
+        # Count the message's metrics on the sending side only, but keep
+        # the direction state in sync so this endpoint's next send knows
+        # whether the conversation turned around.
+        self._last_direction = (self.peer, recipient)
+        if expected_type is not None and msg_type != expected_type:
+            raise ProtocolError(
+                f"{recipient} expected {expected_type!r} but got {msg_type!r}"
+            )
+        return payload
+
+    def pending(self, recipient: str) -> int:
+        """1 when peer data is waiting on the socket, else 0.
+
+        TCP does not expose a message count without consuming the
+        stream, so this is a readability poll, not a queue length; the
+        values still satisfy the contract's only uses (zero/non-zero).
+        """
+        self._require_local(recipient, "poll")
+        return 1 if self.connection.readable() else 0
+
+    def assert_drained(self) -> None:
+        """Raise unless no peer data remains buffered (clean completion)."""
+        if self.connection.readable():
+            raise ProtocolError(
+                f"{self.local} still has undelivered peer data on the wire"
+            )
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+def listen(
+    host: str = "127.0.0.1", port: int = 0, backlog: int = 4
+) -> socket.socket:
+    """Open a listening TCP socket (``port=0`` picks a free port)."""
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        server.bind((host, port))
+        server.listen(backlog)
+    except OSError as exc:
+        server.close()
+        raise ProtocolError(f"cannot listen on {host}:{port}: {exc}") from exc
+    return server
+
+
+def accept(
+    server: socket.socket, timeout: Optional[float] = None
+) -> WireConnection:
+    """Accept one peer connection as a :class:`WireConnection`."""
+    try:
+        server.settimeout(timeout)
+        sock, _ = server.accept()
+    except socket.timeout as exc:
+        raise ProtocolError("timed out waiting for a peer to connect") from exc
+    except OSError as exc:
+        # Includes EBADF when the listening socket is closed from
+        # another thread — the normal way to stop a serve loop.
+        raise ProtocolError(f"accept failed: {exc}") from exc
+    return WireConnection(sock, timeout=timeout)
+
+
+def connect(
+    host: str,
+    port: int,
+    timeout: Optional[float] = None,
+    attempts: int = 1,
+    retry_delay_s: float = 0.05,
+) -> WireConnection:
+    """Connect to a listening peer, retrying refused connections.
+
+    A trainer service may still be binding its port (or restarting)
+    when the client first dials; ``attempts > 1`` retries with a linear
+    backoff, bumping ``repro_wire_retries_total`` per retry, and raises
+    :class:`ProtocolError` once the budget is exhausted.
+    """
+    if attempts < 1:
+        raise ValidationError(f"attempts must be at least 1, got {attempts}")
+    if retry_delay_s < 0:
+        raise ValidationError("retry_delay_s must be non-negative")
+    last_error: Optional[Exception] = None
+    for attempt in range(attempts):
+        if attempt:
+            metrics = obs.get_metrics()
+            if metrics.enabled:
+                metrics.counter(
+                    "repro_wire_retries_total",
+                    "Client connection retries against a busy peer",
+                ).inc()
+            time.sleep(retry_delay_s * attempt)
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(timeout)
+            sock.connect((host, port))
+            return WireConnection(sock, timeout=timeout)
+        except (ConnectionRefusedError, socket.timeout, OSError) as exc:
+            sock.close()
+            last_error = exc
+    _wire_fault("connect-failed")
+    raise ProtocolError(
+        f"cannot connect to {host}:{port} after {attempts} attempts: "
+        f"{last_error}"
+    ) from last_error

@@ -75,9 +75,31 @@ __all__ = [
     "get_metrics",
     "get_tracer",
     "observed",
+    "record_fault",
     "set_metrics",
     "set_tracer",
 ]
+
+
+def record_fault(
+    kind: str,
+    counter: str = "repro_faults_injected_total",
+    description: str = "Injected channel faults, by kind",
+) -> None:
+    """Bump a fault counter (labelled by ``kind``) and annotate the
+    current span with ``faults.<kind>``.
+
+    Shared by the fault-injecting channel wrappers
+    (:mod:`repro.net.faults`) and the real TCP transport
+    (:mod:`repro.net.wire`), which records *observed* faults — peer
+    disconnects, timeouts, oversized frames — under its own counter.
+    """
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter(counter, description).inc(kind=kind)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.current().add(f"faults.{kind}", 1)
 
 
 @contextmanager

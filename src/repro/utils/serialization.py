@@ -1,31 +1,63 @@
-"""Canonical byte encodings for protocol values.
+"""Canonical byte encodings for protocol values and wire messages.
 
-The oblivious-transfer layer transports opaque byte strings, while the
-OMPE layer manipulates exact rationals and rational vectors.  This
-module provides a stable, self-describing codec between the two so a
-value round-trips bit-exactly across the simulated network.
+Two codec layers live here:
 
-Wire format (all integers big-endian):
+* The **scalar codec** (:func:`encode_value` / :func:`decode_value`) —
+  the original OMPE vocabulary of exact rationals and rational tuples.
+  The oblivious-transfer layer transports these as opaque byte strings,
+  and their encodings are part of the protocol transcript, so this
+  layer must stay bit-stable.
+* The **message codec** (:func:`encode_payload` / :func:`decode_payload`
+  and :func:`encode_message` / :func:`decode_message`) — a strict
+  superset covering everything the protocols actually put on a channel:
+  ``None``, booleans, byte strings, text, lists, dicts, and the
+  registered protocol dataclasses (OT setups/choices/transfers, the
+  OMPE config, ...).  This is what :mod:`repro.net.wire` frames onto a
+  real TCP connection, and what :func:`repro.net.message.measure_size`
+  mirrors byte-for-byte for the simulated transport.
+
+Wire format (all integers big-endian; ``varbytes(x)`` is a ``u32``
+length followed by the raw payload; integers use a leading sign byte):
 
 * ``int``      -> ``b"I" + varbytes(sign_magnitude)``
 * ``Fraction`` -> ``b"F" + varbytes(numerator) + varbytes(denominator)``
 * ``float``    -> ``b"D" + 8-byte IEEE 754``
 * ``tuple``    -> ``b"T" + u32 count + items``
+* ``None``     -> ``b"N"``
+* ``bool``     -> ``b"B" + 0x00/0x01``
+* ``bytes``    -> ``b"Y" + varbytes(raw)``
+* ``str``      -> ``b"S" + varbytes(utf-8)``
+* ``list``     -> ``b"L" + u32 count + items``
+* ``dict``     -> ``b"M" + u32 count + key/value pairs``
+* dataclass    -> ``b"C" + varbytes(registered name) + fields in order``
 
-where ``varbytes(x)`` is ``u32 length + payload`` and integers use a
-leading sign byte.
+A full message is ``version byte (0x01) + varbytes(msg_type) +
+payload``; :mod:`repro.net.wire` length-prefixes that with a ``u32``
+frame header.  Decoding is strict: every malformed, truncated, or
+unknown-tag input raises :class:`ValidationError` (never a bare
+``struct.error`` or an unbounded allocation), and trailing garbage is
+rejected so both codecs are injective in each direction.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import struct
 from fractions import Fraction
-from typing import Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Type, Union
 
 from repro.exceptions import ValidationError
 
 Scalar = Union[int, float, Fraction]
 Encodable = Union[Scalar, Tuple]
+
+#: Version byte leading every encoded message.  Bump on any
+#: backwards-incompatible change to the tag vocabulary.
+WIRE_VERSION = 1
+
+#: Nesting depth bound for the decoder: deeper frames are rejected as
+#: hostile before Python's recursion limit turns them into a crash.
+MAX_DECODE_DEPTH = 64
 
 
 def _encode_int(value: int) -> bytes:
@@ -36,11 +68,19 @@ def _encode_int(value: int) -> bytes:
     return struct.pack(">I", len(body)) + body
 
 
+def _int_body_size(value: int) -> int:
+    """Exact size of ``_encode_int``'s output, without materializing it."""
+    magnitude = abs(value)
+    return 4 + 1 + ((magnitude.bit_length() + 7) // 8 or 1)
+
+
 def _decode_int(data: bytes, offset: int) -> Tuple[int, int]:
+    if offset + 4 > len(data):
+        raise ValidationError("truncated integer length")
     (length,) = struct.unpack_from(">I", data, offset)
     offset += 4
     body = data[offset : offset + length]
-    if len(body) != length:
+    if len(body) != length or length < 1:
         raise ValidationError("truncated integer payload")
     sign = -1 if body[0] == 1 else 1
     return sign * int.from_bytes(body[1:], "big"), offset + length
@@ -77,11 +117,17 @@ def _decode_at(data: bytes, offset: int) -> Tuple[Encodable, int]:
             raise ValidationError("fraction with zero denominator")
         return Fraction(numerator, denominator), offset
     if tag == b"D":
+        if offset + 8 > len(data):
+            raise ValidationError("truncated float payload")
         (value,) = struct.unpack_from(">d", data, offset)
         return value, offset + 8
     if tag == b"T":
+        if offset + 4 > len(data):
+            raise ValidationError("truncated tuple count")
         (count,) = struct.unpack_from(">I", data, offset)
         offset += 4
+        if count > len(data) - offset:
+            raise ValidationError("tuple count exceeds available bytes")
         items = []
         for _ in range(count):
             item, offset = _decode_at(data, offset)
@@ -105,3 +151,282 @@ def decode_value(data: bytes) -> Encodable:
 def encoded_size(value: Encodable) -> int:
     """Size in bytes of the canonical encoding (communication accounting)."""
     return len(encode_value(value))
+
+
+# -- message payload codec ---------------------------------------------------
+
+#: Registered dataclass payload types: wire name <-> class.  Names are
+#: part of the wire format; once published they must stay stable.
+_PAYLOAD_TYPES_BY_NAME: Dict[str, Type] = {}
+_PAYLOAD_NAMES_BY_TYPE: Dict[Type, str] = {}
+
+
+def register_payload_type(name: str, cls: Optional[Type] = None):
+    """Register a dataclass so it can cross the wire by ``name``.
+
+    Fields are encoded in declaration order; decoding reconstructs the
+    class through its constructor, so ``__post_init__`` validation runs
+    on every decoded instance (hostile field values are rejected by the
+    type itself).  Usable directly (``register_payload_type("x", X)``)
+    or as a class decorator (``@register_payload_type("x")``).
+    """
+    if cls is None:
+        return lambda actual: register_payload_type(name, actual)
+    if not dataclasses.is_dataclass(cls):
+        raise ValidationError(f"{cls.__name__} is not a dataclass")
+    if not name:
+        raise ValidationError("payload type name must be non-empty")
+    existing = _PAYLOAD_TYPES_BY_NAME.get(name)
+    if existing is not None and existing is not cls:
+        raise ValidationError(
+            f"payload type name {name!r} already registered to "
+            f"{existing.__name__}"
+        )
+    _PAYLOAD_TYPES_BY_NAME[name] = cls
+    _PAYLOAD_NAMES_BY_TYPE[cls] = name
+    return cls
+
+
+def _varbytes(raw: bytes) -> bytes:
+    return struct.pack(">I", len(raw)) + raw
+
+
+def _decode_varbytes(data: bytes, offset: int) -> Tuple[bytes, int]:
+    if offset + 4 > len(data):
+        raise ValidationError("truncated length prefix")
+    (length,) = struct.unpack_from(">I", data, offset)
+    offset += 4
+    if length > len(data) - offset:
+        raise ValidationError("length prefix exceeds available bytes")
+    return data[offset : offset + length], offset + length
+
+
+def encode_payload(payload: Any) -> bytes:
+    """Encode any message-vocabulary value to canonical bytes."""
+    if payload is None:
+        return b"N"
+    if isinstance(payload, bool):
+        return b"B\x01" if payload else b"B\x00"
+    if isinstance(payload, (int, float, Fraction)):
+        return encode_value(payload)
+    if isinstance(payload, (bytes, bytearray)):
+        return b"Y" + _varbytes(bytes(payload))
+    if isinstance(payload, str):
+        return b"S" + _varbytes(payload.encode("utf-8"))
+    if isinstance(payload, (tuple, list)):
+        parts = [b"T" if isinstance(payload, tuple) else b"L"]
+        parts.append(struct.pack(">I", len(payload)))
+        parts.extend(encode_payload(item) for item in payload)
+        return b"".join(parts)
+    if isinstance(payload, dict):
+        parts = [b"M", struct.pack(">I", len(payload))]
+        for key, value in payload.items():
+            parts.append(encode_payload(key))
+            parts.append(encode_payload(value))
+        return b"".join(parts)
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        name = _PAYLOAD_NAMES_BY_TYPE.get(type(payload))
+        if name is None:
+            raise ValidationError(
+                f"{type(payload).__name__} is not a registered payload type "
+                f"(see repro.utils.serialization.register_payload_type)"
+            )
+        parts = [b"C", _varbytes(name.encode("utf-8"))]
+        parts.extend(
+            encode_payload(getattr(payload, field.name))
+            for field in dataclasses.fields(payload)
+        )
+        return b"".join(parts)
+    raise ValidationError(
+        f"cannot encode {type(payload).__name__} as a message payload"
+    )
+
+
+def encoded_payload_size(payload: Any) -> int:
+    """Exact size of :func:`encode_payload`'s output, without building it.
+
+    This is the single byte-accounting definition shared by the
+    simulated transport (:func:`repro.net.message.measure_size`) and
+    the TCP transport, so per-phase byte counts are identical across
+    both; ``tests/utils/test_serialization.py`` pins the equality.
+    """
+    if payload is None:
+        return 1
+    if isinstance(payload, bool):
+        return 2
+    if isinstance(payload, int):
+        return 1 + _int_body_size(payload)
+    if isinstance(payload, Fraction):
+        return (
+            1 + _int_body_size(payload.numerator) + _int_body_size(payload.denominator)
+        )
+    if isinstance(payload, float):
+        return 9
+    if isinstance(payload, (bytes, bytearray)):
+        return 5 + len(payload)
+    if isinstance(payload, str):
+        return 5 + len(payload.encode("utf-8"))
+    if isinstance(payload, (tuple, list)):
+        return 5 + sum(encoded_payload_size(item) for item in payload)
+    if isinstance(payload, dict):
+        return 5 + sum(
+            encoded_payload_size(key) + encoded_payload_size(value)
+            for key, value in payload.items()
+        )
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        name = _PAYLOAD_NAMES_BY_TYPE.get(type(payload))
+        if name is None:
+            raise ValidationError(
+                f"{type(payload).__name__} is not a registered payload type "
+                f"(see repro.utils.serialization.register_payload_type)"
+            )
+        return 5 + len(name.encode("utf-8")) + sum(
+            encoded_payload_size(getattr(payload, field.name))
+            for field in dataclasses.fields(payload)
+        )
+    raise ValidationError(
+        f"cannot encode {type(payload).__name__} as a message payload"
+    )
+
+
+def _decode_payload_at(data: bytes, offset: int, depth: int) -> Tuple[Any, int]:
+    if depth > MAX_DECODE_DEPTH:
+        raise ValidationError("payload nesting exceeds the decoder depth bound")
+    if offset >= len(data):
+        raise ValidationError("truncated message payload")
+    tag = data[offset : offset + 1]
+    offset += 1
+    if tag == b"N":
+        return None, offset
+    if tag == b"B":
+        if offset >= len(data):
+            raise ValidationError("truncated boolean payload")
+        flag = data[offset]
+        if flag not in (0, 1):
+            raise ValidationError(f"invalid boolean byte {flag:#x}")
+        return bool(flag), offset + 1
+    if tag in (b"I", b"F", b"D"):
+        return _decode_at(data, offset - 1)
+    if tag == b"Y":
+        raw, offset = _decode_varbytes(data, offset)
+        return raw, offset
+    if tag == b"S":
+        raw, offset = _decode_varbytes(data, offset)
+        try:
+            return raw.decode("utf-8"), offset
+        except UnicodeDecodeError as error:
+            raise ValidationError(f"invalid utf-8 in string payload: {error}")
+    if tag in (b"T", b"L"):
+        if offset + 4 > len(data):
+            raise ValidationError("truncated container count")
+        (count,) = struct.unpack_from(">I", data, offset)
+        offset += 4
+        if count > len(data) - offset:
+            raise ValidationError("container count exceeds available bytes")
+        items = []
+        for _ in range(count):
+            item, offset = _decode_payload_at(data, offset, depth + 1)
+            items.append(item)
+        return (tuple(items) if tag == b"T" else items), offset
+    if tag == b"M":
+        if offset + 4 > len(data):
+            raise ValidationError("truncated dict count")
+        (count,) = struct.unpack_from(">I", data, offset)
+        offset += 4
+        if count > (len(data) - offset) // 2:
+            raise ValidationError("dict count exceeds available bytes")
+        mapping = {}
+        for _ in range(count):
+            key, offset = _decode_payload_at(data, offset, depth + 1)
+            value, offset = _decode_payload_at(data, offset, depth + 1)
+            try:
+                mapping[key] = value
+            except TypeError:
+                raise ValidationError(
+                    f"unhashable dict key of type {type(key).__name__}"
+                )
+        return mapping, offset
+    if tag == b"C":
+        raw_name, offset = _decode_varbytes(data, offset)
+        try:
+            name = raw_name.decode("utf-8")
+        except UnicodeDecodeError:
+            raise ValidationError("invalid utf-8 in payload type name")
+        cls = _PAYLOAD_TYPES_BY_NAME.get(name)
+        if cls is None:
+            raise ValidationError(f"unknown payload type {name!r}")
+        values = {}
+        for field in dataclasses.fields(cls):
+            value, offset = _decode_payload_at(data, offset, depth + 1)
+            values[field.name] = value
+        try:
+            return cls(**values), offset
+        except ValidationError:
+            raise
+        except Exception as error:
+            raise ValidationError(
+                f"decoded {name!r} failed construction: {error}"
+            )
+    raise ValidationError(f"unknown message payload tag {tag!r}")
+
+
+def decode_payload(data: bytes) -> Any:
+    """Decode bytes produced by :func:`encode_payload` (strict)."""
+    try:
+        payload, offset = _decode_payload_at(bytes(data), 0, 0)
+    except ValidationError:
+        raise
+    except Exception as error:  # struct.error, OverflowError, ...
+        raise ValidationError(f"malformed message payload: {error}")
+    if offset != len(data):
+        raise ValidationError("trailing bytes after message payload")
+    return payload
+
+
+# -- full message codec ------------------------------------------------------
+
+
+def encode_message(msg_type: str, payload: Any) -> bytes:
+    """Encode one protocol message (version + type + payload)."""
+    if not msg_type:
+        raise ValidationError("msg_type must be non-empty")
+    return (
+        bytes([WIRE_VERSION])
+        + _varbytes(msg_type.encode("utf-8"))
+        + encode_payload(payload)
+    )
+
+
+def decode_message(data: bytes) -> Tuple[str, Any, int]:
+    """Decode one message; returns ``(msg_type, payload, payload_bytes)``.
+
+    ``payload_bytes`` is the exact encoded size of the payload segment —
+    the number :class:`repro.net.wire.WireChannel` records as the
+    message's wire size (and which
+    :func:`repro.net.message.measure_size` reproduces for the simulated
+    transport).
+    """
+    data = bytes(data)
+    if not data:
+        raise ValidationError("empty message frame")
+    if data[0] != WIRE_VERSION:
+        raise ValidationError(
+            f"unsupported wire version {data[0]} (expected {WIRE_VERSION})"
+        )
+    try:
+        raw_type, offset = _decode_varbytes(data, 1)
+        try:
+            msg_type = raw_type.decode("utf-8")
+        except UnicodeDecodeError:
+            raise ValidationError("invalid utf-8 in message type")
+        if not msg_type:
+            raise ValidationError("empty message type")
+        payload_bytes = len(data) - offset
+        payload, offset = _decode_payload_at(data, offset, 0)
+    except ValidationError:
+        raise
+    except Exception as error:
+        raise ValidationError(f"malformed message: {error}")
+    if offset != len(data):
+        raise ValidationError("trailing bytes after message")
+    return msg_type, payload, payload_bytes

@@ -2,11 +2,40 @@
 
 from __future__ import annotations
 
+import signal
+
 import pytest
 
 from repro.core.ompe import OMPEConfig
 from repro.math.groups import SchnorrGroup, fast_group
 from repro.utils.rng import ReproRandom
+
+#: Hard wall-clock ceiling for each ``socket``-marked test.  Socket
+#: tests block on real I/O; a deadlocked pairing must fail loudly, not
+#: hang the suite.  Implemented with SIGALRM (no pytest-timeout
+#: dependency), so it applies on the main thread of POSIX platforms —
+#: exactly where CI runs the socket job.
+SOCKET_TEST_TIMEOUT_S = 60
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if item.get_closest_marker("socket") and hasattr(signal, "SIGALRM"):
+        def _expired(signum, frame):
+            raise TimeoutError(
+                f"socket test exceeded the {SOCKET_TEST_TIMEOUT_S}s "
+                f"hard timeout"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.alarm(SOCKET_TEST_TIMEOUT_S)
+        try:
+            yield
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+    else:
+        yield
 
 
 @pytest.fixture

@@ -16,38 +16,56 @@ from repro.net import (
     finish_report,
     measure_size,
 )
+from repro.utils.serialization import encode_payload, register_payload_type
 from repro.utils.timer import TimingRecorder
 
 
 class TestMeasureSize:
     def test_bytes(self):
-        assert measure_size(b"abcd") == 4
+        # tag + u32 length prefix + raw bytes
+        assert measure_size(b"abcd") == 5 + 4
 
     def test_scalars(self):
         assert measure_size(1) > 0
         assert measure_size(1.5) > 0
         assert measure_size(Fraction(1, 3)) > 0
         assert measure_size(None) == 1
-        assert measure_size(True) == 1
+        assert measure_size(True) == 2
 
     def test_big_int_bigger(self):
         assert measure_size(2**512) > measure_size(2)
 
     def test_string(self):
-        assert measure_size("abc") == 3
+        assert measure_size("abc") == 5 + 3
 
     def test_containers(self):
-        assert measure_size((1, 2)) == 4 + 2 * measure_size(1)
+        assert measure_size((1, 2)) == 5 + 2 * measure_size(1)
         assert measure_size([1, 2]) == measure_size((1, 2))
-        assert measure_size({}) == 4
+        assert measure_size({}) == 5
 
     def test_dataclass(self):
+        @register_payload_type("test/measure-payload")
         @dataclass
         class Payload:
             a: int
             b: bytes
 
-        assert measure_size(Payload(1, b"xy")) == measure_size(1) + 2
+        name_bytes = len(b"test/measure-payload")
+        assert measure_size(Payload(1, b"xy")) == (
+            5 + name_bytes + measure_size(1) + measure_size(b"xy")
+        )
+
+    def test_unregistered_dataclass(self):
+        @dataclass
+        class Opaque:
+            a: int
+
+        with pytest.raises(ValidationError):
+            measure_size(Opaque(1))
+
+    def test_measure_matches_encoding(self):
+        for payload in (b"abcd", "abc", (1, Fraction(2, 3)), {"k": [True, None]}):
+            assert measure_size(payload) == len(encode_payload(payload))
 
     def test_unmeasurable(self):
         with pytest.raises(ValidationError):
@@ -57,7 +75,7 @@ class TestMeasureSize:
 class TestMessage:
     def test_auto_size(self):
         message = Message(sender="a", recipient="b", msg_type="t", payload=b"12345")
-        assert message.size_bytes == 5
+        assert message.size_bytes == 5 + 5
 
     def test_sequence_monotone(self):
         m1 = Message(sender="a", recipient="b", msg_type="t", payload=b"")
@@ -141,7 +159,7 @@ class TestChannel:
         link = LinkModel(latency_s=0.01, bandwidth_bytes_per_s=100.0)
         channel = Channel("alice", "bob", link=link)
         channel.send("alice", "m", b"x" * 100)
-        assert channel.simulated_time == pytest.approx(0.01 + 1.0)
+        assert channel.simulated_time == pytest.approx(0.01 + 1.05)
 
 
 class TestTranscript:
@@ -162,12 +180,12 @@ class TestTranscript:
 
     def test_total_bytes(self):
         transcript = self._sample()
-        assert transcript.total_bytes() == 3 + 4 + 2
-        assert transcript.total_bytes(lambda m: m.sender == "bob") == 6
+        assert transcript.total_bytes() == 8 + 9 + 7
+        assert transcript.total_bytes(lambda m: m.sender == "bob") == 16
 
     def test_direction_accounting(self):
         by_direction = self._sample().bytes_by_direction()
-        assert by_direction == {"alice->bob": 3, "bob->alice": 6}
+        assert by_direction == {"alice->bob": 8, "bob->alice": 16}
 
     def test_round_count(self):
         transcript = self._sample()
@@ -189,7 +207,7 @@ class TestParty:
         channel = connect_parties(alice, bob)
         alice.send("hi", b"there")
         assert bob.receive("hi") == b"there"
-        assert channel.transcript.total_bytes() == 5
+        assert channel.transcript.total_bytes() == 10
 
     def test_unconnected_party(self):
         with pytest.raises(ProtocolError):
@@ -215,7 +233,7 @@ class TestReport:
         timings.add("phase", 0.5)
         report = finish_report("result", channel, timings)
         assert report.result == "result"
-        assert report.total_bytes == 3
+        assert report.total_bytes == 8
         assert report.rounds == 1
         summary = report.summary()
         assert summary["time_phase_s"] == 0.5

@@ -63,7 +63,7 @@ class TestAccounting:
             network.add_party(name)
         network.channel_between("a", "b").send("a", "m", b"xxx")
         network.channel_between("a", "c").send("c", "m", b"yyyy")
-        assert network.total_bytes == 7
+        assert network.total_bytes == 8 + 9
         assert network.total_messages == 2
         assert network.total_simulated_time > 0
         summary = network.summary()
