@@ -48,3 +48,18 @@ def test_benchmark_classification_observed(benchmark, light_config):
 
     outcome = benchmark(run)
     assert outcome.report.total_bytes > 0
+
+
+def test_benchmark_counter_inc_and_read(benchmark):
+    """Hot-path cost of a thread-safe counter: one locked increment
+    plus one lock-free read — the per-message price every concurrent
+    serve thread pays on the shared registry."""
+    registry = obs.MetricsRegistry()
+    counter = registry.counter("bench_total", "hot-path cost probe")
+
+    def inc_and_read():
+        counter.inc(kind="hit")
+        return counter.value(kind="hit")
+
+    total = benchmark(inc_and_read)
+    assert total > 0

@@ -1,0 +1,226 @@
+"""Concurrent trainer-service throughput vs the sequential baseline.
+
+The workload models real distributed clients: each of four clients
+holds one connection and runs two sessions with think time in between.
+A sequential server (``max_connections=1``) suffers head-of-line
+blocking — every client's think time stalls the whole service — while
+the concurrent server overlaps it.  On a single core the protocol
+compute itself cannot parallelize (GIL), so the measured speedup is
+pure latency overlap; the bench self-calibrates the think time from a
+measured session so the >= 3x assertion holds across machine speeds.
+
+Both runs must also be **bit-identical** to the in-process protocol:
+concurrency is only worth shipping if it never perturbs an outcome.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.classification import private_classify
+from repro.core.similarity import evaluate_similarity_private
+from repro.core.similarity.metric import MetricParams
+from repro.ml.svm.model import make_linear_model
+from repro.net.service import TrainerClient, TrainerServer
+
+pytestmark = pytest.mark.socket
+
+_CLIENTS = 4
+_SESSIONS_PER_CLIENT = 2
+_MODEL_WEIGHTS = [0.75, -0.5, 0.25]
+_MODEL_BIAS = 0.125
+_SAMPLES = [
+    (0.5, -0.25, 0.75),
+    (-0.375, 0.125, -0.5),
+    (0.25, 0.5, -0.125),
+    (-0.625, -0.25, 0.375),
+]
+
+
+def _seed(client, session):
+    return 1000 + client * 10 + session
+
+
+def _measure_session_cost(host, port, config):
+    """One warmed-up session over TCP — the think-time calibration unit."""
+    with TrainerClient(host, port, config=config) as client:
+        client.classify(_SAMPLES[0], seed=1)  # warm caches
+        start = time.perf_counter()
+        client.classify(_SAMPLES[0], seed=2)
+        return time.perf_counter() - start
+
+
+def _run_clients(host, port, config, think_s):
+    """Four clients, each holding one connection for two think-separated
+    sessions.  Returns (wall_seconds, outcomes keyed by (client, session))."""
+    outcomes = {}
+    errors = []
+
+    def client_run(index):
+        try:
+            with TrainerClient(
+                host, port, config=config, timeout=120.0,
+                attempts=40, retry_delay_s=0.05,
+            ) as client:
+                for session in range(_SESSIONS_PER_CLIENT):
+                    if session:
+                        time.sleep(think_s)
+                    outcomes[(index, session)] = client.classify(
+                        _SAMPLES[index], seed=_seed(index, session)
+                    )
+        except BaseException as error:  # noqa: BLE001 — reported below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=client_run, args=(index,), daemon=True)
+        for index in range(_CLIENTS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return wall, outcomes
+
+
+def _serve_workload(model, config, max_connections, think_s):
+    """Run the whole client workload against a fresh server; returns
+    (wall_seconds, outcomes)."""
+    server = TrainerServer(
+        model, config=config,
+        max_connections=max_connections, session_timeout=120.0,
+    )
+    host, port = server.address
+    total = _CLIENTS * _SESSIONS_PER_CLIENT
+    serving = threading.Thread(
+        target=lambda: server.serve_forever(
+            max_sessions=total, accept_timeout=120.0
+        ),
+        daemon=True,
+    )
+    serving.start()
+    try:
+        return _run_clients(host, port, config, think_s)
+    finally:
+        server.stop()
+        serving.join(10.0)
+        server.close()
+
+
+def test_concurrent_serving_is_3x_sequential(bench_config):
+    """>= 3x session throughput at 4 concurrent clients, bit-identical."""
+    model = make_linear_model(_MODEL_WEIGHTS, _MODEL_BIAS)
+
+    # Calibrate: think time is 60 measured sessions (floor 0.25 s), so
+    # sequential wall ~ 8C + 4*think and concurrent ~ 8C + think — a
+    # nominal ratio around 3.6 on any machine speed.
+    calibration = TrainerServer(model, config=bench_config)
+    host, port = calibration.address
+    serving = threading.Thread(
+        target=lambda: calibration.serve_forever(max_sessions=3),
+        daemon=True,
+    )
+    serving.start()
+    session_cost = _measure_session_cost(host, port, bench_config)
+    calibration.stop()
+    serving.join(10.0)
+    calibration.close()
+    think_s = max(0.25, 60.0 * session_cost)
+
+    wall_sequential, outcomes_sequential = _serve_workload(
+        model, bench_config, max_connections=1, think_s=think_s
+    )
+    wall_concurrent, outcomes_concurrent = _serve_workload(
+        model, bench_config, max_connections=_CLIENTS, think_s=think_s
+    )
+
+    speedup = wall_sequential / wall_concurrent
+    print(
+        f"\nsession cost {session_cost * 1e3:.1f} ms, "
+        f"think {think_s * 1e3:.0f} ms: "
+        f"sequential {wall_sequential:.2f}s, "
+        f"concurrent {wall_concurrent:.2f}s, speedup {speedup:.2f}x"
+    )
+
+    # Bit-identity first: same labels and masked values as in-process,
+    # under either serving mode.
+    for client in range(_CLIENTS):
+        for session in range(_SESSIONS_PER_CLIENT):
+            reference = private_classify(
+                model, _SAMPLES[client],
+                config=bench_config, seed=_seed(client, session),
+            )
+            for outcomes in (outcomes_sequential, outcomes_concurrent):
+                outcome = outcomes[(client, session)]
+                assert outcome.label == reference.label
+                assert (
+                    outcome.randomized_value == reference.randomized_value
+                )
+
+    assert speedup >= 3.0, (
+        f"concurrent serving only {speedup:.2f}x over sequential "
+        f"(sequential {wall_sequential:.2f}s, concurrent {wall_concurrent:.2f}s)"
+    )
+
+
+def test_concurrent_similarity_t_squared_identical(bench_config):
+    """Similarity sessions under concurrency keep T^2 bit-identical."""
+    model_a = make_linear_model(_MODEL_WEIGHTS, _MODEL_BIAS)
+    model_b = make_linear_model([0.5, 0.625, -0.25], -0.0625)
+    params = MetricParams()
+    seeds = [11, 12, 13]
+    reference = {
+        seed: evaluate_similarity_private(
+            model_a, model_b, params=params, config=bench_config, seed=seed
+        )
+        for seed in seeds
+    }
+
+    server = TrainerServer(
+        model_a, config=bench_config, params=params,
+        max_connections=len(seeds),
+    )
+    host, port = server.address
+    serving = threading.Thread(
+        target=lambda: server.serve_forever(
+            max_sessions=len(seeds), accept_timeout=120.0
+        ),
+        daemon=True,
+    )
+    serving.start()
+    outcomes = {}
+    errors = []
+
+    def run(seed):
+        try:
+            with TrainerClient(
+                host, port, config=bench_config, params=params,
+                timeout=120.0,
+            ) as client:
+                outcomes[seed] = client.evaluate_similarity(
+                    model_b, seed=seed
+                )
+        except BaseException as error:  # noqa: BLE001 — reported below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=run, args=(seed,), daemon=True)
+        for seed in seeds
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    server.stop()
+    serving.join(10.0)
+    server.close()
+    if errors:
+        raise errors[0]
+
+    for seed in seeds:
+        assert outcomes[seed].t_squared == reference[seed].t_squared
+        assert outcomes[seed].t == reference[seed].t

@@ -303,11 +303,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         config=config,
         session_timeout=args.timeout,
+        max_connections=args.workers,
+        drain_timeout=args.drain_timeout,
     ) as server:
         host, port = server.address
         print(f"serving {args.model} on {host}:{port} "
               f"({'linear' if model.is_linear() else 'kernel'} model, "
-              f"dimension {model.dimension})")
+              f"dimension {model.dimension}, "
+              f"up to {args.workers} concurrent connections)")
         if args.port_file:
             with open(args.port_file, "w", encoding="utf-8") as handle:
                 handle.write(str(port))
@@ -317,20 +320,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_remote_classify(args: argparse.Namespace) -> int:
-    from repro.net.service import TrainerClient
+    from repro.net.service import TrainerClient, TrainerClientPool
 
     host, port = _parse_endpoint(args.connect)
     X, y = read_libsvm(args.data)
     limit = min(args.limit, X.shape[0]) if args.limit else X.shape[0]
     config = OMPEConfig(security_degree=args.security_degree)
+    seeds = [args.seed + index for index in range(limit)]
+    if args.pool > 1:
+        with TrainerClientPool(
+            host, port, size=args.pool, config=config, timeout=args.timeout
+        ) as pool:
+            outcomes = pool.classify_many(
+                [X[index] for index in range(limit)], seeds=seeds
+            )
+    else:
+        with TrainerClient(
+            host, port, config=config, timeout=args.timeout
+        ) as client:
+            outcomes = [
+                client.classify(X[index], seed=seeds[index])
+                for index in range(limit)
+            ]
     correct = 0
-    with TrainerClient(host, port, config=config, timeout=args.timeout) as client:
-        for index in range(limit):
-            outcome = client.classify(X[index], seed=args.seed + index)
-            marker = "ok " if outcome.label == y[index] else "ERR"
-            correct += outcome.label == y[index]
-            print(f"sample {index}: predicted {outcome.label:+.0f}, "
-                  f"actual {y[index]:+.0f} {marker}  [{outcome.total_bytes} B]")
+    for index, outcome in enumerate(outcomes):
+        marker = "ok " if outcome.label == y[index] else "ERR"
+        correct += outcome.label == y[index]
+        print(f"sample {index}: predicted {outcome.label:+.0f}, "
+              f"actual {y[index]:+.0f} {marker}  [{outcome.total_bytes} B]")
     print(f"accuracy: {correct / limit:.1%} over {limit} samples "
           f"(private protocol over TCP)")
     return 0
@@ -440,6 +457,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit after serving this many sessions")
     serve.add_argument("--timeout", type=float, default=30.0,
                        help="per-connection socket timeout in seconds")
+    serve.add_argument("--workers", type=int, default=8,
+                       help="max concurrent client connections")
+    serve.add_argument("--drain-timeout", type=float, default=5.0,
+                       help="seconds in-flight sessions get to finish on shutdown")
     serve.add_argument("--security-degree", type=int, default=2)
 
     remote_classify = sub.add_parser(
@@ -450,6 +471,9 @@ def build_parser() -> argparse.ArgumentParser:
     remote_classify.add_argument("--connect", required=True,
                                  help="trainer service endpoint host:port")
     remote_classify.add_argument("--limit", type=int, default=10)
+    remote_classify.add_argument("--pool", type=int, default=1,
+                                 help="pooled connections; >1 classifies "
+                                      "concurrently via TrainerClientPool")
     remote_classify.add_argument("--seed", type=int, default=0)
     remote_classify.add_argument("--timeout", type=float, default=30.0)
     remote_classify.add_argument("--security-degree", type=int, default=2)

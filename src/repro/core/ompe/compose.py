@@ -43,13 +43,19 @@ def cached_composition(key, build: Callable):
     hit = _CACHE.get(key)
     if hit is not None:
         _STATS["hits"] += 1
-        _CACHE.move_to_end(key)
+        try:
+            _CACHE.move_to_end(key)
+        except KeyError:
+            pass  # concurrently evicted; the value in hand is still valid
         return hit
     _STATS["misses"] += 1
     value = build()
     _CACHE[key] = value
-    if len(_CACHE) > _CACHE_CAP:
-        _CACHE.popitem(last=False)
+    while len(_CACHE) > _CACHE_CAP:
+        try:
+            _CACHE.popitem(last=False)
+        except KeyError:
+            break  # another thread emptied the cache under us
     return value
 
 

@@ -111,9 +111,15 @@ class SchnorrGroup:
             table = FixedBaseTable(self.g, self.p, self.q.bit_length())
             _FIXED_BASE_TABLES[key] = table
             while len(_FIXED_BASE_TABLES) > _FIXED_BASE_TABLE_CAP:
-                _FIXED_BASE_TABLES.popitem(last=False)
+                try:
+                    _FIXED_BASE_TABLES.popitem(last=False)
+                except KeyError:
+                    break  # another thread emptied the cache under us
         else:
-            _FIXED_BASE_TABLES.move_to_end(key)
+            try:
+                _FIXED_BASE_TABLES.move_to_end(key)
+            except KeyError:
+                pass  # concurrently evicted; the table in hand stays valid
         return table
 
     def mul(self, a: int, b: int) -> int:

@@ -76,7 +76,10 @@ def _zero_basis_weights(xs: Tuple[Number, ...]) -> Tuple[Number, ...]:
     cached = _ZERO_WEIGHT_CACHE.get(xs)
     if cached is not None:
         _ZERO_WEIGHT_STATS["hits"] += 1
-        _ZERO_WEIGHT_CACHE.move_to_end(xs)
+        try:
+            _ZERO_WEIGHT_CACHE.move_to_end(xs)
+        except KeyError:
+            pass  # concurrently evicted; the value in hand is still valid
         return cached
     _ZERO_WEIGHT_STATS["misses"] += 1
     result = None
@@ -93,8 +96,11 @@ def _zero_basis_weights(xs: Tuple[Number, ...]) -> Tuple[Number, ...]:
             weights.append(weight)
         result = tuple(weights)
     _ZERO_WEIGHT_CACHE[xs] = result
-    if len(_ZERO_WEIGHT_CACHE) > _ZERO_WEIGHT_CACHE_CAP:
-        _ZERO_WEIGHT_CACHE.popitem(last=False)
+    while len(_ZERO_WEIGHT_CACHE) > _ZERO_WEIGHT_CACHE_CAP:
+        try:
+            _ZERO_WEIGHT_CACHE.popitem(last=False)
+        except KeyError:
+            break  # another thread emptied the cache under us
     return result
 
 

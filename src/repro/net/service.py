@@ -1,31 +1,51 @@
-"""TCP trainer service: private classification and similarity on demand.
+"""TCP trainer service: concurrent private classification and similarity.
 
 :class:`TrainerServer` hosts a trainer's model behind a listening
-socket and serves *sequential* protocol sessions; :class:`TrainerClient`
-dials it and drives the client side.  One connection carries any number
-of sessions, each opened by a control exchange and then executed by the
-role-split protocol drivers over fresh
-:class:`~repro.net.wire.WireChannel` endpoints.
+socket and serves protocol sessions **concurrently**: every accepted
+connection gets its own serve thread, bounded by ``max_connections``
+worker slots that are acquired *before* accepting — accept-side
+backpressure, so a full server leaves further clients in the kernel
+backlog instead of piling up threads.  :class:`TrainerClient` dials a
+server and drives the client side of one connection;
+:class:`TrainerClientPool` keeps ``size`` pooled connections and fans
+batches out across them (:meth:`~TrainerClientPool.classify_many`).
+
+Each connection carries any number of sequential sessions, each opened
+by a control exchange and then executed by the role-split protocol
+drivers over fresh :class:`~repro.net.wire.WireChannel` endpoints.
+Connections never share a channel: all per-session state — channel,
+transcript, RNG — lives on the serve thread's stack, so concurrent
+sessions are bit-identical to single-client runs.  Shared
+observability (the metrics registry and tracer in :mod:`repro.obs`) is
+thread-safe; per-connection span trees land as separate roots in the
+shared tracer, losslessly.
 
 Control messages (``session/open``, ``session/accept``,
 ``session/error``, ``session/close``) travel as ordinary framed
 messages on the same connection but *outside* any protocol channel, so
 protocol transcripts — and therefore per-phase byte accounting — stay
-bit-identical to in-process runs.  The open payload carries everything
-the peer needs before the protocol starts: the session kind, the shared
-seed, and (for kernel similarity) the client's support-vector count.
+bit-identical to in-process runs.
 
 Fault behaviour: every server connection runs under a per-connection
 socket timeout; a stalled or vanished client surfaces as a typed
 :class:`~repro.exceptions.ProtocolError`, bumps
-``repro_wire_faults_total``, closes that connection, and the server
-keeps serving.  Clients retry refused connections with backoff
-(:func:`repro.net.wire.connect`).
+``repro_service_faults_total{kind=...}``, closes *that* connection, and
+the server keeps serving every other one.  Transient accept-time
+faults (e.g. ``EMFILE`` under descriptor pressure) are counted under
+``kind="accept"`` and never stop the serve loop; only an idle timeout,
+a closed listener, or :meth:`TrainerServer.stop` do.  Shutdown drains:
+``stop()`` closes the listener, lets in-flight sessions finish under
+the drain deadline, then force-closes whatever remains.  Clients retry
+refused connections with backoff (:func:`repro.net.wire.connect`).
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence, Tuple
+import queue
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core.classification.linear import (
@@ -46,7 +66,7 @@ from repro.core.similarity.remote import (
 from repro.exceptions import ProtocolError, ReproError, ValidationError
 from repro.ml.svm.model import SVMModel
 from repro.net import wire
-from repro.net.wire import WireChannel, WireConnection
+from repro.net.wire import ConnectionClosed, WireChannel, WireConnection
 from repro.utils.serialization import decode_message, encode_message
 
 #: Control message labels (never seen by protocol transcripts).
@@ -56,6 +76,18 @@ ERROR = "session/error"
 CLOSE = "session/close"
 
 _SESSION_KINDS = ("classify", "similarity")
+
+#: Service-level fault counter; labelled by kind —
+#: ``session-aborted`` (a session died mid-protocol), ``control`` (a
+#: corrupted or stalled control exchange), ``accept`` (a transient
+#: accept-time fault survived), ``force-closed`` (a connection cut at
+#: the drain deadline).
+SERVICE_FAULTS = "repro_service_faults_total"
+_SERVICE_FAULTS_HELP = "Trainer service faults, by kind"
+
+
+def _service_fault(kind: str) -> None:
+    obs.record_fault(kind, SERVICE_FAULTS, _SERVICE_FAULTS_HELP)
 
 
 def send_control(connection: WireConnection, msg_type: str, payload: Any) -> None:
@@ -78,13 +110,26 @@ def recv_control(
 
 
 class TrainerServer:
-    """Hosts one trained model; serves sessions sequentially.
+    """Hosts one trained model; serves sessions concurrently.
 
     The server is the trainer — *Alice*, the OMPE sender — in every
-    session.  ``session_timeout`` bounds each blocking socket operation
-    on an accepted connection, so a vanished client cannot wedge the
-    serve loop.
+    session.  Up to ``max_connections`` clients are served in parallel,
+    one daemon thread per accepted connection; ``session_timeout``
+    bounds each blocking socket operation on an accepted connection, so
+    a vanished client cannot wedge its serve thread forever.
+
+    The model, config, and params are shared read-only across serve
+    threads; every mutable protocol object (channel, transcript, RNG)
+    is created per session on the serving thread.  ``stop()`` performs
+    a graceful drain: no new connections or sessions, in-flight
+    sessions get ``drain_timeout`` seconds to finish, stragglers are
+    force-closed.
     """
+
+    #: Accept/drain poll interval.  The serve loop wakes this often to
+    #: notice a stop request, an exhausted session budget, or an expired
+    #: idle deadline while blocked waiting for clients.
+    _POLL_S = 0.05
 
     def __init__(
         self,
@@ -94,22 +139,73 @@ class TrainerServer:
         config: Optional[OMPEConfig] = None,
         params: Optional[MetricParams] = None,
         session_timeout: Optional[float] = 30.0,
+        max_connections: int = 8,
+        drain_timeout: float = 5.0,
     ) -> None:
+        if max_connections < 1:
+            raise ValidationError(
+                f"max_connections must be at least 1, got {max_connections}"
+            )
+        if drain_timeout < 0:
+            raise ValidationError("drain_timeout must be non-negative")
         self.model = model
         self.config = config or OMPEConfig()
         self.params = params or MetricParams()
         self.session_timeout = session_timeout
+        self.max_connections = max_connections
+        self.drain_timeout = drain_timeout
         self._function = decision_function_for_model(model)
-        self._socket = wire.listen(host, port)
-        self.sessions_served = 0
+        self._socket = wire.listen(host, port, backlog=max(4, max_connections))
+        self._lock = threading.Lock()
+        self._served = 0
+        self._remaining: Optional[int] = None  # session budget (under lock)
+        self._target: Optional[int] = None  # served count that ends the loop
+        self._slots = threading.BoundedSemaphore(max_connections)
+        self._stopping = threading.Event()
+        self._draining = threading.Event()
+        self._budget_done = threading.Event()
+        self._serve_done = threading.Event()
+        self._serve_done.set()  # no serve loop running yet
+        self._connections: dict = {}  # WireConnection -> "idle" | "session"
+        self._workers: List[threading.Thread] = []
 
     @property
     def address(self) -> Tuple[str, int]:
         """The bound ``(host, port)`` — resolved even when ``port=0``."""
         return self._socket.getsockname()[:2]
 
+    @property
+    def sessions_served(self) -> int:
+        """Sessions completed successfully, across all connections."""
+        with self._lock:
+            return self._served
+
+    @property
+    def active_connections(self) -> int:
+        """Connections currently held by a serve thread."""
+        with self._lock:
+            return len(self._connections)
+
     def close(self) -> None:
+        """Close the listening socket (unblocks a running serve loop)."""
         self._socket.close()
+
+    def stop(self, drain_timeout: Optional[float] = None) -> None:
+        """Gracefully stop serving and wait for the drain to finish.
+
+        Ordering: (1) refuse new sessions and close the listener, so no
+        further connection is accepted; (2) in-flight sessions run to
+        completion under the drain deadline (``drain_timeout`` here
+        overrides the server's default); (3) any connection still busy
+        at the deadline is force-closed (counted under
+        ``repro_service_faults_total{kind="force-closed"}``).  Returns
+        once the serve loop — if one is running — has fully drained.
+        """
+        if drain_timeout is not None:
+            self.drain_timeout = drain_timeout
+        self._stopping.set()
+        self.close()
+        self._serve_done.wait(timeout=self.drain_timeout + 10.0)
 
     def __enter__(self) -> "TrainerServer":
         return self
@@ -124,57 +220,204 @@ class TrainerServer:
         max_sessions: Optional[int] = None,
         accept_timeout: Optional[float] = None,
     ) -> int:
-        """Accept connections until ``max_sessions`` sessions completed.
+        """Accept and serve connections until ``max_sessions`` complete.
 
-        Returns the number of sessions served.  A faulty connection is
-        closed and counted as a fault, not a served session; the loop
-        continues with the next client.
+        Connections are served concurrently (up to ``max_connections``
+        at once); ``max_sessions`` counts *completed* sessions across
+        all of them.  ``accept_timeout`` is an idle deadline: the loop
+        stops once that long passes without a new connection.  A faulty
+        connection is closed and counted as a fault, not a served
+        session; the loop continues serving everyone else.  Returns the
+        total number of sessions served.
         """
-        while max_sessions is None or self.sessions_served < max_sessions:
-            try:
-                connection = wire.accept(self._socket, timeout=accept_timeout)
-            except ProtocolError:
-                break  # accept timed out — treat as a stop request
-            connection.set_timeout(self.session_timeout)
-            budget = (
-                None
-                if max_sessions is None
-                else max_sessions - self.sessions_served
+        if max_sessions is not None and max_sessions < 1:
+            raise ValidationError(
+                f"max_sessions must be at least 1, got {max_sessions}"
             )
-            try:
-                self._serve_connection(connection, budget)
-            except ReproError as error:
-                obs.record_fault(
-                    "session-aborted",
-                    "repro_service_faults_total",
-                    "Trainer service sessions aborted, by kind",
-                )
+        with self._lock:
+            self._remaining = max_sessions
+            self._target = (
+                None if max_sessions is None else self._served + max_sessions
+            )
+        self._budget_done.clear()
+        self._draining.clear()
+        self._serve_done.clear()
+        idle_deadline = (
+            None if accept_timeout is None
+            else time.monotonic() + accept_timeout
+        )
+        try:
+            while not (self._stopping.is_set() or self._budget_done.is_set()):
+                # Backpressure: take a worker slot *before* accepting.
+                if not self._slots.acquire(timeout=self._POLL_S):
+                    continue
+                accepted = False
                 try:
-                    send_control(connection, ERROR, str(error))
-                except ReproError:
-                    pass  # the connection is already gone
-            finally:
-                connection.close()
+                    try:
+                        connection = wire.accept(
+                            self._socket,
+                            timeout=self._POLL_S,
+                            connection_timeout=self.session_timeout,
+                        )
+                    except wire.AcceptTimeout:
+                        if (
+                            idle_deadline is not None
+                            and time.monotonic() >= idle_deadline
+                        ):
+                            break  # nobody showed up — stop request
+                        continue
+                    except wire.ListenerClosed:
+                        break  # closed from another thread — stop request
+                    except ProtocolError:
+                        # Transient accept fault (EMFILE, aborted
+                        # handshake, ...): keep serving.
+                        _service_fault("accept")
+                        continue
+                    accepted = True
+                finally:
+                    if not accepted:
+                        self._slots.release()
+                if accept_timeout is not None:
+                    idle_deadline = time.monotonic() + accept_timeout
+                worker = threading.Thread(
+                    target=self._run_connection,
+                    args=(connection,),
+                    name="trainer-serve",
+                    daemon=True,
+                )
+                with self._lock:
+                    self._connections[connection] = "idle"
+                    self._workers.append(worker)
+                worker.start()
+        finally:
+            self._drain()
+            self._serve_done.set()
         return self.sessions_served
 
-    def _serve_connection(
-        self, connection: WireConnection, budget: Optional[int]
-    ) -> None:
-        while budget is None or budget > 0:
+    def _run_connection(self, connection: WireConnection) -> None:
+        """One serve thread: sequential sessions on one connection."""
+        try:
+            self._serve_connection(connection)
+        except ReproError as error:
+            _service_fault("session-aborted")
+            try:
+                send_control(connection, ERROR, str(error))
+            except ReproError:
+                pass  # the connection is already gone
+        finally:
+            connection.close()
+            with self._lock:
+                self._connections.pop(connection, None)
+                try:
+                    self._workers.remove(threading.current_thread())
+                except ValueError:
+                    pass
+            self._slots.release()
+
+    def _serve_connection(self, connection: WireConnection) -> None:
+        while True:
             try:
                 msg_type, request = recv_control(connection)
+            except ConnectionClosed:
+                return  # client hung up between sessions — not a fault
+            except ValidationError as error:
+                # Corrupted control frame: count it and tell the peer.
+                _service_fault("control")
+                raise ProtocolError(
+                    f"malformed control frame: {error}"
+                ) from error
             except ProtocolError:
-                return  # client closed (or stalled out) between sessions
+                if connection.closed or self._stopping.is_set():
+                    return  # server-side shutdown cut this connection
+                _service_fault("control")
+                return  # stalled or truncated mid-frame; drop the client
             if msg_type == CLOSE:
                 return
             if msg_type != OPEN:
+                _service_fault("control")
                 raise ProtocolError(
                     f"expected {OPEN!r} or {CLOSE!r}, got {msg_type!r}"
                 )
-            self._serve_session(connection, request)
-            self.sessions_served += 1
-            if budget is not None:
-                budget -= 1
+            if not self._begin_session(connection):
+                send_control(
+                    connection, ERROR,
+                    "server is stopping or out of session budget",
+                )
+                return
+            try:
+                self._serve_session(connection, request)
+            except ReproError:
+                self._abort_session(connection)
+                raise
+            self._finish_session(connection)
+
+    # -- session accounting (shared across serve threads) --------------------
+
+    def _begin_session(self, connection: WireConnection) -> bool:
+        """Claim a session slot; False once stopping/draining/out of budget."""
+        with self._lock:
+            if self._stopping.is_set() or self._draining.is_set():
+                return False
+            if self._remaining is not None:
+                if self._remaining <= 0:
+                    return False
+                self._remaining -= 1
+            self._connections[connection] = "session"
+        return True
+
+    def _abort_session(self, connection: WireConnection) -> None:
+        """Return a claimed slot: a failed session is a fault, not served."""
+        with self._lock:
+            if self._remaining is not None:
+                self._remaining += 1
+            if connection in self._connections:
+                self._connections[connection] = "idle"
+
+    def _finish_session(self, connection: WireConnection) -> None:
+        with self._lock:
+            self._served += 1
+            if connection in self._connections:
+                self._connections[connection] = "idle"
+            if self._target is not None and self._served >= self._target:
+                self._budget_done.set()
+
+    def _drain(self) -> None:
+        """Drain in-flight sessions, then force-close the stragglers.
+
+        Runs on the serve-loop thread after it stops accepting.  Idle
+        connections (between sessions) are closed immediately — they
+        can never start another session because :meth:`_begin_session`
+        refuses while draining.  Connections mid-session get until the
+        drain deadline to finish, then are force-closed.
+        """
+        self._draining.set()
+        deadline = time.monotonic() + self.drain_timeout
+        with self._lock:
+            idle = [
+                conn for conn, state in self._connections.items()
+                if state == "idle"
+            ]
+        for connection in idle:
+            connection.close()
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not any(
+                    state == "session"
+                    for state in self._connections.values()
+                ):
+                    break
+            time.sleep(self._POLL_S)
+        with self._lock:
+            leftover = list(self._connections.items())
+            workers = list(self._workers)
+        for connection, state in leftover:
+            if state == "session":
+                _service_fault("force-closed")
+            connection.close()
+        for worker in workers:
+            worker.join(timeout=self.drain_timeout + 1.0)
+
+    # -- one session ---------------------------------------------------------
 
     def _serve_session(
         self, connection: WireConnection, request: Any
@@ -254,7 +497,7 @@ class TrainerServer:
 
 
 class TrainerClient:
-    """Client (Bob) side of the trainer service."""
+    """Client (Bob) side of the trainer service — one connection."""
 
     def __init__(
         self,
@@ -309,7 +552,14 @@ class TrainerClient:
                 self._connection, OPEN, {"kind": "classify", "seed": seed}
             )
             _, accept = recv_control(self._connection, ACCEPT)
-            dimension = accept.get("dimension")
+            if not isinstance(accept, dict) or not isinstance(
+                accept.get("dimension"), int
+            ):
+                raise ProtocolError(
+                    "session/accept payload is missing an integer "
+                    f"'dimension' field: {accept!r}"
+                )
+            dimension = accept["dimension"]
             if len(sample) != dimension:
                 raise ValidationError(
                     f"sample has {len(sample)} coordinates, server model "
@@ -349,6 +599,10 @@ class TrainerClient:
                 },
             )
             _, accept = recv_control(self._connection, ACCEPT)
+            if not isinstance(accept, dict):
+                raise ProtocolError(
+                    f"session/accept payload must be a mapping: {accept!r}"
+                )
             if bool(accept.get("linear")) != linear:
                 raise ProtocolError(
                     "similarity requires both models to be linear or both "
@@ -364,3 +618,144 @@ class TrainerClient:
                 model, factory,
                 params=self.params, config=self.config, seed=seed,
             )
+
+
+class TrainerClientPool:
+    """``size`` pooled trainer-service connections with batched fan-out.
+
+    Each pooled connection is a full :class:`TrainerClient`; a session
+    borrows one connection for its whole duration and returns it, so
+    concurrent callers never interleave frames on a connection.
+    :meth:`classify_many` fans a batch out across the pool (one worker
+    thread per pooled connection) and returns outcomes in input order —
+    with pinned seeds the results are bit-identical to running the
+    batch sequentially on one client.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        size: int = 4,
+        config: Optional[OMPEConfig] = None,
+        params: Optional[MetricParams] = None,
+        timeout: Optional[float] = 30.0,
+        attempts: int = 5,
+        retry_delay_s: float = 0.05,
+    ) -> None:
+        if size < 1:
+            raise ValidationError(f"pool size must be at least 1, got {size}")
+        self.size = size
+        self._clients: List[TrainerClient] = []
+        self._idle: "queue.LifoQueue[TrainerClient]" = queue.LifoQueue()
+        try:
+            for _ in range(size):
+                client = TrainerClient(
+                    host,
+                    port,
+                    config=config,
+                    params=params,
+                    timeout=timeout,
+                    attempts=attempts,
+                    retry_delay_s=retry_delay_s,
+                )
+                self._clients.append(client)
+                self._idle.put(client)
+        except ReproError:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        for client in self._clients:
+            try:
+                client.close()
+            except ReproError:
+                pass
+        self._clients = []
+        self._idle = queue.LifoQueue()
+
+    def __enter__(self) -> "TrainerClientPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @contextmanager
+    def _borrow(self) -> Iterator[TrainerClient]:
+        client = self._idle.get()
+        try:
+            yield client
+        finally:
+            self._idle.put(client)
+
+    # -- sessions ------------------------------------------------------------
+
+    def classify(
+        self, sample: Sequence[float], seed: Optional[int] = None
+    ) -> ClassificationOutcome:
+        """Classify one sample on any idle pooled connection."""
+        with self._borrow() as client:
+            return client.classify(sample, seed=seed)
+
+    def evaluate_similarity(
+        self, model: SVMModel, seed: Optional[int] = None
+    ) -> PrivateSimilarityOutcome:
+        """Run one similarity session on any idle pooled connection."""
+        with self._borrow() as client:
+            return client.evaluate_similarity(model, seed=seed)
+
+    def classify_many(
+        self,
+        samples: Sequence[Sequence[float]],
+        seeds: Optional[Sequence[Optional[int]]] = None,
+    ) -> List[ClassificationOutcome]:
+        """Classify a batch across the pool; outcomes keep input order.
+
+        ``seeds`` pins one seed per sample (``None`` entries let the
+        protocol draw fresh randomness).  The first failure is
+        re-raised after the whole batch has been attempted, so one bad
+        sample cannot silently drop its neighbours' results.
+        """
+        samples = [tuple(sample) for sample in samples]
+        if seeds is None:
+            seed_list: List[Optional[int]] = [None] * len(samples)
+        else:
+            seed_list = list(seeds)
+            if len(seed_list) != len(samples):
+                raise ValidationError(
+                    f"got {len(samples)} samples but {len(seed_list)} seeds"
+                )
+        if not samples:
+            return []
+        results: List[Optional[ClassificationOutcome]] = [None] * len(samples)
+        errors: List[Tuple[int, BaseException]] = []
+        pending: "queue.SimpleQueue[int]" = queue.SimpleQueue()
+        for index in range(len(samples)):
+            pending.put(index)
+
+        def worker() -> None:
+            while True:
+                try:
+                    index = pending.get_nowait()
+                except queue.Empty:
+                    return
+                try:
+                    with self._borrow() as client:
+                        results[index] = client.classify(
+                            samples[index], seed=seed_list[index]
+                        )
+                except BaseException as error:  # noqa: BLE001 — re-raised below
+                    errors.append((index, error))
+
+        threads = [
+            threading.Thread(target=worker, daemon=True)
+            for _ in range(min(self.size, len(samples)))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            index, error = min(errors, key=lambda pair: pair[0])
+            raise error
+        return results  # type: ignore[return-value]

@@ -28,6 +28,7 @@ socket.  Three layers:
 
 from __future__ import annotations
 
+import errno
 import select
 import socket
 import struct
@@ -56,6 +57,24 @@ _FAULT_DESCRIPTION = "Observed TCP transport faults, by kind"
 
 def _wire_fault(kind: str) -> None:
     obs.record_fault(kind, _FAULT_COUNTER, _FAULT_DESCRIPTION)
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection at a frame boundary.
+
+    Distinguishes an orderly hang-up (EOF before any byte of the next
+    frame) from a mid-frame truncation: a serve loop can treat the
+    former as a departed client and the latter as a corrupted stream.
+    """
+
+
+class AcceptTimeout(ProtocolError):
+    """:func:`accept` waited out its timeout with no peer arriving."""
+
+
+class ListenerClosed(ProtocolError):
+    """:func:`accept` found the listening socket closed — the normal
+    way another thread stops a serve loop."""
 
 
 class WireConnection:
@@ -116,8 +135,14 @@ class WireConnection:
         return len(frame)
 
     def recv_frame(self) -> bytes:
-        """Receive one frame; returns the message bytes (header stripped)."""
-        header = self._recv_exact(_HEADER.size, "frame header")
+        """Receive one frame; returns the message bytes (header stripped).
+
+        A peer that hangs up *between* frames raises
+        :class:`ConnectionClosed` (a :class:`ProtocolError` subclass);
+        one that vanishes mid-frame raises a plain
+        :class:`ProtocolError`.
+        """
+        header = self._recv_exact(_HEADER.size, "frame header", at_boundary=True)
         (length,) = _HEADER.unpack(header)
         if length > self.max_frame_bytes:
             _wire_fault("oversized-recv")
@@ -133,7 +158,7 @@ class WireConnection:
             ).inc(_HEADER.size + length, direction="received")
         return data
 
-    def _recv_exact(self, count: int, what: str) -> bytes:
+    def _recv_exact(self, count: int, what: str, at_boundary: bool = False) -> bytes:
         chunks = []
         remaining = count
         while remaining:
@@ -149,6 +174,10 @@ class WireConnection:
                 ) from exc
             if not chunk:
                 _wire_fault("disconnect")
+                if at_boundary and remaining == count:
+                    raise ConnectionClosed(
+                        f"peer closed the connection before {what}"
+                    )
                 raise ProtocolError(
                     f"peer closed the connection while reading {what} "
                     f"({count - remaining} of {count} bytes arrived)"
@@ -178,6 +207,16 @@ class WireConnection:
             return False
         except OSError:
             return False
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run on this endpoint.
+
+        A blocked peer thread whose receive fails can consult this to
+        tell a local, deliberate close (server drain) from a genuine
+        peer fault.
+        """
+        return self._closed
 
     def close(self) -> None:
         if not self._closed:
@@ -322,20 +361,72 @@ def listen(
     return server
 
 
+#: Errno values that mean the listening socket itself is gone (closed
+#: from another thread), as opposed to a transient accept-time fault
+#: such as ``EMFILE`` under descriptor pressure.
+_LISTENER_CLOSED_ERRNOS = frozenset({errno.EBADF, errno.EINVAL, errno.ENOTSOCK})
+
+
 def accept(
-    server: socket.socket, timeout: Optional[float] = None
+    server: socket.socket,
+    timeout: Optional[float] = None,
+    connection_timeout: Optional[float] = None,
 ) -> WireConnection:
-    """Accept one peer connection as a :class:`WireConnection`."""
+    """Accept one peer connection as a :class:`WireConnection`.
+
+    ``timeout`` bounds only the wait for a peer to arrive; the accepted
+    connection's per-operation timeout is ``connection_timeout``
+    (default ``None`` — no timeout), *never* the accept timeout.
+    Earlier revisions handed the accepted connection the accept timeout,
+    which gave direct callers a surprise per-op deadline (or a
+    forever-blocking connection when accept had none).
+
+    Stop conditions raise typed subclasses — :class:`AcceptTimeout`
+    when no peer arrived, :class:`ListenerClosed` when the listening
+    socket was closed under us — while transient accept faults (e.g.
+    ``EMFILE`` under load) raise plain :class:`ProtocolError`, so a
+    serve loop can keep serving through the latter.
+    """
     try:
         server.settimeout(timeout)
         sock, _ = server.accept()
     except socket.timeout as exc:
-        raise ProtocolError("timed out waiting for a peer to connect") from exc
+        raise AcceptTimeout("timed out waiting for a peer to connect") from exc
     except OSError as exc:
-        # Includes EBADF when the listening socket is closed from
-        # another thread — the normal way to stop a serve loop.
+        if exc.errno in _LISTENER_CLOSED_ERRNOS or server.fileno() == -1:
+            raise ListenerClosed(
+                f"listening socket is closed: {exc}"
+            ) from exc
         raise ProtocolError(f"accept failed: {exc}") from exc
-    return WireConnection(sock, timeout=timeout)
+    return WireConnection(sock, timeout=connection_timeout)
+
+
+#: Connect-time errno values worth retrying: the peer may simply not be
+#: listening *yet* (refused, reset, aborted) or the path may be
+#: momentarily down (unreachable, timed out).
+_RETRYABLE_CONNECT_ERRNOS = frozenset({
+    errno.ECONNREFUSED,
+    errno.ECONNRESET,
+    errno.ECONNABORTED,
+    errno.EHOSTUNREACH,
+    errno.ENETUNREACH,
+    errno.ETIMEDOUT,
+})
+
+
+def _retryable_connect_error(exc: OSError) -> bool:
+    """True when retrying the connection could plausibly succeed.
+
+    Name-resolution failures (``socket.gaierror``), bad arguments, and
+    permission errors are permanent: retrying a bad hostname would only
+    burn the full ``attempts x retry_delay_s`` budget before failing
+    with the same error.
+    """
+    if isinstance(exc, socket.gaierror):
+        return False
+    if isinstance(exc, (ConnectionRefusedError, socket.timeout)):
+        return True
+    return exc.errno in _RETRYABLE_CONNECT_ERRNOS
 
 
 def connect(
@@ -350,7 +441,10 @@ def connect(
     A trainer service may still be binding its port (or restarting)
     when the client first dials; ``attempts > 1`` retries with a linear
     backoff, bumping ``repro_wire_retries_total`` per retry, and raises
-    :class:`ProtocolError` once the budget is exhausted.
+    :class:`ProtocolError` once the budget is exhausted.  Only
+    transient failures are retried — refused/reset connections,
+    timeouts, unreachable hosts; a permanent error such as a
+    name-resolution failure fails fast on the first attempt.
     """
     if attempts < 1:
         raise ValidationError(f"attempts must be at least 1, got {attempts}")
@@ -371,9 +465,15 @@ def connect(
             sock.settimeout(timeout)
             sock.connect((host, port))
             return WireConnection(sock, timeout=timeout)
-        except (ConnectionRefusedError, socket.timeout, OSError) as exc:
+        except OSError as exc:
             sock.close()
             last_error = exc
+            if not _retryable_connect_error(exc):
+                _wire_fault("connect-failed")
+                raise ProtocolError(
+                    f"cannot connect to {host}:{port} "
+                    f"(not retryable): {exc}"
+                ) from exc
     _wire_fault("connect-failed")
     raise ProtocolError(
         f"cannot connect to {host}:{port} after {attempts} attempts: "

@@ -17,11 +17,21 @@ Like tracing, metrics are **off by default**: the module-level registry
 is a :class:`NoopRegistry` whose instruments are a shared inert object,
 so disabled instrumentation costs one attribute load per hook.  Enable
 with :func:`enable_metrics`.
+
+The registry and every instrument are **thread-safe**: the concurrent
+trainer service increments shared counters from one thread per
+connection.  Writes (``inc``/``set``/``observe``) serialize on a
+per-instrument lock; reads (``value``/``total``/``count``/``sum``) stay
+lock-free — under CPython's GIL a single ``dict.get`` is atomic, so a
+reader sees either the pre- or post-increment value, never a torn one.
+Instrument creation double-checks under the registry lock, with a
+lock-free fast path for the common already-registered case.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.exceptions import ValidationError
@@ -44,7 +54,11 @@ def _render_labels(key: LabelKey, extra: Optional[Tuple[str, str]] = None) -> st
 
 
 class Counter:
-    """A monotonically increasing value per label set."""
+    """A monotonically increasing value per label set.
+
+    ``inc`` is a read-modify-write, so it serializes on the instrument
+    lock; reads are lock-free (a point-in-time ``dict.get``).
+    """
 
     kind = "counter"
 
@@ -52,6 +66,7 @@ class Counter:
         self.name = name
         self.help_text = help_text
         self._values: Dict[LabelKey, float] = {}
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
         """Increase by ``amount`` (must be non-negative)."""
@@ -60,7 +75,8 @@ class Counter:
                 f"counter {self.name} cannot decrease (got {amount})"
             )
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: Any) -> float:
         """Current value for one label set (0.0 when unseen)."""
@@ -68,10 +84,10 @@ class Counter:
 
     def total(self) -> float:
         """Sum across all label sets."""
-        return sum(self._values.values())
+        return sum(list(self._values.values()))
 
     def items(self) -> Iterable[Tuple[LabelKey, float]]:
-        return self._values.items()
+        return list(self._values.items())
 
     def _expose(self) -> List[str]:
         return [
@@ -95,19 +111,21 @@ class Gauge:
         self.name = name
         self.help_text = help_text
         self._values: Dict[LabelKey, float] = {}
+        self._lock = threading.Lock()
 
     def set(self, value: float, **labels: Any) -> None:
         self._values[_label_key(labels)] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: Any) -> float:
         return self._values.get(_label_key(labels), 0.0)
 
     def items(self) -> Iterable[Tuple[LabelKey, float]]:
-        return self._values.items()
+        return list(self._values.items())
 
     def _expose(self) -> List[str]:
         return [
@@ -157,19 +175,21 @@ class Histogram:
         self.buckets = bounds
         # label set -> (per-bucket counts, sum, count)
         self._series: Dict[LabelKey, List[Any]] = {}
+        self._lock = threading.Lock()
 
     def observe(self, value: float, **labels: Any) -> None:
         key = _label_key(labels)
-        series = self._series.get(key)
-        if series is None:
-            series = [[0] * len(self.buckets), 0.0, 0]
-            self._series[key] = series
-        counts, _, _ = series
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                counts[index] += 1
-        series[1] += value
-        series[2] += 1
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = [[0] * len(self.buckets), 0.0, 0]
+                self._series[key] = series
+            counts, _, _ = series
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+            series[1] += value
+            series[2] += 1
 
     def count(self, **labels: Any) -> int:
         series = self._series.get(_label_key(labels))
@@ -194,14 +214,15 @@ class Histogram:
     ) -> None:
         """Add another series' cumulative state (cross-process merge)."""
         key = _label_key(labels)
-        series = self._series.get(key)
-        if series is None:
-            series = [[0] * len(self.buckets), 0.0, 0]
-            self._series[key] = series
-        for index, bound in enumerate(self.buckets):
-            series[0][index] += int(bucket_counts.get(bound, 0))
-        series[1] += total
-        series[2] += count
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = [[0] * len(self.buckets), 0.0, 0]
+                self._series[key] = series
+            for index, bound in enumerate(self.buckets):
+                series[0][index] += int(bucket_counts.get(bound, 0))
+            series[1] += total
+            series[2] += count
 
     def _expose(self) -> List[str]:
         lines: List[str] = []
@@ -298,19 +319,29 @@ NOOP_REGISTRY = NoopRegistry()
 
 
 class MetricsRegistry:
-    """Named instruments, created on first use and memoized."""
+    """Named instruments, created on first use and memoized.
+
+    Thread-safe: creation double-checks under the registry lock and the
+    steady-state lookup is one lock-free ``dict.get`` — concurrent
+    serve threads pay no lock to *find* an instrument, only to mutate
+    one (see the per-instrument locks above).
+    """
 
     enabled = True
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Any] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, factory, kind: str):
         metric = self._metrics.get(name)
         if metric is None:
-            metric = factory()
-            self._metrics[name] = metric
-        elif metric.kind != kind:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = factory()
+                    self._metrics[name] = metric
+        if metric.kind != kind:
             raise ValidationError(
                 f"metric {name!r} already registered as {metric.kind}"
             )
@@ -336,7 +367,8 @@ class MetricsRegistry:
         return sorted(self._metrics)
 
     def reset(self) -> None:
-        self._metrics = {}
+        with self._lock:
+            self._metrics = {}
 
     # -- export ------------------------------------------------------------
 

@@ -28,6 +28,7 @@ enforced budget).  Enable with :func:`enable_tracing`.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional
 
@@ -172,15 +173,28 @@ NOOP_TRACER = NoopTracer()
 class Tracer:
     """Collects spans into trees.
 
-    Not thread-safe: the protocols in this library run both parties in
-    one thread, and each concurrent workload should own its own tracer.
+    Thread-safe: the open-span stack is **per thread**, so spans nest
+    within the thread that opened them and concurrent workloads (one
+    serve thread per trainer-service connection) each grow their own
+    root trees inside the shared tracer — appended under a lock, so no
+    span is ever lost.  A span must be exited on the thread that
+    entered it.
     """
 
     enabled = True
 
     def __init__(self) -> None:
         self.roots: List[Span] = []
-        self._stack: List[Span] = []
+        self._local = threading.local()
+        self._roots_lock = threading.Lock()
+
+    @property
+    def _stack(self) -> List[Span]:
+        """This thread's open-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- recording ---------------------------------------------------------
 
@@ -195,24 +209,42 @@ class Tracer:
         return Span(self, name, party=party, phase=phase, attributes=attributes)
 
     def current(self):
-        """The innermost open span (a no-op span when none is open)."""
-        return self._stack[-1] if self._stack else NOOP_SPAN
+        """The innermost open span on this thread (no-op span when none)."""
+        stack = self._stack
+        return stack[-1] if stack else NOOP_SPAN
 
     def _push(self, span: Span) -> None:
-        if self._stack:
-            self._stack[-1].children.append(span)
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(span)
         else:
-            self.roots.append(span)
-        self._stack.append(span)
+            with self._roots_lock:
+                self.roots.append(span)
+        stack.append(span)
 
     def _pop(self, span: Span) -> None:
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
+        stack = self._stack
+        if stack and stack[-1] is span:
+            stack.pop()
 
     def reset(self) -> None:
-        """Drop all recorded spans."""
-        self.roots = []
-        self._stack = []
+        """Drop all recorded spans (and every thread's open-span stack)."""
+        with self._roots_lock:
+            self.roots = []
+            self._local = threading.local()
+
+    def merge(self, other: "Tracer") -> None:
+        """Append another tracer's root trees to this one, losslessly.
+
+        The per-connection/per-worker aggregation path: a workload that
+        recorded into its own tracer folds its completed span trees into
+        a parent here; every root (and therefore every descendant)
+        carries over, order-preserving.
+        """
+        with other._roots_lock:
+            adopted = list(other.roots)
+        with self._roots_lock:
+            self.roots.extend(adopted)
 
     # -- queries -----------------------------------------------------------
 

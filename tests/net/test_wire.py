@@ -287,6 +287,102 @@ class TestConnect:
             server.close()
 
 
+class TestTypedStopConditions:
+    """Regression: serve loops must be able to tell deliberate stops
+    (timeout, closed listener) apart from transient accept faults."""
+
+    def test_accept_timeout_is_typed(self):
+        server = wire.listen()
+        try:
+            with pytest.raises(wire.AcceptTimeout):
+                wire.accept(server, timeout=0.05)
+        finally:
+            server.close()
+
+    def test_closed_listener_is_typed(self):
+        server = wire.listen()
+        server.close()
+        with pytest.raises(wire.ListenerClosed):
+            wire.accept(server, timeout=0.05)
+
+    def test_boundary_eof_is_typed(self, registry, pair):
+        """EOF cleanly between frames raises ConnectionClosed — distinct
+        from a truncation mid-frame (plain ProtocolError)."""
+        left, right = pair
+        left.close()
+        with pytest.raises(wire.ConnectionClosed):
+            right.recv_frame()
+
+    def test_mid_frame_eof_is_not_boundary(self, registry, pair):
+        left, right = pair
+        left._sock.sendall(struct.pack(">I", 100) + b"0123456789")
+        left.close()
+        with pytest.raises(ProtocolError) as excinfo:
+            right.recv_frame()
+        assert not isinstance(excinfo.value, wire.ConnectionClosed)
+
+
+class TestAcceptTimeoutInheritance:
+    """Regression: the accepted connection must not inherit the
+    listener's accept timeout as its per-operation timeout."""
+
+    def _accept_with(self, **kwargs):
+        server = wire.listen()
+        host, port = server.getsockname()[:2]
+        peer = _Peer(lambda: wire.connect(host, port, timeout=5.0))
+        peer.start()
+        try:
+            connection = wire.accept(server, **kwargs)
+        finally:
+            server.close()
+        client = peer.join_result()
+        client.close()
+        return connection
+
+    def test_default_is_no_timeout(self):
+        connection = self._accept_with(timeout=5.0)
+        try:
+            assert connection._sock.gettimeout() is None
+        finally:
+            connection.close()
+
+    def test_explicit_connection_timeout_honored(self):
+        connection = self._accept_with(timeout=5.0, connection_timeout=1.5)
+        try:
+            assert connection._sock.gettimeout() == 1.5
+        finally:
+            connection.close()
+
+
+class TestConnectFastFail:
+    """Regression: non-retryable connect errors must not burn the whole
+    attempts x retry_delay budget."""
+
+    def test_bad_hostname_fails_fast(self, registry):
+        start = time.monotonic()
+        with pytest.raises(ProtocolError, match="not retryable"):
+            # With the old retry-everything loop this would sleep
+            # ~39 x 0.5s; fast-fail returns after one resolver error.
+            wire.connect("nonexistent-host-zzz.invalid", 9, timeout=1.0,
+                         attempts=40, retry_delay_s=0.5)
+        assert time.monotonic() - start < 5.0
+        assert registry.counter("repro_wire_retries_total").total() == 0
+        assert registry.counter(FAULTS).value(kind="connect-failed") == 1
+
+    def test_refused_is_still_retryable(self):
+        assert wire._retryable_connect_error(ConnectionRefusedError())
+        assert wire._retryable_connect_error(socket.timeout())
+        assert wire._retryable_connect_error(
+            OSError(__import__("errno").ECONNABORTED, "aborted")
+        )
+        assert not wire._retryable_connect_error(
+            socket.gaierror(-2, "Name or service not known")
+        )
+        assert not wire._retryable_connect_error(
+            OSError(__import__("errno").EACCES, "denied")
+        )
+
+
 class TestFaultPaths:
     def test_peer_disconnect_mid_ompe(self, registry, fast_config):
         """A trainer that vanishes mid-protocol surfaces as one typed

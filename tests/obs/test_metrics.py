@@ -133,3 +133,62 @@ class TestGlobalRegistry:
         finally:
             disable_metrics()
         assert get_metrics() is NOOP_REGISTRY
+
+
+class TestThreadSafety:
+    """Concurrent serve threads share one registry: increments must
+    never be lost and instrument creation must never race into two
+    instances under the same name."""
+
+    def test_counter_increments_are_lossless(self):
+        import threading
+
+        counter = Counter("c")
+        threads_n, per_thread = 8, 10_000
+
+        def hammer():
+            for _ in range(per_thread):
+                counter.inc(kind="hit")
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value(kind="hit") == threads_n * per_thread
+
+    def test_histogram_observations_are_lossless(self):
+        import threading
+
+        histogram = Histogram("h", buckets=(10.0,))
+        threads_n, per_thread = 8, 5_000
+
+        def hammer():
+            for _ in range(per_thread):
+                histogram.observe(1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count() == threads_n * per_thread
+        assert histogram.sum() == float(threads_n * per_thread)
+
+    def test_concurrent_instrument_creation_yields_one_instance(self):
+        import threading
+
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            seen.append(registry.counter("shared"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(instrument) for instrument in seen}) == 1

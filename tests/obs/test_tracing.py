@@ -10,6 +10,7 @@ from repro.obs import (
     get_tracer,
     observed,
 )
+from repro.obs.tracing import NOOP_SPAN
 
 
 class TestSpanTree:
@@ -140,3 +141,72 @@ class TestGlobalTracer:
             assert get_tracer() is tracer
             assert tracer.enabled and registry.enabled
         assert get_tracer() is before
+
+
+class TestThreadSafety:
+    """Serve threads trace into one shared tracer: each thread's spans
+    must form their own root trees, with no span lost or misparented."""
+
+    def test_threads_record_independent_root_trees(self):
+        import threading
+
+        tracer = Tracer()
+        threads_n, spans_per_thread = 6, 50
+
+        def record(worker):
+            for index in range(spans_per_thread):
+                with tracer.span(f"w{worker}", party="alice") as root:
+                    root.set(index=index)
+                    with tracer.span(f"w{worker}.child"):
+                        pass
+
+        threads = [
+            threading.Thread(target=record, args=(worker,))
+            for worker in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tracer.roots) == threads_n * spans_per_thread
+        for worker in range(threads_n):
+            roots = tracer.find(f"w{worker}")
+            assert len(roots) == spans_per_thread
+            for root in roots:
+                # Children stayed on their own thread's tree.
+                assert [c.name for c in root.children] == [f"w{worker}.child"]
+
+    def test_current_is_per_thread(self):
+        import threading
+
+        tracer = Tracer()
+        observed = {}
+
+        def inner():
+            # This thread has no open span, whatever main has open.
+            observed["inner"] = tracer.current()
+
+        with tracer.span("outer") as outer:
+            worker = threading.Thread(target=inner)
+            worker.start()
+            worker.join()
+            assert tracer.current() is outer
+        assert observed["inner"] is NOOP_SPAN
+
+    def test_merge_is_lossless(self):
+        parent = Tracer()
+        child = Tracer()
+        with parent.span("kept"):
+            pass
+        with child.span("adopted.a"):
+            with child.span("adopted.nested"):
+                pass
+        with child.span("adopted.b"):
+            pass
+        parent.merge(child)
+        assert [root.name for root in parent.roots] == [
+            "kept", "adopted.a", "adopted.b",
+        ]
+        assert parent.find("adopted.nested")
+        # The child tracer is left intact.
+        assert len(child.roots) == 2
