@@ -51,3 +51,30 @@ def write_artifact(
         json.dump(document, handle, indent=2, sort_keys=True, default=str)
         handle.write("\n")
     return path
+
+
+def update_artifact(
+    name: str,
+    section: str,
+    payload: dict,
+    directory: Optional[Path] = None,
+    seed: int = BENCH_SEED,
+) -> Path:
+    """Merge ``payload`` into one section of ``BENCH_<name>.json``.
+
+    Several bench modules can contribute to one artifact (the service
+    artifact collects a ``concurrency`` section from
+    ``bench_service_concurrency`` and a ``transport`` section from
+    ``bench_wire_transport``); each call rewrites only its own section
+    and preserves the others.
+    """
+    directory = RESULTS_DIR if directory is None else directory
+    path = directory / f"BENCH_{name}.json"
+    sections = {}
+    if path.exists():
+        with open(path, "r", encoding="utf-8") as handle:
+            sections = json.load(handle).get("sections", {})
+    sections[section] = payload
+    return write_artifact(
+        name, {"sections": sections}, directory=directory, seed=seed
+    )

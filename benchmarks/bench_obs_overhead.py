@@ -13,6 +13,7 @@ from fractions import Fraction
 
 from repro import obs
 from repro.core.ompe import OMPEFunction, execute_ompe
+from repro.obs.distributed import current_trace_context
 from repro.math.multivariate import MultivariatePolynomial
 
 _POLYNOMIAL = MultivariatePolynomial.affine(
@@ -63,3 +64,14 @@ def test_benchmark_counter_inc_and_read(benchmark):
 
     total = benchmark(inc_and_read)
     assert total > 0
+
+
+def test_benchmark_trace_context_disabled(benchmark):
+    """Disabled-path cost of the distributed-trace capture hook: the
+    check every traced call site (client session open, engine submit)
+    pays when tracing is off.  Must be one global load + one attribute
+    check — nanoseconds, far inside the 5% budget enforced in
+    ``tests/obs/test_overhead.py``."""
+    obs.disable_tracing()
+    result = benchmark(current_trace_context)
+    assert result is None

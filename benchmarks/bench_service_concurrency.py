@@ -13,11 +13,13 @@ Both runs must also be **bit-identical** to the in-process protocol:
 concurrency is only worth shipping if it never perturbs an outcome.
 """
 
+import os
 import threading
 import time
 
 import pytest
 
+from artifact import BENCH_DIR, update_artifact
 from repro.core.classification import private_classify
 from repro.core.similarity import evaluate_similarity_private
 from repro.core.similarity.metric import MetricParams
@@ -40,6 +42,13 @@ _SAMPLES = [
 
 def _seed(client, session):
     return 1000 + client * 10 + session
+
+
+def _artifact_dir():
+    """Where the service artifact lands: the gitignored ``results/``
+    scratch dir normally; the committed ``benchmarks/`` dir when
+    regenerating ``BENCH_service.json`` (BENCH_COMMIT_ARTIFACTS=1)."""
+    return BENCH_DIR if os.environ.get("BENCH_COMMIT_ARTIFACTS") else None
 
 
 def _measure_session_cost(host, port, config):
@@ -144,6 +153,20 @@ def test_concurrent_serving_is_3x_sequential(bench_config):
         f"think {think_s * 1e3:.0f} ms: "
         f"sequential {wall_sequential:.2f}s, "
         f"concurrent {wall_concurrent:.2f}s, speedup {speedup:.2f}x"
+    )
+    update_artifact(
+        "service",
+        "concurrency",
+        {
+            "clients": _CLIENTS,
+            "sessions_per_client": _SESSIONS_PER_CLIENT,
+            "session_cost_ms": round(session_cost * 1e3, 3),
+            "think_ms": round(think_s * 1e3, 1),
+            "sequential_s": round(wall_sequential, 3),
+            "concurrent_s": round(wall_concurrent, 3),
+            "speedup": round(speedup, 2),
+        },
+        directory=_artifact_dir(),
     )
 
     # Bit-identity first: same labels and masked values as in-process,

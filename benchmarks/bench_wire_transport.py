@@ -9,11 +9,14 @@ tables from the simulated channel to a deployment.
 ``test_benchmark_frame_round_trip`` isolates the framing layer itself.
 """
 
+import os
 import socket
 import threading
+import time
 
 import pytest
 
+from artifact import BENCH_DIR, update_artifact
 from repro.core.classification import private_classify
 from repro.ml.svm.model import make_linear_model
 from repro.net.service import TrainerClient, TrainerServer
@@ -82,3 +85,63 @@ def test_benchmark_classify_over_tcp(benchmark, bench_config):
     reference = private_classify(model, _SAMPLE, config=bench_config, seed=1)
     assert outcome.randomized_value == reference.randomized_value
     assert outcome.report.total_bytes == reference.report.total_bytes
+
+
+def measure_transport(config, rounds=3):
+    """Best-of-N session time on both transports; the recorded ratio.
+
+    Plain ``time.perf_counter`` timing (no pytest-benchmark), so the
+    same function backs the committed ``BENCH_service.json`` transport
+    section and the recording test below.
+    """
+    model = make_linear_model(_MODEL_WEIGHTS, _MODEL_BIAS)
+
+    best_memory = float("inf")
+    for attempt in range(rounds + 1):  # +1 warm-up, not counted
+        start = time.perf_counter()
+        private_classify(model, _SAMPLE, config=config, seed=1)
+        if attempt:
+            best_memory = min(best_memory, time.perf_counter() - start)
+
+    server = TrainerServer(model, config=config)
+    host, port = server.address
+    thread = threading.Thread(
+        target=lambda: server.serve_forever(), daemon=True
+    )
+    thread.start()
+    best_tcp = float("inf")
+    try:
+        with TrainerClient(host, port, config=config) as client:
+            for attempt in range(rounds + 1):
+                start = time.perf_counter()
+                client.classify(_SAMPLE, seed=1)
+                if attempt:
+                    best_tcp = min(best_tcp, time.perf_counter() - start)
+    finally:
+        server.close()
+        thread.join(5.0)
+
+    return {
+        "rounds": rounds,
+        "in_memory_ms": round(best_memory * 1e3, 3),
+        "tcp_ms": round(best_tcp * 1e3, 3),
+        "tcp_overhead_ratio": round(best_tcp / best_memory, 3),
+    }
+
+
+def test_tcp_overhead_recorded(bench_config):
+    """Record the loopback-TCP session overhead next to the concurrency
+    section in the service artifact (BENCH_service.json when
+    BENCH_COMMIT_ARTIFACTS=1, benchmarks/results/ otherwise)."""
+    payload = measure_transport(bench_config)
+    print(
+        f"\nin-memory {payload['in_memory_ms']:.1f} ms, "
+        f"tcp {payload['tcp_ms']:.1f} ms "
+        f"({payload['tcp_overhead_ratio']:.2f}x)"
+    )
+    directory = (
+        BENCH_DIR if os.environ.get("BENCH_COMMIT_ARTIFACTS") else None
+    )
+    update_artifact("service", "transport", payload, directory=directory)
+    assert payload["in_memory_ms"] > 0
+    assert payload["tcp_ms"] > 0

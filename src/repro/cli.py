@@ -14,6 +14,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli remote-classify d.libsvm --connect 127.0.0.1:9000
     python -m repro.cli remote-similarity model_b.json --connect 127.0.0.1:9000
     python -m repro.cli serve-bench --jobs 16 --workers 1,2,4
+    python -m repro.cli top --connect 127.0.0.1:9000 # live server view
+    python -m repro.cli trace --connect 127.0.0.1:9000 --session s1
 
 The CLI is a thin layer over the public API; each subcommand maps to
 one documented library call, so it doubles as executable documentation.
@@ -22,7 +24,9 @@ one documented library call, so it doubles as executable documentation.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -297,6 +301,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     model = load_model(args.model)
     config = OMPEConfig(security_degree=args.security_degree)
+    if args.observe:
+        # Live registry + tracer: scrapeable over admin/metrics, with
+        # per-session span fragments retrievable over admin/trace.
+        obs.enable_metrics()
+        obs.enable_tracing()
     with TrainerServer(
         model,
         host=args.host,
@@ -327,21 +336,31 @@ def _cmd_remote_classify(args: argparse.Namespace) -> int:
     limit = min(args.limit, X.shape[0]) if args.limit else X.shape[0]
     config = OMPEConfig(security_degree=args.security_degree)
     seeds = [args.seed + index for index in range(limit)]
-    if args.pool > 1:
-        with TrainerClientPool(
-            host, port, size=args.pool, config=config, timeout=args.timeout
-        ) as pool:
-            outcomes = pool.classify_many(
-                [X[index] for index in range(limit)], seeds=seeds
-            )
-    else:
-        with TrainerClient(
-            host, port, config=config, timeout=args.timeout
-        ) as client:
-            outcomes = [
-                client.classify(X[index], seed=seeds[index])
-                for index in range(limit)
-            ]
+    tracer = obs.enable_tracing() if args.trace_out else None
+    try:
+        if args.pool > 1:
+            with TrainerClientPool(
+                host, port, size=args.pool, config=config, timeout=args.timeout
+            ) as pool:
+                outcomes = pool.classify_many(
+                    [X[index] for index in range(limit)], seeds=seeds
+                )
+        else:
+            with TrainerClient(
+                host, port, config=config, timeout=args.timeout
+            ) as client:
+                outcomes = [
+                    client.classify(X[index], seed=seeds[index])
+                    for index in range(limit)
+                ]
+    finally:
+        if tracer is not None:
+            obs.disable_tracing()
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                handle.write(tracer.to_jsonl() + "\n")
+            print(f"wrote client trace fragment to {args.trace_out} "
+                  f"(stitch with: repro trace --connect {args.connect} "
+                  f"--stitch {args.trace_out})")
     correct = 0
     for index, outcome in enumerate(outcomes):
         marker = "ok " if outcome.label == y[index] else "ERR"
@@ -364,6 +383,88 @@ def _cmd_remote_similarity(args: argparse.Namespace) -> int:
     print(f"similarity T = {outcome.t:.6g} (privacy-preserving over TCP; "
           f"{outcome.total_bytes} B over {outcome.total_rounds} rounds)")
     print("smaller T = more similar models")
+    return 0
+
+
+def _render_health(health, metrics_dump) -> str:
+    """One ``repro top`` frame: occupancy, flags, live sessions, counters."""
+    lines = [
+        f"connections {health.active_connections}/{health.max_connections}"
+        f"   served {health.sessions_served}"
+        f"   stopping={health.stopping} draining={health.draining}",
+    ]
+    if health.sessions:
+        lines.append(f"{'session':10s} {'kind':12s} {'age':>8s}  span")
+        for entry in health.sessions:
+            span = entry.get("span") or "-"
+            phase = entry.get("phase")
+            if phase:
+                span = f"{span} [{phase}]"
+            lines.append(
+                f"{str(entry.get('session') or '-'):10s} "
+                f"{str(entry.get('kind') or '-'):12s} "
+                f"{entry.get('age_s', 0.0):7.2f}s  {span}"
+            )
+    else:
+        lines.append("no sessions in flight")
+    if metrics_dump.enabled:
+        snapshot = metrics_dump.snapshot()
+        for name in sorted(snapshot):
+            dump = snapshot[name]
+            if dump.get("kind") != "counter":
+                continue
+            total = sum(entry["value"] for entry in dump.get("series", []))
+            lines.append(f"{name:44s} {total:12g}")
+    else:
+        lines.append("(server metrics disabled — start with serve --observe)")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.net.service import AdminClient
+
+    host, port = _parse_endpoint(args.connect)
+    with AdminClient(host, port, timeout=args.timeout) as admin:
+        for iteration in range(max(1, args.iterations)):
+            if iteration:
+                time.sleep(args.interval)
+            health = admin.health()
+            metrics_dump = admin.metrics()
+            if args.iterations != 1 and not args.no_clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(_render_health(health, metrics_dump))
+            sys.stdout.flush()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.net.service import AdminClient
+    from repro.obs.distributed import render, stitch
+
+    if not args.connect and not args.stitch:
+        print("trace needs --connect and/or --stitch", file=sys.stderr)
+        return 2
+    fragments = []
+    if args.connect:
+        host, port = _parse_endpoint(args.connect)
+        with AdminClient(host, port, timeout=args.timeout) as admin:
+            dump = admin.trace(session=args.session)
+        for entry in dump.sessions:
+            origin = f"server/{entry.get('session', '?')}"
+            fragments.append((origin, entry.get("jsonl", "")))
+            error = entry.get("error")
+            if error:
+                print(f"note: session {entry.get('session')} "
+                      f"ended with an error: {error}")
+    for path in args.stitch:
+        with open(path, "r", encoding="utf-8") as handle:
+            fragments.append((os.path.basename(path), handle.read()))
+    if not fragments:
+        print("no trace fragments found (is the server running "
+              "with --observe, and has a session completed?)")
+        return 1
+    roots = stitch(fragments)
+    print(render(roots))
     return 0
 
 
@@ -462,6 +563,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=float, default=5.0,
                        help="seconds in-flight sessions get to finish on shutdown")
     serve.add_argument("--security-degree", type=int, default=2)
+    serve.add_argument("--observe", action="store_true",
+                       help="enable metrics + tracing so admin/* frames, "
+                            "repro top, and repro trace have data")
 
     remote_classify = sub.add_parser(
         "remote-classify",
@@ -477,6 +581,9 @@ def build_parser() -> argparse.ArgumentParser:
     remote_classify.add_argument("--seed", type=int, default=0)
     remote_classify.add_argument("--timeout", type=float, default=30.0)
     remote_classify.add_argument("--security-degree", type=int, default=2)
+    remote_classify.add_argument("--trace-out", default=None,
+                                 help="trace the run and write the client-side "
+                                      "span fragment as JSON lines")
 
     remote_similarity = sub.add_parser(
         "remote-similarity",
@@ -505,6 +612,33 @@ def build_parser() -> argparse.ArgumentParser:
                              help="per-job timeout in seconds")
     serve_bench.add_argument("--max-retries", type=int, default=2)
 
+    top = sub.add_parser(
+        "top",
+        help="live view of a running trainer service (admin channel)",
+    )
+    top.add_argument("--connect", required=True,
+                     help="trainer service endpoint host:port")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between refreshes")
+    top.add_argument("--iterations", type=int, default=1,
+                     help="number of frames to print (1 = snapshot)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="do not clear the screen between frames")
+    top.add_argument("--timeout", type=float, default=10.0)
+
+    trace = sub.add_parser(
+        "trace",
+        help="fetch per-session trace fragments and print the stitched tree",
+    )
+    trace.add_argument("--connect", default=None,
+                       help="trainer service endpoint host:port")
+    trace.add_argument("--session", default=None,
+                       help="only this session id (e.g. s1)")
+    trace.add_argument("--stitch", nargs="*", default=[],
+                       help="extra local trace JSONL files to stitch in "
+                            "(e.g. from remote-classify --trace-out)")
+    trace.add_argument("--timeout", type=float, default=10.0)
+
     return parser
 
 
@@ -520,6 +654,8 @@ _HANDLERS = {
     "remote-classify": _cmd_remote_classify,
     "remote-similarity": _cmd_remote_similarity,
     "serve-bench": _cmd_serve_bench,
+    "top": _cmd_top,
+    "trace": _cmd_trace,
 }
 
 

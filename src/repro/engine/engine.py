@@ -40,6 +40,7 @@ from repro.engine.worker import DRAIN, make_spec, worker_main
 from repro.exceptions import EngineError, ValidationError
 from repro.ml.svm.model import SVMModel
 from repro.ml.svm.persistence import model_to_dict
+from repro.obs.distributed import current_trace_context
 from repro.obs.metrics import MetricsRegistry
 from repro.utils.rng import derive_seed
 
@@ -212,9 +213,15 @@ class ProtocolEngine:
         return job.job_id
 
     def submit_classification(self, sample: Sequence[float], **inject) -> int:
-        """Build and enqueue a classification job with a derived seed."""
+        """Build and enqueue a classification job with a derived seed.
+
+        When tracing is enabled and a span is open, the job envelope
+        carries a trace context, so the worker-side ``engine.job`` span
+        stitches under the submitting span across the process boundary.
+        """
         job_id = self._next_job_id
         self._next_job_id += 1
+        inject.setdefault("trace", current_trace_context())
         return self.submit(
             ClassificationJob(
                 job_id=job_id,
@@ -228,6 +235,7 @@ class ProtocolEngine:
         """Build and enqueue a similarity job with a derived seed."""
         job_id = self._next_job_id
         self._next_job_id += 1
+        inject.setdefault("trace", current_trace_context())
         return self.submit(
             SimilarityJob(
                 job_id=job_id,

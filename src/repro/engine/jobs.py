@@ -31,6 +31,7 @@ from typing import Optional, Tuple, Union
 
 from repro.exceptions import ValidationError
 from repro.math.polynomials import Number
+from repro.obs.distributed import TraceContext
 
 #: Job kinds understood by the workers.
 CLASSIFICATION = "classification"
@@ -46,6 +47,7 @@ class ClassificationJob:
     seed: int
     inject_failures: int = 0
     inject_delay_s: float = 0.0
+    trace: Optional[TraceContext] = None
 
     kind = CLASSIFICATION
 
@@ -66,6 +68,7 @@ class SimilarityJob:
     seed: int
     inject_failures: int = 0
     inject_delay_s: float = 0.0
+    trace: Optional[TraceContext] = None
 
     kind = SIMILARITY
 

@@ -45,6 +45,7 @@ from repro.engine.jobs import (
 )
 from repro.exceptions import EngineError, EngineTimeout, ReproError, ValidationError
 from repro.ml.svm.model import SVMModel
+from repro.obs.distributed import adopt_context
 from repro.ml.svm.persistence import model_from_dict, model_to_dict
 from repro.utils.rng import ReproRandom
 
@@ -205,39 +206,60 @@ def _deadline(timeout_s: Optional[float]):
 
 
 def execute_job(state: WorkerState, job: Job, attempt: int) -> JobResult:
-    """Run one job to completion (or typed failure) inside this process."""
+    """Run one job to completion (or typed failure) inside this process.
+
+    When the job carries a :class:`~repro.obs.distributed.TraceContext`
+    (attached by the engine at submission), the per-job span adopts it,
+    so worker-side protocol spans stitch under the submitting span even
+    across the process boundary.  Every attempt gets its own span —
+    resubmissions appear as error-annotated siblings, not orphans.
+    """
     start = time.perf_counter()
-    try:
-        with _deadline(state.spec.timeout_s):
-            if attempt <= getattr(job, "inject_failures", 0):
-                raise EngineError(
-                    f"injected failure on attempt {attempt} of job {job.job_id}"
-                )
-            if getattr(job, "inject_delay_s", 0.0) > 0.0:
-                time.sleep(job.inject_delay_s)
-            if isinstance(job, ClassificationJob):
-                result = _run_classification(state, job, attempt)
-            elif isinstance(job, SimilarityJob):
-                result = _run_similarity(state, job, attempt)
-            else:
-                raise EngineError(f"unknown job type {type(job).__name__}")
-    except ReproError as error:
-        return JobResult(
-            job_id=job.job_id,
-            kind=getattr(job, "kind", "unknown"),
-            ok=False,
-            worker_id=state.worker_id,
-            attempts=attempt,
-            duration_s=time.perf_counter() - start,
-            error=f"{type(error).__name__}: {error}",
-        )
-    state.jobs_done += 1
-    metrics = obs.get_metrics()
-    if metrics.enabled:
-        metrics.counter(
-            "repro_engine_jobs_total", "Jobs completed by engine workers"
-        ).inc(kind=result.kind)
-    return result
+    span = obs.get_tracer().span(
+        "engine.job",
+        party="engine",
+        phase="engine",
+        job=job.job_id,
+        kind=getattr(job, "kind", "unknown"),
+        worker=state.worker_id,
+        attempt=attempt,
+    )
+    adopt_context(span, getattr(job, "trace", None))
+    with span:
+        try:
+            with _deadline(state.spec.timeout_s):
+                if attempt <= getattr(job, "inject_failures", 0):
+                    raise EngineError(
+                        f"injected failure on attempt {attempt} of job {job.job_id}"
+                    )
+                if getattr(job, "inject_delay_s", 0.0) > 0.0:
+                    time.sleep(job.inject_delay_s)
+                if isinstance(job, ClassificationJob):
+                    result = _run_classification(state, job, attempt)
+                elif isinstance(job, SimilarityJob):
+                    result = _run_similarity(state, job, attempt)
+                else:
+                    raise EngineError(f"unknown job type {type(job).__name__}")
+        except ReproError as error:
+            error_text = f"{type(error).__name__}: {error}"
+            if span.enabled:
+                span.set(error=error_text)
+            return JobResult(
+                job_id=job.job_id,
+                kind=getattr(job, "kind", "unknown"),
+                ok=False,
+                worker_id=state.worker_id,
+                attempts=attempt,
+                duration_s=time.perf_counter() - start,
+                error=error_text,
+            )
+        state.jobs_done += 1
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_engine_jobs_total", "Jobs completed by engine workers"
+            ).inc(kind=result.kind)
+        return result
 
 
 def _run_classification(

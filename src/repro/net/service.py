@@ -26,6 +26,23 @@ messages on the same connection but *outside* any protocol channel, so
 protocol transcripts — and therefore per-phase byte accounting — stay
 bit-identical to in-process runs.
 
+**Observability plane** (all off-transcript, like ``session/*``):
+
+* ``session/open`` may carry a
+  :class:`~repro.obs.distributed.TraceContext`; the server adopts it so
+  its session span stitches under the originating client span.  The
+  ``session/accept`` reply carries the server-assigned session id.
+* ``admin/metrics``, ``admin/health``, ``admin/trace`` frames — served
+  on any connection (conventionally a dedicated one via
+  :class:`AdminClient`) without consuming a session slot or budget —
+  expose the live registry, pool occupancy/drain state with per-session
+  phase and age, and completed sessions' span fragments.
+* Per-session telemetry: session duration, per-phase wire bytes, and
+  per-session byte totals land in the shared registry labelled by
+  ``kind`` and ``transport`` (and ``session`` for the per-session
+  total), reconciled with ``bytes_by_phase()`` — see
+  :func:`repro.obs.drift.drift_from_service_metrics`.
+
 Fault behaviour: every server connection runs under a per-connection
 socket timeout; a stalled or vanished client surfaces as a typed
 :class:`~repro.exceptions.ProtocolError`, bumps
@@ -41,11 +58,13 @@ refused connections with backoff (:func:`repro.net.wire.connect`).
 
 from __future__ import annotations
 
+import collections
+import itertools
 import queue
 import threading
 import time
 from contextlib import contextmanager
-from typing import Any, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core.classification.linear import (
@@ -66,7 +85,18 @@ from repro.core.similarity.remote import (
 from repro.exceptions import ProtocolError, ReproError, ValidationError
 from repro.ml.svm.model import SVMModel
 from repro.net import wire
+from repro.net.transcript import Transcript
 from repro.net.wire import ConnectionClosed, WireChannel, WireConnection
+from repro.obs.distributed import (
+    AdminHealth,
+    AdminMetricsDump,
+    AdminTraceDump,
+    TraceContext,
+    adopt_context,
+    current_trace_context,
+)
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS
+from repro.obs.tracing import spans_to_jsonl
 from repro.utils.serialization import decode_message, encode_message
 
 #: Control message labels (never seen by protocol transcripts).
@@ -75,7 +105,20 @@ ACCEPT = "session/accept"
 ERROR = "session/error"
 CLOSE = "session/close"
 
+#: Admin channel labels — request/response pairs on any connection,
+#: outside any session and outside the session budget.
+ADMIN_METRICS = "admin/metrics"
+ADMIN_HEALTH = "admin/health"
+ADMIN_TRACE = "admin/trace"
+
+_ADMIN_FRAMES = frozenset({ADMIN_METRICS, ADMIN_HEALTH, ADMIN_TRACE})
+
 _SESSION_KINDS = ("classify", "similarity")
+
+#: Per-session telemetry instruments.
+SESSION_SECONDS = "repro_service_session_seconds"
+SESSION_PHASE_BYTES = "repro_service_phase_bytes_total"
+SESSION_BYTES = "repro_service_session_bytes_total"
 
 #: Service-level fault counter; labelled by kind —
 #: ``session-aborted`` (a session died mid-protocol), ``control`` (a
@@ -107,6 +150,28 @@ def recv_control(
             f"expected control message {expected!r}, got {msg_type!r}"
         )
     return msg_type, payload
+
+
+def _annotate_session(span: Any, accept: Any) -> None:
+    """Tag the client span with the server-assigned session id."""
+    if not getattr(span, "enabled", False) or not isinstance(accept, dict):
+        return
+    session = accept.get("session")
+    if isinstance(session, str):
+        span.set(session=session)
+
+
+class _ConnState:
+    """Live per-connection bookkeeping (guarded by the server lock)."""
+
+    __slots__ = ("state", "session_id", "kind", "started_at", "thread_ident")
+
+    def __init__(self) -> None:
+        self.state = "idle"  # "idle" | "session"
+        self.session_id: Optional[str] = None
+        self.kind: Optional[str] = None
+        self.started_at: float = 0.0
+        self.thread_ident: Optional[int] = None
 
 
 class TrainerServer:
@@ -141,6 +206,7 @@ class TrainerServer:
         session_timeout: Optional[float] = 30.0,
         max_connections: int = 8,
         drain_timeout: float = 5.0,
+        trace_log_size: int = 256,
     ) -> None:
         if max_connections < 1:
             raise ValidationError(
@@ -166,8 +232,13 @@ class TrainerServer:
         self._budget_done = threading.Event()
         self._serve_done = threading.Event()
         self._serve_done.set()  # no serve loop running yet
-        self._connections: dict = {}  # WireConnection -> "idle" | "session"
+        self._connections: Dict[WireConnection, _ConnState] = {}
         self._workers: List[threading.Thread] = []
+        self._session_ids = itertools.count(1)
+        #: Completed sessions' span fragments, newest last, bounded.
+        self._trace_log: "collections.deque" = collections.deque(
+            maxlen=max(1, trace_log_size)
+        )
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -205,7 +276,12 @@ class TrainerServer:
             self.drain_timeout = drain_timeout
         self._stopping.set()
         self.close()
-        self._serve_done.wait(timeout=self.drain_timeout + 10.0)
+        if self._serve_done.is_set():
+            # No serve loop to run the drain for us (connections served
+            # directly via :meth:`serve_connection`): drain here.
+            self._drain()
+        else:
+            self._serve_done.wait(timeout=self.drain_timeout + 10.0)
 
     def __enter__(self) -> "TrainerServer":
         return self
@@ -286,7 +362,7 @@ class TrainerServer:
                     daemon=True,
                 )
                 with self._lock:
-                    self._connections[connection] = "idle"
+                    self._connections[connection] = _ConnState()
                     self._workers.append(worker)
                 worker.start()
         finally:
@@ -294,8 +370,28 @@ class TrainerServer:
             self._serve_done.set()
         return self.sessions_served
 
+    def serve_connection(self, connection: WireConnection) -> None:
+        """Serve one pre-established connection on the calling thread.
+
+        The transport-agnostic entry point: hand it one end of a
+        :func:`repro.net.wire.memory_pair` (or an accepted socket) and
+        it runs the same control loop — sessions, admin frames, slot
+        accounting — as connections accepted by :meth:`serve_forever`.
+        Returns when the peer closes or a fault drops the connection.
+        """
+        if self._stopping.is_set():
+            raise ProtocolError("server is stopping; connection refused")
+        self._slots.acquire()
+        with self._lock:
+            self._connections[connection] = _ConnState()
+        self._run_connection(connection)
+
     def _run_connection(self, connection: WireConnection) -> None:
         """One serve thread: sequential sessions on one connection."""
+        with self._lock:
+            state = self._connections.get(connection)
+            if state is not None:
+                state.thread_ident = threading.get_ident()
         try:
             self._serve_connection(connection)
         except ReproError as error:
@@ -333,6 +429,11 @@ class TrainerServer:
                 return  # stalled or truncated mid-frame; drop the client
             if msg_type == CLOSE:
                 return
+            if msg_type in _ADMIN_FRAMES:
+                # Admin traffic consumes no session slot or budget and
+                # stays off every protocol transcript.
+                self._serve_admin(connection, msg_type, request)
+                continue
             if msg_type != OPEN:
                 _service_fault("control")
                 raise ProtocolError(
@@ -362,22 +463,29 @@ class TrainerServer:
                 if self._remaining <= 0:
                     return False
                 self._remaining -= 1
-            self._connections[connection] = "session"
+            state = self._connections.setdefault(connection, _ConnState())
+            state.state = "session"
+            state.started_at = time.monotonic()
         return True
+
+    def _set_idle(self, connection: WireConnection) -> None:
+        state = self._connections.get(connection)
+        if state is not None:
+            state.state = "idle"
+            state.session_id = None
+            state.kind = None
 
     def _abort_session(self, connection: WireConnection) -> None:
         """Return a claimed slot: a failed session is a fault, not served."""
         with self._lock:
             if self._remaining is not None:
                 self._remaining += 1
-            if connection in self._connections:
-                self._connections[connection] = "idle"
+            self._set_idle(connection)
 
     def _finish_session(self, connection: WireConnection) -> None:
         with self._lock:
             self._served += 1
-            if connection in self._connections:
-                self._connections[connection] = "idle"
+            self._set_idle(connection)
             if self._target is not None and self._served >= self._target:
                 self._budget_done.set()
 
@@ -395,14 +503,14 @@ class TrainerServer:
         with self._lock:
             idle = [
                 conn for conn, state in self._connections.items()
-                if state == "idle"
+                if state.state == "idle"
             ]
         for connection in idle:
             connection.close()
         while time.monotonic() < deadline:
             with self._lock:
                 if not any(
-                    state == "session"
+                    state.state == "session"
                     for state in self._connections.values()
                 ):
                     break
@@ -411,7 +519,7 @@ class TrainerServer:
             leftover = list(self._connections.items())
             workers = list(self._workers)
         for connection, state in leftover:
-            if state == "session":
+            if state.state == "session":
                 _service_fault("force-closed")
             connection.close()
         for worker in workers:
@@ -432,22 +540,103 @@ class TrainerServer:
         seed = request.get("seed")
         if seed is not None and not isinstance(seed, int):
             raise ProtocolError("session seed must be an int or None")
+        trace_context = request.get("trace")
+        if trace_context is not None and not isinstance(trace_context, TraceContext):
+            raise ProtocolError("session/open 'trace' must be a trace context")
+        transport = getattr(connection, "transport", "tcp")
+        session_id = f"s{next(self._session_ids)}"
+        with self._lock:
+            state = self._connections.get(connection)
+            if state is not None:
+                state.session_id = session_id
+                state.kind = kind
         metrics = obs.get_metrics()
         if metrics.enabled:
             metrics.counter(
                 "repro_service_sessions_total",
                 "Trainer service sessions served, by kind",
             ).inc(kind=kind)
-        with obs.get_tracer().span(
-            "service.session", party="alice", phase="service", kind=kind
-        ):
-            if kind == "classify":
-                self._serve_classify(connection, seed)
-            else:
-                self._serve_similarity(connection, request, seed)
+        span = obs.get_tracer().span(
+            "service.session",
+            party="alice",
+            phase="service",
+            kind=kind,
+            transport=transport,
+            session=session_id,
+        )
+        adopt_context(span, trace_context)
+        started = time.monotonic()
+        transcripts: List[Transcript] = []
+        error_text: Optional[str] = None
+        try:
+            with span:
+                if kind == "classify":
+                    self._serve_classify(connection, seed, session_id, transcripts)
+                else:
+                    self._serve_similarity(
+                        connection, request, seed, session_id, transcripts
+                    )
+        except ReproError as error:
+            error_text = f"{type(error).__name__}: {error}"
+            if span.enabled:
+                span.set(error=error_text)
+            raise
+        finally:
+            self._record_session(
+                session_id, kind, transport, started, transcripts, span, error_text
+            )
+
+    def _record_session(
+        self,
+        session_id: str,
+        kind: str,
+        transport: str,
+        started: float,
+        transcripts: List[Transcript],
+        span: Any,
+        error_text: Optional[str],
+    ) -> None:
+        """Per-session telemetry + the trace log entry, success or not."""
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            metrics.histogram(
+                SESSION_SECONDS,
+                "Trainer service session duration in seconds",
+                buckets=DEFAULT_LATENCY_BUCKETS,
+            ).observe(time.monotonic() - started, kind=kind, transport=transport)
+            phase_counter = metrics.counter(
+                SESSION_PHASE_BYTES,
+                "Per-phase protocol wire bytes served, by session kind",
+            )
+            session_bytes = 0
+            for transcript in transcripts:
+                for phase, count in transcript.bytes_by_phase().items():
+                    phase_counter.inc(
+                        count, phase=phase, kind=kind, transport=transport
+                    )
+                    session_bytes += count
+            metrics.counter(
+                SESSION_BYTES,
+                "Protocol wire bytes served, by session",
+            ).inc(session_bytes, session=session_id, kind=kind, transport=transport)
+        # Keyed on the span, not the live tracer: the session was traced
+        # iff its span is real, even if tracing was toggled off since.
+        if getattr(span, "enabled", False):
+            self._trace_log.append(
+                {
+                    "session": session_id,
+                    "kind": kind,
+                    "error": error_text,
+                    "jsonl": spans_to_jsonl([span]),
+                }
+            )
 
     def _serve_classify(
-        self, connection: WireConnection, seed: Optional[int]
+        self,
+        connection: WireConnection,
+        seed: Optional[int],
+        session_id: str,
+        transcripts: List[Transcript],
     ) -> None:
         send_control(
             connection,
@@ -455,9 +644,11 @@ class TrainerServer:
             {
                 "dimension": self.model.dimension,
                 "degree": self._function.total_degree,
+                "session": session_id,
             },
         )
         channel = WireChannel("alice", "bob", connection)
+        transcripts.append(channel.transcript)
         run_ompe_sender(
             self._function,
             channel,
@@ -469,15 +660,25 @@ class TrainerServer:
         )
 
     def _serve_similarity(
-        self, connection: WireConnection, request: Any, seed: Optional[int]
+        self,
+        connection: WireConnection,
+        request: Any,
+        seed: Optional[int],
+        session_id: str,
+        transcripts: List[Transcript],
     ) -> None:
         linear = self.model.is_linear()
         if bool(request.get("linear")) != linear:
             raise ProtocolError(
                 "similarity requires both models to be linear or both kernel"
             )
-        send_control(connection, ACCEPT, {"linear": linear})
-        factory = lambda: WireChannel("alice", "bob", connection)
+        send_control(connection, ACCEPT, {"linear": linear, "session": session_id})
+
+        def factory() -> WireChannel:
+            channel = WireChannel("alice", "bob", connection)
+            transcripts.append(channel.transcript)
+            return channel
+
         if linear:
             run_similarity_alice_linear(
                 self.model, factory,
@@ -495,29 +696,109 @@ class TrainerServer:
                 params=self.params, config=self.config, seed=seed,
             )
 
+    # -- admin channel --------------------------------------------------------
+
+    def _serve_admin(
+        self, connection: WireConnection, msg_type: str, request: Any
+    ) -> None:
+        """Answer one ``admin/*`` request on the same connection."""
+        if msg_type == ADMIN_METRICS:
+            metrics = obs.get_metrics()
+            if metrics.enabled:
+                dump = AdminMetricsDump(
+                    enabled=True,
+                    prometheus=metrics.to_prometheus(),
+                    snapshot_json=metrics.to_json(),
+                )
+            else:
+                dump = AdminMetricsDump(enabled=False, prometheus="", snapshot_json="")
+            send_control(connection, ADMIN_METRICS, dump)
+        elif msg_type == ADMIN_HEALTH:
+            send_control(connection, ADMIN_HEALTH, self._health())
+        else:
+            session = None
+            if isinstance(request, dict):
+                session = request.get("session")
+                if session is not None and not isinstance(session, str):
+                    raise ProtocolError("admin/trace 'session' must be a string")
+            entries = [
+                dict(entry)
+                for entry in list(self._trace_log)
+                if session is None or entry["session"] == session
+            ]
+            send_control(connection, ADMIN_TRACE, AdminTraceDump(tuple(entries)))
+
+    def _health(self) -> AdminHealth:
+        """A point-in-time occupancy/drain snapshot for ``admin/health``."""
+        tracer = obs.get_tracer()
+        open_by_thread = tracer.open_spans() if tracer.enabled else {}
+        now = time.monotonic()
+        with self._lock:
+            states = list(self._connections.values())
+            served = self._served
+        sessions = []
+        for state in states:
+            if state.state != "session":
+                continue
+            entry: Dict[str, Any] = {
+                "session": state.session_id,
+                "kind": state.kind,
+                "age_s": now - state.started_at,
+            }
+            span = (
+                open_by_thread.get(state.thread_ident)
+                if state.thread_ident is not None
+                else None
+            )
+            if span is not None:
+                entry["span"] = span.name
+                entry["phase"] = span.phase
+            sessions.append(entry)
+        return AdminHealth(
+            active_connections=len(states),
+            max_connections=self.max_connections,
+            sessions_served=served,
+            stopping=self._stopping.is_set(),
+            draining=self._draining.is_set(),
+            sessions=tuple(sessions),
+        )
+
 
 class TrainerClient:
-    """Client (Bob) side of the trainer service — one connection."""
+    """Client (Bob) side of the trainer service — one connection.
+
+    Pass ``connection`` (e.g. one end of
+    :func:`repro.net.wire.memory_pair`) to drive a pre-established
+    connection instead of dialing ``host:port``.
+    """
 
     def __init__(
         self,
-        host: str,
-        port: int,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
         config: Optional[OMPEConfig] = None,
         params: Optional[MetricParams] = None,
         timeout: Optional[float] = 30.0,
         attempts: int = 5,
         retry_delay_s: float = 0.05,
+        connection: Optional[WireConnection] = None,
     ) -> None:
         self.config = config or OMPEConfig()
         self.params = params or MetricParams()
-        self._connection = wire.connect(
-            host,
-            port,
-            timeout=timeout,
-            attempts=attempts,
-            retry_delay_s=retry_delay_s,
-        )
+        if connection is not None:
+            self._connection = connection
+        else:
+            if host is None or port is None:
+                raise ValidationError(
+                    "TrainerClient needs host and port (or a connection)"
+                )
+            self._connection = wire.connect(
+                host,
+                port,
+                timeout=timeout,
+                attempts=attempts,
+                retry_delay_s=retry_delay_s,
+            )
 
     def close(self) -> None:
         try:
@@ -547,28 +828,36 @@ class TrainerClient:
         sample = tuple(sample)
         with obs.get_tracer().span(
             "service.classify", party="bob", phase="service"
-        ):
-            send_control(
-                self._connection, OPEN, {"kind": "classify", "seed": seed}
-            )
-            _, accept = recv_control(self._connection, ACCEPT)
-            if not isinstance(accept, dict) or not isinstance(
-                accept.get("dimension"), int
-            ):
-                raise ProtocolError(
-                    "session/accept payload is missing an integer "
-                    f"'dimension' field: {accept!r}"
+        ) as span:
+            request: Dict[str, Any] = {"kind": "classify", "seed": seed}
+            context = current_trace_context()
+            if context is not None:
+                request["trace"] = context
+            try:
+                send_control(self._connection, OPEN, request)
+                _, accept = recv_control(self._connection, ACCEPT)
+                if not isinstance(accept, dict) or not isinstance(
+                    accept.get("dimension"), int
+                ):
+                    raise ProtocolError(
+                        "session/accept payload is missing an integer "
+                        f"'dimension' field: {accept!r}"
+                    )
+                _annotate_session(span, accept)
+                dimension = accept["dimension"]
+                if len(sample) != dimension:
+                    raise ValidationError(
+                        f"sample has {len(sample)} coordinates, server model "
+                        f"expects {dimension}"
+                    )
+                channel = WireChannel("bob", "alice", self._connection)
+                outcome = run_ompe_receiver(
+                    sample, channel, config=self.config, seed=seed, name="bob"
                 )
-            dimension = accept["dimension"]
-            if len(sample) != dimension:
-                raise ValidationError(
-                    f"sample has {len(sample)} coordinates, server model "
-                    f"expects {dimension}"
-                )
-            channel = WireChannel("bob", "alice", self._connection)
-            outcome = run_ompe_receiver(
-                sample, channel, config=self.config, seed=seed, name="bob"
-            )
+            except ReproError as error:
+                if span.enabled:
+                    span.set(error=f"{type(error).__name__}: {error}")
+                raise
         return ClassificationOutcome(
             label=_label_from_value(outcome.value),
             randomized_value=outcome.value,
@@ -587,37 +876,118 @@ class TrainerClient:
         linear = model.is_linear()
         with obs.get_tracer().span(
             "service.similarity", party="bob", phase="service"
-        ):
-            send_control(
-                self._connection,
-                OPEN,
-                {
-                    "kind": "similarity",
-                    "seed": seed,
-                    "linear": linear,
-                    "n_support": None if linear else model.n_support,
-                },
-            )
-            _, accept = recv_control(self._connection, ACCEPT)
-            if not isinstance(accept, dict):
-                raise ProtocolError(
-                    f"session/accept payload must be a mapping: {accept!r}"
-                )
-            if bool(accept.get("linear")) != linear:
-                raise ProtocolError(
-                    "similarity requires both models to be linear or both "
-                    "kernel"
-                )
-            factory = lambda: WireChannel("bob", "alice", self._connection)
-            if linear:
-                return run_similarity_bob_linear(
+        ) as span:
+            request: Dict[str, Any] = {
+                "kind": "similarity",
+                "seed": seed,
+                "linear": linear,
+                "n_support": None if linear else model.n_support,
+            }
+            context = current_trace_context()
+            if context is not None:
+                request["trace"] = context
+            try:
+                send_control(self._connection, OPEN, request)
+                _, accept = recv_control(self._connection, ACCEPT)
+                if not isinstance(accept, dict):
+                    raise ProtocolError(
+                        f"session/accept payload must be a mapping: {accept!r}"
+                    )
+                if bool(accept.get("linear")) != linear:
+                    raise ProtocolError(
+                        "similarity requires both models to be linear or both "
+                        "kernel"
+                    )
+                _annotate_session(span, accept)
+                factory = lambda: WireChannel("bob", "alice", self._connection)
+                if linear:
+                    return run_similarity_bob_linear(
+                        model, factory,
+                        params=self.params, config=self.config, seed=seed,
+                    )
+                return run_similarity_bob_nonlinear(
                     model, factory,
                     params=self.params, config=self.config, seed=seed,
                 )
-            return run_similarity_bob_nonlinear(
-                model, factory,
-                params=self.params, config=self.config, seed=seed,
+            except ReproError as error:
+                if span.enabled:
+                    span.set(error=f"{type(error).__name__}: {error}")
+                raise
+
+
+class AdminClient:
+    """Drives the ``admin/*`` channel on a dedicated connection.
+
+    Admin requests are ordinary framed control messages — no auth; the
+    server binds to ``127.0.0.1`` by default, and deployments that bind
+    wider must firewall the port (see PROTOCOL.md).  Like
+    :class:`TrainerClient`, pass ``connection`` to reuse a
+    pre-established endpoint instead of dialing.
+    """
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: Optional[float] = 10.0,
+        attempts: int = 5,
+        retry_delay_s: float = 0.05,
+        connection: Optional[WireConnection] = None,
+    ) -> None:
+        if connection is not None:
+            self._connection = connection
+        else:
+            if host is None or port is None:
+                raise ValidationError(
+                    "AdminClient needs host and port (or a connection)"
+                )
+            self._connection = wire.connect(
+                host,
+                port,
+                timeout=timeout,
+                attempts=attempts,
+                retry_delay_s=retry_delay_s,
             )
+
+    def close(self) -> None:
+        try:
+            send_control(self._connection, CLOSE, None)
+        except ReproError:
+            pass  # server already hung up
+        self._connection.close()
+
+    def __enter__(self) -> "AdminClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, msg_type: str, payload: Any) -> Any:
+        send_control(self._connection, msg_type, payload)
+        _, response = recv_control(self._connection, msg_type)
+        return response
+
+    def metrics(self) -> AdminMetricsDump:
+        """The server's live metrics registry (Prometheus + JSON)."""
+        response = self._request(ADMIN_METRICS, None)
+        if not isinstance(response, AdminMetricsDump):
+            raise ProtocolError(f"malformed admin/metrics response: {response!r}")
+        return response
+
+    def health(self) -> AdminHealth:
+        """Occupancy, drain state, and live per-session phase/age."""
+        response = self._request(ADMIN_HEALTH, None)
+        if not isinstance(response, AdminHealth):
+            raise ProtocolError(f"malformed admin/health response: {response!r}")
+        return response
+
+    def trace(self, session: Optional[str] = None) -> AdminTraceDump:
+        """Completed sessions' span fragments (optionally one session)."""
+        payload = None if session is None else {"session": session}
+        response = self._request(ADMIN_TRACE, payload)
+        if not isinstance(response, AdminTraceDump):
+            raise ProtocolError(f"malformed admin/trace response: {response!r}")
+        return response
 
 
 class TrainerClientPool:

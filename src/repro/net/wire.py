@@ -28,10 +28,12 @@ socket.  Three layers:
 
 from __future__ import annotations
 
+import collections
 import errno
 import select
 import socket
 import struct
+import threading
 import time
 from typing import Any, Optional, Tuple
 
@@ -85,6 +87,9 @@ class WireConnection:
     :class:`ProtocolError` (never a bare ``socket`` or ``struct``
     error) so protocol drivers have exactly one failure type to handle.
     """
+
+    #: Transport label for session telemetry (``transport="tcp"``).
+    transport = "tcp"
 
     def __init__(
         self,
@@ -232,6 +237,165 @@ class WireConnection:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class _MemoryPipe:
+    """One direction of an in-memory connection: a frame queue.
+
+    Frames are atomic (no mid-frame truncation is representable), so
+    the reader only ever observes frame boundaries — exactly the
+    guarantee the TCP framing layer provides on top of the stream.
+    """
+
+    def __init__(self) -> None:
+        self.frames: "collections.deque[bytes]" = collections.deque()
+        self.condition = threading.Condition()
+        self.writer_closed = False  # EOF for the reader
+        self.reader_closed = False  # broken pipe for the writer
+
+
+class MemoryConnection:
+    """A :class:`WireConnection`-shaped endpoint over in-process queues.
+
+    :func:`memory_pair` returns two of these wired back to back.  The
+    failure surface mirrors TCP: sending after the peer closed raises
+    :class:`ProtocolError` (broken pipe), receiving after the peer
+    closed raises :class:`ConnectionClosed` (EOF at a frame boundary),
+    and a *local* :meth:`close` wakes this endpoint's own blocked
+    receive with a plain :class:`ProtocolError` — the force-close-
+    during-drain semantics the trainer server relies on.  Byte and
+    fault accounting match :class:`WireConnection` (including the
+    4-byte frame header), so per-phase byte counts are identical
+    across transports.
+    """
+
+    #: Transport label for session telemetry (``transport="memory"``).
+    transport = "memory"
+
+    def __init__(
+        self,
+        inbound: _MemoryPipe,
+        outbound: _MemoryPipe,
+        timeout: Optional[float] = None,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        if max_frame_bytes < 1:
+            raise ValidationError("max_frame_bytes must be positive")
+        self._in = inbound
+        self._out = outbound
+        self._timeout = timeout
+        self.max_frame_bytes = max_frame_bytes
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._closed = False
+
+    # -- framing -------------------------------------------------------------
+
+    def send_frame(self, data: bytes) -> int:
+        if len(data) > self.max_frame_bytes:
+            _wire_fault("oversized-send")
+            raise ProtocolError(
+                f"frame of {len(data)} bytes exceeds the "
+                f"{self.max_frame_bytes}-byte frame cap"
+            )
+        with self._out.condition:
+            if self._closed or self._out.reader_closed:
+                _wire_fault("disconnect")
+                raise ProtocolError(
+                    "peer connection lost during send: pipe closed"
+                )
+            self._out.frames.append(bytes(data))
+            self._out.condition.notify_all()
+        frame_len = _HEADER.size + len(data)
+        self.bytes_sent += frame_len
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_wire_bytes_total", "Raw TCP bytes, by direction"
+            ).inc(frame_len, direction="sent")
+        return frame_len
+
+    def recv_frame(self) -> bytes:
+        deadline = (
+            time.monotonic() + self._timeout if self._timeout is not None else None
+        )
+        with self._in.condition:
+            while True:
+                if self._in.frames:
+                    data = self._in.frames.popleft()
+                    break
+                if self._closed:
+                    _wire_fault("disconnect")
+                    raise ProtocolError(
+                        "peer connection lost while reading frame header: "
+                        "connection closed locally"
+                    )
+                if self._in.writer_closed:
+                    _wire_fault("disconnect")
+                    raise ConnectionClosed(
+                        "peer closed the connection before frame header"
+                    )
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        _wire_fault("timeout")
+                        raise ProtocolError("timed out waiting for frame header")
+                self._in.condition.wait(remaining)
+        self.bytes_received += _HEADER.size + len(data)
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_wire_bytes_total", "Raw TCP bytes, by direction"
+            ).inc(_HEADER.size + len(data), direction="received")
+        return data
+
+    def set_timeout(self, timeout: Optional[float]) -> None:
+        self._timeout = timeout
+
+    # -- polling -------------------------------------------------------------
+
+    def readable(self) -> bool:
+        with self._in.condition:
+            return bool(self._in.frames) and not self._closed
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with self._out.condition:
+            self._out.writer_closed = True  # peer's reads see EOF
+            self._out.condition.notify_all()
+        with self._in.condition:
+            self._in.reader_closed = True  # peer's sends see broken pipe
+            self._in.condition.notify_all()  # wake our own blocked recv
+
+    def __enter__(self) -> "MemoryConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def memory_pair(
+    timeout: Optional[float] = None,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> Tuple[MemoryConnection, MemoryConnection]:
+    """Two in-memory connection endpoints wired back to back.
+
+    A drop-in replacement for a connected TCP pair in hermetic tests
+    (no sockets, no ports, no ``socket`` marker) and the in-memory leg
+    of the cross-transport trace conformance suite.
+    """
+    a_to_b = _MemoryPipe()
+    b_to_a = _MemoryPipe()
+    first = MemoryConnection(b_to_a, a_to_b, timeout, max_frame_bytes)
+    second = MemoryConnection(a_to_b, b_to_a, timeout, max_frame_bytes)
+    return first, second
 
 
 class WireChannel:

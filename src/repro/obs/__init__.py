@@ -10,7 +10,11 @@ Three pieces, all zero-dependency:
 * :mod:`repro.obs.drift` — compares observed per-phase wire bytes
   against the closed-form cost model
   (:func:`repro.evaluation.costmodel.predict_classification_bytes`)
-  and flags divergence beyond tolerance.
+  and flags divergence beyond tolerance;
+* :mod:`repro.obs.distributed` — cross-process trace propagation
+  (:class:`~repro.obs.distributed.TraceContext` rides in control frames
+  and job envelopes) and :func:`~repro.obs.distributed.stitch`, which
+  joins per-process span fragments into one tree.
 
 Both the tracer and the registry are process-global and **no-op by
 default**; the instrumentation hooks threaded through ``repro.net``,
@@ -34,6 +38,12 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Tuple
 
+from repro.obs.distributed import (
+    TraceContext,
+    adopt_context,
+    current_trace_context,
+    stitch,
+)
 from repro.obs.metrics import (
     NOOP_REGISTRY,
     Counter,
@@ -55,9 +65,15 @@ from repro.obs.tracing import (
     enable_tracing,
     get_tracer,
     set_tracer,
+    spans_to_jsonl,
 )
 
 __all__ = [
+    "TraceContext",
+    "adopt_context",
+    "current_trace_context",
+    "stitch",
+    "spans_to_jsonl",
     "Counter",
     "Gauge",
     "Histogram",

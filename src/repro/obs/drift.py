@@ -248,3 +248,45 @@ def drift_from_metrics(
         tolerance=tolerance,
         runs=runs,
     )
+
+
+def drift_from_service_metrics(
+    registry,
+    config: OMPEConfig,
+    dimension: int,
+    function_degree: int = 1,
+    tolerance: float = DEFAULT_TOLERANCE,
+    kind: str = "classify",
+    runs: Optional[int] = None,
+) -> DriftReport:
+    """Drift of the trainer service's per-session telemetry.
+
+    Reads ``repro_service_phase_bytes_total`` — the per-phase counter
+    the server reconciles from every session transcript's
+    ``bytes_by_phase()`` — restricted to sessions of the given
+    ``kind``, and compares against the analytic cost model.  Because
+    the server-side :class:`~repro.net.wire.WireChannel` transcript
+    records both directions, those numbers are directly comparable to
+    the single-process ``repro_phase_bytes_total`` path in
+    :func:`drift_from_metrics`.  ``runs`` defaults to the
+    ``repro_service_sessions_total`` count for ``kind``.
+    """
+    phase_counter = registry.counter("repro_service_phase_bytes_total")
+    observed: Dict[str, float] = {}
+    for labels, value in phase_counter.items():
+        label_map = dict(labels)
+        if label_map.get("kind") != kind:
+            continue
+        phase = label_map.get("phase", "unknown")
+        observed[phase] = observed.get(phase, 0.0) + value
+    if runs is None:
+        sessions = registry.counter("repro_service_sessions_total")
+        runs = int(sessions.value(kind=kind)) or 1
+    return classification_drift(
+        observed,
+        config,
+        dimension,
+        function_degree=function_degree,
+        tolerance=tolerance,
+        runs=runs,
+    )

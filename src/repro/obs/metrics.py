@@ -43,13 +43,31 @@ def _label_key(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted((name, str(value)) for name, value in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote, and line-feed are the three characters the
+    format reserves inside quoted label values.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text (backslash and line-feed only, per the format)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(key: LabelKey, extra: Optional[Tuple[str, str]] = None) -> str:
     pairs = list(key)
     if extra is not None:
         pairs.append(extra)
     if not pairs:
         return ""
-    rendered = ",".join(f'{name}="{value}"' for name, value in pairs)
+    rendered = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
     return "{" + rendered + "}"
 
 
@@ -151,6 +169,19 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     65536.0,
     262144.0,
     1048576.0,
+)
+
+#: Buckets for wall-clock latencies in seconds (1 ms .. 60 s) — used by
+#: the per-session duration histogram in the trainer service.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.025,
+    0.1,
+    0.5,
+    2.0,
+    10.0,
+    60.0,
 )
 
 
@@ -379,7 +410,7 @@ class MetricsRegistry:
             metric = self._metrics[name]
             block = []
             if metric.help_text:
-                block.append(f"# HELP {name} {metric.help_text}")
+                block.append(f"# HELP {name} {_escape_help(metric.help_text)}")
             block.append(f"# TYPE {name} {metric.kind}")
             block.extend(metric._expose())
             blocks.append("\n".join(block))

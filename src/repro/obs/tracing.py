@@ -27,10 +27,35 @@ enforced budget).  Enable with :func:`enable_tracing`.
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional
+
+# -- span identity ---------------------------------------------------------
+#
+# Every recorded span carries a process-unique ``span_id`` so span trees
+# from *different* processes (client/server/engine workers) can be
+# stitched back together (:mod:`repro.obs.distributed`).  The id is a
+# ``<pid-token>.<counter>`` string: the token re-derives itself after a
+# fork (engine workers), and the counter increment is atomic under the
+# GIL, so ids are unique across threads and processes without a lock.
+
+_ID_COUNTER = itertools.count(1)
+_TOKEN: Optional[str] = None
+_TOKEN_PID: Optional[int] = None
+
+
+def new_span_id() -> str:
+    """A process-unique span id (fork-safe, lock-free)."""
+    global _TOKEN, _TOKEN_PID
+    pid = os.getpid()
+    if pid != _TOKEN_PID:
+        _TOKEN = f"{pid:x}-{os.urandom(3).hex()}"
+        _TOKEN_PID = pid
+    return f"{_TOKEN}.{next(_ID_COUNTER)}"
 
 
 class Span:
@@ -44,6 +69,9 @@ class Span:
         "start_s",
         "end_s",
         "children",
+        "span_id",
+        "trace_id",
+        "remote_parent",
         "_tracer",
     )
 
@@ -65,6 +93,9 @@ class Span:
         self.start_s: float = 0.0
         self.end_s: float = 0.0
         self.children: List["Span"] = []
+        self.span_id: str = new_span_id()
+        self.trace_id: Optional[str] = None
+        self.remote_parent: Optional[str] = None
 
     # -- attributes --------------------------------------------------------
 
@@ -130,6 +161,9 @@ class _NoopSpan:
     attributes: Dict[str, Any] = {}
     duration_s = 0.0
     children: List[Span] = []
+    span_id = None
+    trace_id = None
+    remote_parent = None
 
     def set(self, **attributes: Any) -> "_NoopSpan":
         return self
@@ -187,6 +221,7 @@ class Tracer:
         self.roots: List[Span] = []
         self._local = threading.local()
         self._roots_lock = threading.Lock()
+        self._open_stacks: Dict[int, List[Span]] = {}
 
     @property
     def _stack(self) -> List[Span]:
@@ -194,6 +229,8 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+            with self._roots_lock:
+                self._open_stacks[threading.get_ident()] = stack
         return stack
 
     # -- recording ---------------------------------------------------------
@@ -227,24 +264,44 @@ class Tracer:
         if stack and stack[-1] is span:
             stack.pop()
 
+    def open_spans(self) -> Dict[int, Span]:
+        """Innermost *currently open* span per thread id.
+
+        Live introspection for ``admin/health``: while a serve thread is
+        inside a protocol phase, this reports which span it is in right
+        now.  Best-effort — stacks mutate concurrently — but never
+        raises and never blocks the recording threads.
+        """
+        with self._roots_lock:
+            stacks = list(self._open_stacks.items())
+        out: Dict[int, Span] = {}
+        for ident, stack in stacks:
+            if stack:
+                out[ident] = stack[-1]
+        return out
+
     def reset(self) -> None:
         """Drop all recorded spans (and every thread's open-span stack)."""
         with self._roots_lock:
             self.roots = []
             self._local = threading.local()
+            self._open_stacks = {}
 
     def merge(self, other: "Tracer") -> None:
-        """Append another tracer's root trees to this one, losslessly.
+        """Fold another tracer's root trees into this one, losslessly.
 
         The per-connection/per-worker aggregation path: a workload that
         recorded into its own tracer folds its completed span trees into
         a parent here; every root (and therefore every descendant)
-        carries over, order-preserving.
+        carries over.  Roots are re-sorted by ``(start time, span id)``
+        so the merged order is deterministic regardless of which worker
+        merged first (concurrent drains arrive in racy order).
         """
         with other._roots_lock:
             adopted = list(other.roots)
         with self._roots_lock:
             self.roots.extend(adopted)
+            self.roots.sort(key=lambda span: (span.start_s, span.span_id))
 
     # -- queries -----------------------------------------------------------
 
@@ -269,37 +326,9 @@ class Tracer:
 
     def to_jsonl(self) -> str:
         """One JSON object per span, depth-first, parents before children."""
-        lines = []
-        ids: Dict[int, int] = {}
-        parent_of: Dict[int, Optional[int]] = {}
-        for root in self.roots:
-            stack = [(root, None)]
-            while stack:
-                span, parent_id = stack.pop()
-                span_id = len(ids) + 1
-                ids[id(span)] = span_id
-                parent_of[span_id] = parent_id
-                stack.extend(
-                    (child, span_id) for child in reversed(span.children)
-                )
-        for span, _ in self.spans():
-            span_id = ids[id(span)]
-            lines.append(
-                json.dumps(
-                    {
-                        "id": span_id,
-                        "parent": parent_of[span_id],
-                        "name": span.name,
-                        "party": span.party,
-                        "phase": span.phase,
-                        "start_s": span.start_s,
-                        "duration_s": span.duration_s,
-                        "attributes": _jsonable(span.attributes),
-                    },
-                    sort_keys=True,
-                )
-            )
-        return "\n".join(lines)
+        with self._roots_lock:
+            roots = list(self.roots)
+        return spans_to_jsonl(roots)
 
     def flame(self) -> str:
         """Human-readable indented tree with durations and attributes."""
@@ -318,6 +347,51 @@ class Tracer:
                 f"{label:<34s}{party:<8s} {span.duration_s * 1e3:9.3f} ms{attrs}"
             )
         return "\n".join(lines)
+
+
+def spans_to_jsonl(roots: List[Span]) -> str:
+    """Serialise span trees as JSON-lines, parents before children.
+
+    Each record carries both a *local* integer ``id``/``parent`` pair
+    (compact, tree-internal) and the globally unique ``span_id`` /
+    ``trace_id`` / ``remote_parent`` identity fields that
+    :mod:`repro.obs.distributed` uses to stitch fragments from
+    different processes into one tree.
+    """
+    lines = []
+    ids: Dict[int, int] = {}
+    parent_of: Dict[int, Optional[int]] = {}
+    ordered: List[Span] = []
+    for root in roots:
+        stack: List[tuple] = [(root, None)]
+        while stack:
+            span, parent_id = stack.pop()
+            local_id = len(ids) + 1
+            ids[id(span)] = local_id
+            parent_of[local_id] = parent_id
+            ordered.append(span)
+            stack.extend((child, local_id) for child in reversed(span.children))
+    for span in ordered:
+        local_id = ids[id(span)]
+        lines.append(
+            json.dumps(
+                {
+                    "id": local_id,
+                    "parent": parent_of[local_id],
+                    "span_id": span.span_id,
+                    "trace_id": span.trace_id,
+                    "remote_parent": span.remote_parent,
+                    "name": span.name,
+                    "party": span.party,
+                    "phase": span.phase,
+                    "start_s": span.start_s,
+                    "duration_s": span.duration_s,
+                    "attributes": _jsonable(span.attributes),
+                },
+                sort_keys=True,
+            )
+        )
+    return "\n".join(lines)
 
 
 def _jsonable(attributes: Dict[str, Any]) -> Dict[str, Any]:

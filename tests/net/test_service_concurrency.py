@@ -247,7 +247,10 @@ class TestStopAndDrain:
         deadline = time.monotonic() + 10.0
         while time.monotonic() < deadline:
             with server._lock:
-                in_session = "session" in server._connections.values()
+                in_session = any(
+                    state.state == "session"
+                    for state in server._connections.values()
+                )
                 served = server._served
             if in_session or served:
                 break

@@ -110,6 +110,70 @@ class TestRegistry:
         assert registry.names() == []
 
 
+class TestPrometheusExposition:
+    """Golden-output checks against the text exposition format.
+
+    The format spec is strict about escaping in label values
+    (backslash, double-quote, newline) and in HELP text (backslash,
+    newline) — a scrape of unescaped output silently corrupts series.
+    """
+
+    def test_counter_golden_output(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_wire_bytes_total", "Bytes.").inc(
+            5, direction="send"
+        )
+        assert registry.to_prometheus() == (
+            "# HELP repro_wire_bytes_total Bytes.\n"
+            "# TYPE repro_wire_bytes_total counter\n"
+            'repro_wire_bytes_total{direction="send"} 5\n'
+        )
+
+    def test_histogram_golden_output(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "repro_sizes", "Sizes.", buckets=(10.0,)
+        )
+        histogram.observe(3)
+        histogram.observe(30)
+        assert registry.to_prometheus() == (
+            "# HELP repro_sizes Sizes.\n"
+            "# TYPE repro_sizes histogram\n"
+            'repro_sizes_bucket{le="10"} 1\n'
+            'repro_sizes_bucket{le="+Inf"} 2\n'
+            "repro_sizes_sum 33\n"
+            "repro_sizes_count 2\n"
+        )
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "h").inc(
+            path='C:\\temp', note='say "hi"\nbye'
+        )
+        text = registry.to_prometheus()
+        assert 'path="C:\\\\temp"' in text
+        assert 'note="say \\"hi\\"\\nbye"' in text
+        assert "\nbye" not in text.replace("\\n", "")  # no literal newline
+
+    def test_help_text_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "line one\nline two \\ backslash").inc()
+        text = registry.to_prometheus()
+        assert "# HELP c line one\\nline two \\\\ backslash\n" in text
+        # Each exposition line still starts with a known token.
+        for line in text.splitlines():
+            assert line.startswith(("#", "c"))
+
+    def test_escaped_output_parses_line_per_series(self):
+        """Every sample stays on one physical line despite evil labels."""
+        registry = MetricsRegistry()
+        registry.counter("c", "h").inc(k="a\nb")
+        registry.counter("c", "h").inc(k="plain")
+        lines = registry.to_prometheus().splitlines()
+        samples = [line for line in lines if not line.startswith("#")]
+        assert len(samples) == 2
+
+
 class TestGlobalRegistry:
     def test_disabled_by_default(self):
         assert get_metrics() is NOOP_REGISTRY

@@ -5,9 +5,11 @@ The tentpole requirement is that classification with instrumentation
 A literal un-instrumented build no longer exists, so this test enforces
 the budget arithmetically: it measures the real per-hook cost of the
 disabled path (one ``get_tracer()``/``get_metrics()`` load, an
-``enabled`` check, and an inert span context), multiplies by a generous
-upper bound on hooks per classification, and asserts the product is
-under 5% of a measured classification.
+``enabled`` check, an inert span context, and a distributed
+trace-context probe), multiplies by a generous upper bound on hooks
+per classification, and asserts the product is under 5% of a measured
+classification — so the distributed plane's disabled cost is inside
+the same budget.
 
 The companion ``benchmarks/bench_obs_overhead.py`` reports the same
 comparison as wall-clock numbers.
@@ -19,6 +21,7 @@ from fractions import Fraction
 from repro import obs
 from repro.core.ompe import OMPEFunction, execute_ompe
 from repro.math.multivariate import MultivariatePolynomial
+from repro.obs.distributed import current_trace_context
 
 #: Upper bound on disabled hook executions in one classification run:
 #: ~15 span contexts, ~6 channel sends (metrics + tracer checks each),
@@ -35,6 +38,8 @@ def _disabled_hook() -> None:
     tracer = obs.get_tracer()
     with tracer.span("x", party="alice", phase="points"):
         pass
+    if current_trace_context() is not None:  # pragma: no cover - disabled
+        raise AssertionError("tracing unexpectedly enabled")
 
 
 def _classification_seconds(fast_config) -> float:

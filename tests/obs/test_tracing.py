@@ -210,3 +210,60 @@ class TestThreadSafety:
         assert parent.find("adopted.nested")
         # The child tracer is left intact.
         assert len(child.roots) == 2
+
+    def test_merge_order_is_deterministic(self):
+        """Regression: merged roots sort by (start time, span id), so
+        the result does not depend on which tracer merged first."""
+        def build():
+            left, right = Tracer(), Tracer()
+            with right.span("late"):
+                pass
+            with left.span("early"):
+                pass
+            return left, right
+
+        left_a, right_a = build()
+        left_a.merge(right_a)
+        left_b, right_b = build()
+        right_b.merge(left_b)
+        names_a = [root.name for root in left_a.roots]
+        names_b = [root.name for root in right_b.roots]
+        assert names_a == names_b
+        # Chronological, not insertion, order.
+        starts = [root.start_s for root in left_a.roots]
+        assert starts == sorted(starts)
+
+
+class TestSpanIdentity:
+    def test_every_span_has_a_unique_id(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            with tracer.span("b") as b:
+                pass
+        assert a.span_id and b.span_id and a.span_id != b.span_id
+
+    def test_open_spans_reports_innermost_per_thread(self):
+        import threading
+
+        tracer = Tracer()
+        entered = threading.Event()
+        release = threading.Event()
+        seen = {}
+
+        def worker():
+            with tracer.span("worker.outer"):
+                with tracer.span("worker.inner"):
+                    entered.set()
+                    release.wait(5.0)
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        assert entered.wait(5.0)
+        try:
+            seen = tracer.open_spans()
+            assert seen[thread.ident].name == "worker.inner"
+            assert threading.get_ident() not in seen
+        finally:
+            release.set()
+            thread.join(5.0)
+        assert tracer.open_spans() == {}
