@@ -2,14 +2,42 @@
 
 Not figures from the paper: these quantify the knobs the paper leaves
 implicit (security degree q and cover expansion k) using the security
-estimator and the calibrated cost model, validated by live runs.
+estimator and the calibrated cost model, validated by live runs.  The
+output-policy sweep measures fingerprint-attack success and the LPS
+leakage score against each similarity output mode (DESIGN.md "Output
+privacy"), growing the ``output_policy`` section of
+``BENCH_security.json``.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from artifact import BENCH_DIR, update_artifact
+from repro.core.privacy.leakage import (
+    SimilarityFingerprintAttack,
+    leakage_score,
+    perturb_table,
+    release_table,
+    score_table_from_models,
+    synthetic_population,
+)
+from repro.core.similarity.policy import parse_output_policy
 from repro.evaluation.extensions import run_ext_expansion, run_ext_security
+
+#: The calibrated attack scenario, shared with tests/core/test_leakage.py.
+_ATTACK_POLICIES = ("raw", "top-k:2", "threshold:0.5", "permuted")
+_SUBJECTS, _PROBES, _DIMENSION = 16, 8, 3
+_POPULATION_SEED, _PROBE_SEED, _NOISE_SEED, _RELEASE_SEED = 77, 99, 5, 123
+_SIGMA = 0.01
+
+
+def _artifact_dir():
+    """Scratch results/ by default; the committed benchmarks/ directory
+    when regenerating ``BENCH_security.json`` (BENCH_COMMIT_ARTIFACTS=1)."""
+    return BENCH_DIR if os.environ.get("BENCH_COMMIT_ARTIFACTS") else None
 
 
 @pytest.fixture(scope="module")
@@ -49,3 +77,63 @@ def test_benchmark_ext_security_single_point(benchmark):
 
     result = benchmark(run)
     assert len(result.rows) == 1
+
+
+@pytest.fixture(scope="module")
+def output_policy_rows():
+    subjects = synthetic_population(
+        _SUBJECTS, _DIMENSION, seed=_POPULATION_SEED
+    )
+    probes = synthetic_population(_PROBES, _DIMENSION, seed=_PROBE_SEED)
+    table = score_table_from_models(subjects, probes)
+    attack = SimilarityFingerprintAttack(
+        perturb_table(table, sigma=_SIGMA, seed=_NOISE_SEED)
+    )
+    truth = {row_id: row_id for row_id in table.row_ids}
+    rows = []
+    for spec in _ATTACK_POLICIES:
+        policy = parse_output_policy(spec)
+        result = attack.run(
+            release_table(table, policy, seed=_RELEASE_SEED), truth
+        )
+        rows.append({
+            "policy": policy.label,
+            "precision": round(result.precision, 4),
+            "recall": round(result.recall, 4),
+            "claimed": result.claimed,
+            "correct": result.correct,
+            "leakage_score": round(leakage_score(policy, _PROBES).total, 4),
+        })
+    print()
+    print(f"{'policy':<16}{'precision':>10}{'recall':>8}{'leakage':>9}")
+    for row in rows:
+        print(
+            f"{row['policy']:<16}{row['precision']:>10.2f}"
+            f"{row['recall']:>8.2f}{row['leakage_score']:>9.3f}"
+        )
+    return rows
+
+
+def test_output_policy_attack_table(output_policy_rows):
+    """The committed table must honor the same floor/ceilings the test
+    suite pins: raw re-identifies, every mitigation degrades it."""
+    by_policy = {row["policy"]: row for row in output_policy_rows}
+    assert by_policy["raw"]["precision"] >= 0.9
+    assert by_policy["raw"]["recall"] >= 0.9
+    assert by_policy["top-k:2"]["recall"] <= 0.8
+    assert by_policy["threshold:0.5"]["recall"] <= 0.25
+    assert by_policy["permuted"]["recall"] <= 0.5
+    leakage = [row["leakage_score"] for row in output_policy_rows]
+    assert leakage == sorted(leakage, reverse=True)
+    update_artifact(
+        "security",
+        "output_policy",
+        {
+            "subjects": _SUBJECTS,
+            "probes": _PROBES,
+            "dimension": _DIMENSION,
+            "noise_sigma": _SIGMA,
+            "rows": output_policy_rows,
+        },
+        directory=_artifact_dir(),
+    )

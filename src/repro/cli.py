@@ -121,31 +121,76 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_similarity_outcome(outcome, transport: str) -> None:
+    """Print what a (possibly mitigated) similarity outcome releases."""
+    from repro.core.privacy.leakage import leakage_score
+    from repro.core.similarity.policy import MitigatedSimilarityOutcome
+
+    cost = f"{outcome.total_bytes} B over {outcome.total_rounds} rounds"
+    if not isinstance(outcome, MitigatedSimilarityOutcome):
+        print(f"similarity T = {outcome.t:.6g} "
+              f"(privacy-preserving {transport}; {cost})")
+        print("smaller T = more similar models")
+        return
+    policy = outcome.policy
+    released = outcome.released
+    if policy.mode == "raw":
+        print(f"similarity T = {outcome.t:.6g} "
+              f"(privacy-preserving {transport}; policy raw; {cost})")
+        print("smaller T = more similar models")
+    elif policy.mode == "threshold":
+        ((_, bit),) = released.entries
+        verdict = "MATCH" if bit else "no match"
+        print(f"similarity: {verdict} at threshold {policy.threshold:g} "
+              f"(policy {policy.label}; score withheld; {cost})")
+    elif policy.mode == "top-k":
+        scores = ", ".join(f"{score:.6g}" for score in released.revealed_scores)
+        print(f"similarity top-{policy.k} scores: [{scores}] "
+              f"(policy {policy.label}; {cost})")
+    else:
+        print(f"similarity released {released.count} masked value(s) "
+              f"(policy permuted; magnitudes and linkage withheld; {cost})")
+    score = leakage_score(policy, released.count)
+    print(f"leakage score: {score.total:.3f} "
+          + " ".join(f"{name}={value:.3f}"
+                     for name, value in score.subscores().items()))
+
+
 def _cmd_similarity(args: argparse.Namespace) -> int:
     model_a = load_model(args.model_a)
     model_b = load_model(args.model_b)
     params = MetricParams()
+    policy = None
+    if getattr(args, "output_policy", None):
+        if not args.private:
+            print("--output-policy requires --private (plain evaluation "
+                  "has no protocol output to police)", file=sys.stderr)
+            return 2
+        from repro.core.similarity.policy import parse_output_policy
+
+        policy = parse_output_policy(args.output_policy)
     if args.private:
         if model_a.is_linear():
             outcome = evaluate_similarity_private(
                 model_a, model_b, params,
                 config=OMPEConfig(security_degree=args.security_degree),
                 seed=args.seed,
+                policy=policy,
             )
         else:
             outcome = evaluate_similarity_private_nonlinear(
                 model_a, model_b, params,
                 config=OMPEConfig(security_degree=args.security_degree),
                 seed=args.seed,
+                policy=policy,
             )
-        print(f"similarity T = {outcome.t:.6g} (privacy-preserving; "
-              f"{outcome.total_bytes} B over {outcome.total_rounds} rounds)")
+        _print_similarity_outcome(outcome, "in-process")
     else:
         result = evaluate_similarity_plain(model_a, model_b, params)
         print(f"similarity T = {result.t:.6g} "
               f"(plain; L = {result.centroid_distance:.4g}, "
               f"angle = {result.angle_degrees:.2f} deg)")
-    print("smaller T = more similar models")
+        print("smaller T = more similar models")
     return 0
 
 
@@ -301,6 +346,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     model = load_model(args.model)
     config = OMPEConfig(security_degree=args.security_degree)
+    output_policy = None
+    if args.output_policy:
+        from repro.core.similarity.policy import parse_output_policy
+
+        output_policy = parse_output_policy(args.output_policy)
     if args.observe:
         # Live registry + tracer: scrapeable over admin/metrics, with
         # per-session span fragments retrievable over admin/trace.
@@ -314,12 +364,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         session_timeout=args.timeout,
         max_connections=args.workers,
         drain_timeout=args.drain_timeout,
+        output_policy=output_policy,
     ) as server:
         host, port = server.address
+        policy_note = (
+            f", output policy {output_policy.label}" if output_policy else ""
+        )
         print(f"serving {args.model} on {host}:{port} "
               f"({'linear' if model.is_linear() else 'kernel'} model, "
               f"dimension {model.dimension}, "
-              f"up to {args.workers} concurrent connections)")
+              f"up to {args.workers} concurrent connections{policy_note})")
         if args.port_file:
             with open(args.port_file, "w", encoding="utf-8") as handle:
                 handle.write(str(port))
@@ -378,11 +432,16 @@ def _cmd_remote_similarity(args: argparse.Namespace) -> int:
     host, port = _parse_endpoint(args.connect)
     model = load_model(args.model)
     config = OMPEConfig(security_degree=args.security_degree)
+    policy = None
+    if args.output_policy:
+        from repro.core.similarity.policy import parse_output_policy
+
+        policy = parse_output_policy(args.output_policy)
     with TrainerClient(host, port, config=config, timeout=args.timeout) as client:
-        outcome = client.evaluate_similarity(model, seed=args.seed)
-    print(f"similarity T = {outcome.t:.6g} (privacy-preserving over TCP; "
-          f"{outcome.total_bytes} B over {outcome.total_rounds} rounds)")
-    print("smaller T = more similar models")
+        outcome = client.evaluate_similarity(
+            model, seed=args.seed, policy=policy
+        )
+    _print_similarity_outcome(outcome, "over TCP")
     return 0
 
 
@@ -411,10 +470,23 @@ def _render_health(health, metrics_dump) -> str:
         snapshot = metrics_dump.snapshot()
         for name in sorted(snapshot):
             dump = snapshot[name]
-            if dump.get("kind") != "counter":
-                continue
-            total = sum(entry["value"] for entry in dump.get("series", []))
-            lines.append(f"{name:44s} {total:12g}")
+            if dump.get("kind") == "counter":
+                total = sum(entry["value"] for entry in dump.get("series", []))
+                lines.append(f"{name:44s} {total:12g}")
+            elif dump.get("kind") == "gauge":
+                # Gauges are last-write-wins per label set — summing
+                # them would be meaningless, so each series gets its
+                # own line (this is where the per-policy
+                # repro_privacy_leakage_score shows up).
+                for entry in dump.get("series", []):
+                    labels = ",".join(
+                        f"{key}={value}"
+                        for key, value in sorted(
+                            dict(entry.get("labels", {})).items()
+                        )
+                    )
+                    series_name = f"{name}{{{labels}}}" if labels else name
+                    lines.append(f"{series_name:60s} {entry['value']:12g}")
     else:
         lines.append("(server metrics disabled — start with serve --observe)")
     return "\n".join(lines)
@@ -523,6 +595,9 @@ def build_parser() -> argparse.ArgumentParser:
     similarity.add_argument("--private", action="store_true")
     similarity.add_argument("--seed", type=int, default=0)
     similarity.add_argument("--security-degree", type=int, default=2)
+    similarity.add_argument("--output-policy", default=None,
+                            help="mitigated output mode (requires --private): "
+                                 "raw, threshold:<t>, top-k:<k>, or permuted")
 
     experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
     experiment.add_argument("experiment", nargs="?", default=None)
@@ -566,6 +641,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--observe", action="store_true",
                        help="enable metrics + tracing so admin/* frames, "
                             "repro top, and repro trace have data")
+    serve.add_argument("--output-policy", default=None,
+                       help="mandate a similarity output policy for every "
+                            "session: raw, threshold:<t>, top-k:<k>, or "
+                            "permuted (clients requesting a different "
+                            "policy are refused)")
 
     remote_classify = sub.add_parser(
         "remote-classify",
@@ -595,6 +675,10 @@ def build_parser() -> argparse.ArgumentParser:
     remote_similarity.add_argument("--seed", type=int, default=0)
     remote_similarity.add_argument("--timeout", type=float, default=30.0)
     remote_similarity.add_argument("--security-degree", type=int, default=2)
+    remote_similarity.add_argument("--output-policy", default=None,
+                                   help="request a mitigated output mode: "
+                                        "raw, threshold:<t>, top-k:<k>, or "
+                                        "permuted (e.g. top-k:5)")
 
     serve_bench = sub.add_parser(
         "serve-bench",

@@ -12,6 +12,20 @@ from repro.core.privacy.attacks import (
     EstimatedModel,
     ModelEstimationAttack,
 )
+from repro.core.privacy.leakage import (
+    FingerprintResult,
+    LeakageScore,
+    ReleasedTable,
+    ScoreTable,
+    SimilarityFingerprintAttack,
+    collect_score_table,
+    leakage_score,
+    perturb_table,
+    record_leakage,
+    release_table,
+    score_table_from_models,
+    synthetic_population,
+)
 from repro.core.privacy.security import (
     SecurityEstimate,
     estimate_security,
@@ -31,6 +45,18 @@ __all__ = [
     "DistanceRetrievalAttack",
     "EstimatedModel",
     "ModelEstimationAttack",
+    "FingerprintResult",
+    "LeakageScore",
+    "ReleasedTable",
+    "ScoreTable",
+    "SimilarityFingerprintAttack",
+    "collect_score_table",
+    "leakage_score",
+    "perturb_table",
+    "record_leakage",
+    "release_table",
+    "score_table_from_models",
+    "synthetic_population",
     "SecurityEstimate",
     "estimate_security",
     "minimum_security_degree",

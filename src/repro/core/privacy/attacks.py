@@ -63,6 +63,35 @@ def _solve_linear_system(
     return solution[:-1], float(solution[-1])
 
 
+def _dense_rows(
+    queries: np.ndarray, values: Sequence[Optional[float]]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Drop sparse entries (``None``/NaN values) from a score table.
+
+    Threshold-filtered output (``OutputPolicy`` ``threshold``/``top-k``
+    modes) hands colluders a table with holes; fitting must run on the
+    surviving dense rows rather than feeding NaN into ``lstsq`` (which
+    either raises or silently poisons the whole solution).
+    """
+    if len(values) != queries.shape[0]:
+        raise ValidationError(
+            f"{queries.shape[0]} queries but {len(values)} values"
+        )
+    kept_queries = []
+    kept_values = []
+    for query, value in zip(queries, values):
+        if value is None:
+            continue
+        value = float(value)
+        if not np.isfinite(value):
+            continue
+        kept_queries.append(query)
+        kept_values.append(value)
+    if not kept_queries:
+        return np.empty((0, queries.shape[1])), np.empty(0)
+    return np.asarray(kept_queries, dtype=float), np.asarray(kept_values)
+
+
 class DistanceRetrievalAttack:
     """Fig. 6: exact model recovery when ``r_a`` is disabled.
 
@@ -145,6 +174,37 @@ class DistanceRetrievalAttack:
             sample_count=queries.shape[0],
         )
 
+    def estimate_from_table(
+        self,
+        queries: np.ndarray,
+        values: Sequence[Optional[float]],
+    ) -> EstimatedModel:
+        """Fit on a possibly sparse colluder table.
+
+        ``values`` may carry ``None``/NaN holes (threshold-filtered or
+        top-k-filtered output); the fit uses only the dense rows and
+        reports how many survived via ``sample_count``.  With the holes
+        the system can drop below ``n + 1`` usable equations, in which
+        case recovery is impossible and this raises instead of
+        returning a silently meaningless solution.
+        """
+        queries = np.asarray(queries, dtype=float)
+        if queries.ndim != 2:
+            raise ValidationError("queries must be a 2-D array")
+        dense_queries, dense_values = _dense_rows(queries, values)
+        needed = self.model.dimension + 1
+        if dense_queries.shape[0] < needed:
+            raise ValidationError(
+                f"only {dense_queries.shape[0]} dense rows survive the "
+                f"filtered table; recovery needs at least n+1 = {needed}"
+            )
+        weights, bias = _solve_linear_system(dense_queries, dense_values)
+        return EstimatedModel(
+            weights=tuple(float(w) for w in weights),
+            bias=bias,
+            sample_count=int(dense_queries.shape[0]),
+        )
+
 
 class ModelEstimationAttack:
     """Fig. 5: estimation from amplified results keeps rambling.
@@ -197,11 +257,36 @@ class ModelEstimationAttack:
         queries, values = self.collect(
             count, rng, seed=seed, through_protocol=through_protocol
         )
-        weights, bias = _solve_linear_system(queries, values)
+        return self.estimate_from_table(queries, values)
+
+    def estimate_from_table(
+        self,
+        queries: np.ndarray,
+        values: Sequence[Optional[float]],
+    ) -> EstimatedModel:
+        """Fit the colluders' linear system on a possibly sparse table.
+
+        Mirrors :meth:`DistanceRetrievalAttack.estimate_from_table`:
+        ``None``/NaN holes (mitigated output) are dropped before the
+        fit.  Unlike exact recovery, pooled estimation is deliberately
+        allowed to run underdetermined (the paper's Fig. 5 sweep starts
+        at 2 pooled samples), so the floor is 2 dense rows, not
+        ``n + 1``.
+        """
+        queries = np.asarray(queries, dtype=float)
+        if queries.ndim != 2:
+            raise ValidationError("queries must be a 2-D array")
+        dense_queries, dense_values = _dense_rows(queries, values)
+        if dense_queries.shape[0] < 2:
+            raise ValidationError(
+                f"only {dense_queries.shape[0]} dense rows survive the "
+                "filtered table; pooling fewer than 2 samples is meaningless"
+            )
+        weights, bias = _solve_linear_system(dense_queries, dense_values)
         return EstimatedModel(
             weights=tuple(float(w) for w in weights),
             bias=bias,
-            sample_count=count,
+            sample_count=int(dense_queries.shape[0]),
         )
 
     def sweep(

@@ -24,6 +24,14 @@ from repro.core.similarity.nonlinear import (
     evaluate_similarity_private_nonlinear,
     exact_normal_inner,
 )
+from repro.core.similarity.policy import (
+    MitigatedScores,
+    MitigatedSimilarityOutcome,
+    OutputPolicy,
+    apply_output_policy,
+    mitigate_similarity_outcome,
+    parse_output_policy,
+)
 
 __all__ = [
     "centroid",
@@ -43,4 +51,10 @@ __all__ = [
     "triangle_t_squared",
     "evaluate_similarity_private_nonlinear",
     "exact_normal_inner",
+    "MitigatedScores",
+    "MitigatedSimilarityOutcome",
+    "OutputPolicy",
+    "apply_output_policy",
+    "mitigate_similarity_outcome",
+    "parse_output_policy",
 ]

@@ -121,8 +121,16 @@ def evaluate_similarity_private(
     params: Optional[MetricParams] = None,
     config: Optional[OMPEConfig] = None,
     seed: Optional[int] = None,
+    policy=None,
 ) -> PrivateSimilarityOutcome:
-    """Run the full private linear similarity protocol."""
+    """Run the full private linear similarity protocol.
+
+    ``policy`` (an :class:`~repro.core.similarity.policy.OutputPolicy`)
+    switches the return type to a
+    :class:`~repro.core.similarity.policy.MitigatedSimilarityOutcome`
+    that withholds whatever the policy forbids; ``None`` keeps the
+    legacy raw outcome.
+    """
     with obs.get_tracer().span(
         "similarity.linear", phase="similarity", dimension=model_a.dimension
     ) as span:
@@ -136,6 +144,15 @@ def evaluate_similarity_private(
             "repro_similarity_runs_total",
             "Completed private similarity evaluations",
         ).inc(kind="linear")
+    if policy is not None:
+        from repro.core.similarity.policy import (
+            mitigate_similarity_outcome,
+            policy_seed,
+        )
+
+        return mitigate_similarity_outcome(
+            outcome, policy, seed=policy_seed(seed)
+        )
     return outcome
 
 

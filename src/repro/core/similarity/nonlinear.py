@@ -188,8 +188,15 @@ def evaluate_similarity_private_nonlinear(
     params: Optional[MetricParams] = None,
     config: Optional[OMPEConfig] = None,
     seed: Optional[int] = None,
+    policy=None,
 ) -> PrivateSimilarityOutcome:
-    """Run the full private nonlinear (polynomial-kernel) similarity protocol."""
+    """Run the full private nonlinear (polynomial-kernel) similarity protocol.
+
+    ``policy`` behaves as in
+    :func:`~repro.core.similarity.linear.evaluate_similarity_private`:
+    a non-``None`` :class:`~repro.core.similarity.policy.OutputPolicy`
+    yields a mitigated outcome instead of the raw one.
+    """
     with obs.get_tracer().span(
         "similarity.nonlinear", phase="similarity", dimension=model_a.dimension
     ) as span:
@@ -203,6 +210,15 @@ def evaluate_similarity_private_nonlinear(
             "repro_similarity_runs_total",
             "Completed private similarity evaluations",
         ).inc(kind="nonlinear")
+    if policy is not None:
+        from repro.core.similarity.policy import (
+            mitigate_similarity_outcome,
+            policy_seed,
+        )
+
+        return mitigate_similarity_outcome(
+            outcome, policy, seed=policy_seed(seed)
+        )
     return outcome
 
 

@@ -149,8 +149,15 @@ def run_similarity_bob_linear(
     params: Optional[MetricParams] = None,
     config: Optional[OMPEConfig] = None,
     seed: Optional[int] = None,
+    policy=None,
 ) -> PrivateSimilarityOutcome:
-    """Bob's (receiver) side — he learns the triangle metric ``T``."""
+    """Bob's (receiver) side — he learns the triangle metric ``T``.
+
+    A non-``None`` ``policy`` applies output mitigation before the
+    outcome leaves this function, with the mitigation seed derived from
+    the protocol seed — the same derivation the in-process evaluator
+    uses, so mitigated outcomes are bit-identical across transports.
+    """
     params = params or MetricParams()
     config = config or OMPEConfig()
     if not model_b.is_linear():
@@ -180,7 +187,10 @@ def run_similarity_bob_linear(
         (run1.value, run2.value), channel_factory(), config=config,
         seed=root.fork("run3").seed, name="bob",
     )
-    return _bob_outcome(run3.value, clear_report, run1, run2, run3)
+    return _bob_outcome(
+        run3.value, clear_report, run1, run2, run3,
+        policy=policy, seed=seed,
+    )
 
 
 def run_similarity_alice_nonlinear(
@@ -270,8 +280,12 @@ def run_similarity_bob_nonlinear(
     params: Optional[MetricParams] = None,
     config: Optional[OMPEConfig] = None,
     seed: Optional[int] = None,
+    policy=None,
 ) -> PrivateSimilarityOutcome:
-    """Bob's side of the kernel similarity protocol."""
+    """Bob's side of the kernel similarity protocol.
+
+    ``policy`` behaves as in :func:`run_similarity_bob_linear`.
+    """
     params = params or MetricParams()
     config = config or OMPEConfig()
     a0, b0, degree = _polynomial_kernel_params(model_b)
@@ -301,7 +315,10 @@ def run_similarity_bob_nonlinear(
         (run1.value, run2.value), channel_factory(), config=config,
         seed=root.fork("run3").seed, name="bob",
     )
-    return _bob_outcome(run3.value, clear_report, run1, run2, run3)
+    return _bob_outcome(
+        run3.value, clear_report, run1, run2, run3,
+        policy=policy, seed=seed,
+    )
 
 
 def _affine_polynomial(weights):
@@ -309,7 +326,7 @@ def _affine_polynomial(weights):
 
 
 def _bob_outcome(
-    t_squared, clear_report, run1, run2, run3
+    t_squared, clear_report, run1, run2, run3, policy=None, seed=None
 ) -> PrivateSimilarityOutcome:
     if t_squared < 0:
         raise SimilarityError(
@@ -321,7 +338,7 @@ def _bob_outcome(
             "repro_similarity_runs_total",
             "Completed private similarity evaluations",
         ).inc(kind="remote")
-    return PrivateSimilarityOutcome(
+    outcome = PrivateSimilarityOutcome(
         t=math.sqrt(float(t_squared)),
         t_squared=t_squared,
         reports={
@@ -331,3 +348,13 @@ def _bob_outcome(
             "area_ompe": run3.report,
         },
     )
+    if policy is not None:
+        from repro.core.similarity.policy import (
+            mitigate_similarity_outcome,
+            policy_seed,
+        )
+
+        return mitigate_similarity_outcome(
+            outcome, policy, seed=policy_seed(seed)
+        )
+    return outcome

@@ -76,6 +76,7 @@ from repro.core.ompe import OMPEConfig
 from repro.core.ompe.protocol import run_ompe_receiver, run_ompe_sender
 from repro.core.similarity.linear import PrivateSimilarityOutcome
 from repro.core.similarity.metric import MetricParams
+from repro.core.similarity.policy import OutputPolicy
 from repro.core.similarity.remote import (
     run_similarity_alice_linear,
     run_similarity_alice_nonlinear,
@@ -207,6 +208,7 @@ class TrainerServer:
         max_connections: int = 8,
         drain_timeout: float = 5.0,
         trace_log_size: int = 256,
+        output_policy: Optional[OutputPolicy] = None,
     ) -> None:
         if max_connections < 1:
             raise ValidationError(
@@ -214,9 +216,20 @@ class TrainerServer:
             )
         if drain_timeout < 0:
             raise ValidationError("drain_timeout must be non-negative")
+        if output_policy is not None and not isinstance(
+            output_policy, OutputPolicy
+        ):
+            raise ValidationError(
+                f"output_policy must be an OutputPolicy, got {output_policy!r}"
+            )
         self.model = model
         self.config = config or OMPEConfig()
         self.params = params or MetricParams()
+        #: Server-side similarity output policy.  ``None`` keeps the
+        #: legacy raw output; a policy here is the server's *mandate* —
+        #: every similarity session runs under it, and a client that
+        #: explicitly requests a different policy is refused.
+        self.output_policy = output_policy
         self.session_timeout = session_timeout
         self.max_connections = max_connections
         self.drain_timeout = drain_timeout
@@ -672,7 +685,35 @@ class TrainerServer:
             raise ProtocolError(
                 "similarity requires both models to be linear or both kernel"
             )
-        send_control(connection, ACCEPT, {"linear": linear, "session": session_id})
+        requested = request.get("policy")
+        if requested is not None and not isinstance(requested, OutputPolicy):
+            raise ProtocolError(
+                "session/open 'policy' must be a similarity/output-policy "
+                f"payload, got {requested!r}"
+            )
+        effective = requested if requested is not None else self.output_policy
+        if (
+            requested is not None
+            and self.output_policy is not None
+            and requested != self.output_policy
+        ):
+            raise ProtocolError(
+                f"server mandates output policy "
+                f"{self.output_policy.label!r}; refusing requested "
+                f"{requested.label!r}"
+            )
+        # The accept echo is the negotiation result: the client applies
+        # exactly the echoed policy, so a server-mandated policy
+        # propagates even when the client requested nothing.
+        send_control(
+            connection,
+            ACCEPT,
+            {"linear": linear, "session": session_id, "policy": effective},
+        )
+        if effective is not None and obs.get_metrics().enabled:
+            from repro.core.privacy.leakage import record_leakage
+
+            record_leakage(effective, 1)
 
         def factory() -> WireChannel:
             channel = WireChannel("alice", "bob", connection)
@@ -865,15 +906,26 @@ class TrainerClient:
         )
 
     def evaluate_similarity(
-        self, model: SVMModel, seed: Optional[int] = None
+        self,
+        model: SVMModel,
+        seed: Optional[int] = None,
+        policy: Optional[OutputPolicy] = None,
     ) -> PrivateSimilarityOutcome:
         """Compare the client's model against the server's.
 
         The client learns the triangle metric ``T``; the server learns
         only the inseparable clear norms, exactly as in the in-process
-        protocol.
+        protocol.  ``policy`` requests an output policy for this
+        session; the *echoed* policy from ``session/accept`` — which
+        may be the server's mandated default when ``policy`` is
+        ``None`` — is what gets applied, so a non-raw negotiation
+        returns a mitigated outcome instead of the raw one.
         """
         linear = model.is_linear()
+        if policy is not None and not isinstance(policy, OutputPolicy):
+            raise ValidationError(
+                f"policy must be an OutputPolicy, got {policy!r}"
+            )
         with obs.get_tracer().span(
             "service.similarity", party="bob", phase="service"
         ) as span:
@@ -882,6 +934,7 @@ class TrainerClient:
                 "seed": seed,
                 "linear": linear,
                 "n_support": None if linear else model.n_support,
+                "policy": policy,
             }
             context = current_trace_context()
             if context is not None:
@@ -898,16 +951,30 @@ class TrainerClient:
                         "similarity requires both models to be linear or both "
                         "kernel"
                     )
+                echoed = accept.get("policy")
+                if echoed is not None and not isinstance(echoed, OutputPolicy):
+                    raise ProtocolError(
+                        "session/accept 'policy' must be a "
+                        f"similarity/output-policy payload, got {echoed!r}"
+                    )
+                if policy is not None and echoed != policy:
+                    raise ProtocolError(
+                        f"server accepted policy "
+                        f"{echoed.label if echoed else None!r} instead of "
+                        f"the requested {policy.label!r}"
+                    )
                 _annotate_session(span, accept)
                 factory = lambda: WireChannel("bob", "alice", self._connection)
                 if linear:
                     return run_similarity_bob_linear(
                         model, factory,
                         params=self.params, config=self.config, seed=seed,
+                        policy=echoed,
                     )
                 return run_similarity_bob_nonlinear(
                     model, factory,
                     params=self.params, config=self.config, seed=seed,
+                    policy=echoed,
                 )
             except ReproError as error:
                 if span.enabled:
@@ -1068,11 +1135,14 @@ class TrainerClientPool:
             return client.classify(sample, seed=seed)
 
     def evaluate_similarity(
-        self, model: SVMModel, seed: Optional[int] = None
+        self,
+        model: SVMModel,
+        seed: Optional[int] = None,
+        policy: Optional[OutputPolicy] = None,
     ) -> PrivateSimilarityOutcome:
         """Run one similarity session on any idle pooled connection."""
         with self._borrow() as client:
-            return client.evaluate_similarity(model, seed=seed)
+            return client.evaluate_similarity(model, seed=seed, policy=policy)
 
     def classify_many(
         self,

@@ -229,6 +229,104 @@ class TestDistanceRetrievalAttack:
         assert angle > 1.0  # not an exact recovery
 
 
+class TestSparseTableEstimation:
+    """Regression: mitigated output hands colluders a table with holes
+    (``None``/NaN where a threshold or top-k policy withheld the score).
+    The table-driven fits must tolerate the holes instead of raising —
+    and must refuse, loudly, once too few dense rows survive."""
+
+    MODEL = ([1.3, -0.6], 0.25)
+
+    def _dense_table(self):
+        model = make_linear_model(*self.MODEL)
+        queries = np.array(
+            [[0.1, 0.2], [0.5, -0.4], [-0.3, 0.7], [0.8, 0.1], [-0.6, -0.2]]
+        )
+        values = [model.decision_value(q) for q in queries]
+        return model, queries, values
+
+    def test_holes_are_skipped_not_fatal(self):
+        model, queries, values = self._dense_table()
+        sparse = list(values)
+        sparse[1] = None
+        sparse[3] = float("nan")
+        attack = DistanceRetrievalAttack(model)
+        estimate = attack.estimate_from_table(queries, sparse)
+        assert estimate.sample_count == 3
+        # Three exact equations in three unknowns: still exact recovery.
+        assert estimate.weights == pytest.approx(self.MODEL[0], abs=1e-9)
+        assert estimate.bias == pytest.approx(self.MODEL[1], abs=1e-9)
+
+    def test_dense_table_matches_run_fast_path(self):
+        model, queries, values = self._dense_table()
+        attack = DistanceRetrievalAttack(model)
+        from_table = attack.estimate_from_table(queries, values)
+        direct = attack.run(queries, through_protocol=False)
+        assert from_table.weights == pytest.approx(direct.weights, abs=1e-12)
+        assert from_table.bias == pytest.approx(direct.bias, abs=1e-12)
+
+    def test_too_sparse_raises_not_garbage(self):
+        model, queries, values = self._dense_table()
+        sparse = [values[0], None, None, float("nan"), values[4]]
+        attack = DistanceRetrievalAttack(model)
+        with pytest.raises(ValidationError, match="dense rows"):
+            attack.estimate_from_table(queries, sparse)
+
+    def test_all_holes_raises(self):
+        model, queries, _ = self._dense_table()
+        attack = DistanceRetrievalAttack(model)
+        with pytest.raises(ValidationError, match="dense rows"):
+            attack.estimate_from_table(queries, [None] * len(queries))
+
+    def test_length_mismatch_rejected(self):
+        model, queries, values = self._dense_table()
+        attack = DistanceRetrievalAttack(model)
+        with pytest.raises(ValidationError):
+            attack.estimate_from_table(queries, values[:-1])
+
+    def test_estimation_attack_tolerates_holes_with_degraded_accuracy(self):
+        """The amplified attack rambles on a dense pool; puncturing the
+        pool can only leave it equal or worse, never crash it."""
+        data = two_gaussians(
+            "sparse-atk", dimension=2, train_size=200, test_size=5, seed=4
+        )
+        model = train_svm(data.X_train, data.y_train, kernel="linear", C=10.0)
+        attack = ModelEstimationAttack(model)
+        rng = ReproRandom(9).fork("estimation", 12)
+        queries, values = attack.collect(12, rng, seed=9, through_protocol=False)
+        sparse = [
+            None if index % 3 == 0 else value
+            for index, value in enumerate(values)
+        ]
+        estimate = attack.estimate_from_table(queries, sparse)
+        assert estimate.sample_count == sum(v is not None for v in sparse)
+        # Amplification keeps the estimate off-target either way; the
+        # sparse fit stays in the same rambling regime (pinned loosely).
+        error = estimate.direction_error_degrees(model.weight_vector())
+        assert np.isfinite(error)
+
+    def test_estimation_attack_too_sparse_raises(self):
+        model = make_linear_model([0.4, 0.9], -0.1)
+        attack = ModelEstimationAttack(model)
+        queries = np.array([[0.2, 0.1], [-0.5, 0.4], [0.6, -0.2]])
+        with pytest.raises(ValidationError, match="dense rows"):
+            attack.estimate_from_table(queries, [0.3, None, None])
+
+    def test_estimate_delegates_to_table_fit(self):
+        """`estimate` is now a thin wrapper over `estimate_from_table`;
+        the refactor must not change its results."""
+        model = make_linear_model([0.4, 0.9], -0.1)
+        attack = ModelEstimationAttack(model)
+        rng = ReproRandom(3).fork("estimation", 6)
+        queries, values = attack.collect(6, rng, seed=3, through_protocol=False)
+        via_estimate = attack.estimate(6, seed=3)
+        via_table = attack.estimate_from_table(queries, values)
+        assert via_estimate.weights == pytest.approx(
+            via_table.weights, abs=1e-12
+        )
+        assert via_estimate.sample_count == via_table.sample_count
+
+
 class TestEstimatedModel:
     def test_direction_error_sign_invariant(self):
         from repro.core.privacy import EstimatedModel

@@ -151,8 +151,17 @@ class TestPayloadRoundTrip:
 
     def test_registered_dataclasses_round_trip(self, group, fast_config):
         from repro.core.similarity.metric import MetricParams
+        from repro.core.similarity.policy import OutputPolicy
 
-        for payload in (group, fast_config, MetricParams()):
+        for payload in (
+            group,
+            fast_config,
+            MetricParams(),
+            OutputPolicy(),
+            OutputPolicy(mode="threshold", threshold=0.5),
+            OutputPolicy(mode="top-k", k=5),
+            OutputPolicy(mode="permuted"),
+        ):
             blob = encode_payload(payload)
             decoded = decode_payload(blob)
             assert decoded == payload
