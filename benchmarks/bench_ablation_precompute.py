@@ -6,14 +6,36 @@ query with and without precomputed randomness pools.  Finding: the
 saving is real but modest in this implementation because the k-of-M
 oblivious transfer (not polynomial generation) dominates the online
 cost — a useful datum the paper's remark glosses over.
+
+Run standalone (PR 8) to measure cold vs warm precompute per bignum
+backend and merge the rows into the ``precompute`` section of the
+committed ``BENCH_hotpath.json``::
+
+    python benchmarks/bench_ablation_precompute.py [--quick] [--output PATH]
+
+Rows cover the window-8 generator-table build (cold) vs cached lookup
+(warm, incl. the break-even op count), pooled vs unpooled Paillier
+encryption, and the pooled vs poolless OMPE online path.
 """
 
 from __future__ import annotations
 
+import argparse
+import sys
+import time
 from fractions import Fraction
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # direct execution from a source checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import pytest
 
+from artifact import BENCH_DIR, BENCH_SEED, update_artifact
 from repro.core.ompe import (
     OMPEConfig,
     OMPEFunction,
@@ -21,7 +43,9 @@ from repro.core.ompe import (
     SenderPool,
     execute_ompe,
 )
-from repro.math.groups import fast_group
+from repro.crypto.paillier import PaillierCipher, generate_keypair
+from repro.math import fastpath, groups
+from repro.math.groups import FixedBaseTable, fast_group
 from repro.math.multivariate import MultivariatePolynomial
 from repro.utils.rng import ReproRandom
 
@@ -81,3 +105,162 @@ def test_benchmark_online_with_pool(benchmark, setup):
         ).value
 
     benchmark.pedantic(run, rounds=rounds, warmup_rounds=warmup, iterations=1)
+
+
+# -- standalone cold-vs-warm precompute table (PR 8) ---------------------------
+
+def _time_loop(callable_, iterations):
+    start = time.perf_counter()
+    for _ in range(iterations):
+        callable_()
+    return (time.perf_counter() - start) / iterations
+
+
+def _backend_rows(backend, quick=False):
+    """Cold-build vs warm-use rows for one bignum backend leg."""
+    rows = []
+    group = fast_group()
+    draw = ReproRandom(BENCH_SEED)
+    iterations = 40 if quick else 200
+    exponents = [draw.randint(1, group.q - 1) for _ in range(iterations)]
+
+    # -- generator table: one-off build cost vs per-op warm lookup ---------
+    started = time.perf_counter()
+    table = FixedBaseTable(group.g, group.p, group.q.bit_length())
+    cold_s = time.perf_counter() - started
+    for e in exponents[:3]:
+        assert table.power(e) == pow(group.g, e, group.p)
+
+    def warm_all():
+        for e in exponents:
+            table.power(e)
+
+    def pow_all():
+        for e in exponents:
+            pow(group.g, e, group.p)
+
+    warm_s = _time_loop(warm_all, 3) / iterations
+    pow_s = _time_loop(pow_all, 3) / iterations
+    saving = pow_s - warm_s
+    rows.append({
+        "backend": backend,
+        "op": "fixed_base_table",
+        "cold_build_ms": round(cold_s * 1e3, 3),
+        "warm_us": round(warm_s * 1e6, 3),
+        "naive_us": round(pow_s * 1e6, 3),
+        "speedup_warm": round(pow_s / warm_s, 3) if warm_s else None,
+        "break_even_ops": round(cold_s / saving, 1) if saving > 0 else None,
+    })
+
+    # -- Paillier: pooled (warm r^n) vs unpooled (cold) encryption ---------
+    public, private = generate_keypair(
+        bits=384 if quick else 768, rng=ReproRandom(BENCH_SEED)
+    )
+    iters = max(10, iterations // 4)
+    pooled = PaillierCipher(public, private, rng=ReproRandom(2), pool_batch=64)
+    started = time.perf_counter()
+    pooled.pool.refill(iters + 8)  # the offline phase, reported not gated
+    refill_s = time.perf_counter() - started
+    plain = PaillierCipher(public, private, rng=ReproRandom(2))
+    warm_s = _time_loop(lambda: pooled.encrypt(42), iters)
+    cold_s = _time_loop(lambda: plain.encrypt(42), iters)
+    rows.append({
+        "backend": backend,
+        "op": "paillier_encrypt",
+        "cold_us": round(cold_s * 1e6, 3),
+        "warm_us": round(warm_s * 1e6, 3),
+        "offline_refill_ms": round(refill_s * 1e3, 3),
+        "speedup_warm": round(cold_s / warm_s, 3) if warm_s else None,
+    })
+
+    # -- OMPE online: poolless vs precomputed randomness pools -------------
+    config = OMPEConfig(security_degree=2, cover_expansion=3, group=group)
+    polynomial = MultivariatePolynomial.affine(
+        [Fraction(2), Fraction(-3), Fraction(1, 2)], Fraction(1, 4)
+    )
+    function = OMPEFunction.from_polynomial(polynomial)
+    alpha = (Fraction(1, 3), Fraction(1, 4), Fraction(-2, 5))
+    rounds = 3 if quick else 8
+    cold_s = _time_loop(
+        lambda: execute_ompe(function, alpha, config=config, seed=1), rounds
+    )
+    sender_pool = SenderPool(config, 1, rounds + 1, ReproRandom(8))
+    receiver_pool = ReceiverPool(config, 3, 1, rounds + 1, ReproRandom(9))
+
+    def pooled_run():
+        execute_ompe(
+            function, alpha, config=config, seed=1,
+            sender_pool=sender_pool, receiver_pool=receiver_pool,
+        )
+
+    warm_s = _time_loop(pooled_run, rounds)
+    rows.append({
+        "backend": backend,
+        "op": "ompe_online",
+        "cold_ms": round(cold_s * 1e3, 3),
+        "warm_ms": round(warm_s * 1e3, 3),
+        "speedup_warm": round(cold_s / warm_s, 3) if warm_s else None,
+    })
+    return rows
+
+
+def run_precompute(quick=False, backend_list=None):
+    if backend_list is None:
+        backend_list = fastpath.available_backends()
+    rows = []
+    for backend in backend_list:
+        with fastpath.use_backend(backend):
+            groups._FIXED_BASE_TABLES.clear()
+            groups.reset_fixed_base_table_stats()
+            rows.extend(_backend_rows(backend, quick=quick))
+    return {"quick": quick, "backends": list(backend_list), "rows": rows}
+
+
+def format_precompute_table(results):
+    lines = ["cold vs warm precompute:"]
+    for row in results["rows"]:
+        cold = row.get("cold_ms", row.get("cold_us", row.get("cold_build_ms")))
+        warm = row.get("warm_ms", row.get("warm_us"))
+        lines.append(
+            f"  {row['op']:20s} {row['backend']:7s} cold {cold:10.3f}   "
+            f"warm {warm:10.3f}   {row['speedup_warm']:6.2f}x warm"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="cold vs warm precompute ablation per bignum backend"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small workloads (CI smoke)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="artifact path (default benchmarks/BENCH_hotpath.json)")
+    args = parser.parse_args(argv)
+
+    results = run_precompute(quick=args.quick)
+    name = "hotpath_quick" if args.quick else "hotpath"
+    if args.output is not None:
+        directory, name = args.output.parent, args.output.stem
+        if name.startswith("BENCH_"):
+            name = name[len("BENCH_"):]
+    else:
+        directory = BENCH_DIR if not args.quick else None
+    path = update_artifact(name, "precompute", results, directory=directory)
+    print(format_precompute_table(results))
+    print(f"artifact: {path}")
+    return 0
+
+
+def test_precompute_rows_quick():
+    results = run_precompute(quick=True)
+    assert {row["op"] for row in results["rows"]} >= {
+        "fixed_base_table", "paillier_encrypt", "ompe_online",
+    }
+    for row in results["rows"]:
+        assert row["speedup_warm"] is not None and row["speedup_warm"] > 0
+    update_artifact("hotpath_quick", "precompute", results)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -222,6 +222,22 @@ def _cmd_observe(args: argparse.Namespace) -> int:
         registry, config, args.dimension, tolerance=args.tolerance
     )
 
+    from repro.crypto.precompute import get_precompute_service
+    from repro.math import fastpath
+
+    availability = (
+        "gmpy2 available" if fastpath.gmpy2_available() else "gmpy2 unavailable"
+    )
+    precompute_stats = get_precompute_service().stats()
+    tables = precompute_stats["tables"]
+    print("== arithmetic engine ==")
+    print(f"bignum backend: {fastpath.backend_name()} ({availability})")
+    print(
+        f"precompute: {tables['cached']} warm generator table(s), "
+        f"{int(tables['hits'])} hits / {int(tables['builds'])} builds "
+        f"({tables['build_seconds'] * 1000.0:.1f} ms building)"
+    )
+    print()
     print("== span tree ==")
     print(tracer.flame())
     print()
@@ -365,15 +381,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_connections=args.workers,
         drain_timeout=args.drain_timeout,
         output_policy=output_policy,
+        precompute=args.precompute,
     ) as server:
+        from repro.math import fastpath
+
         host, port = server.address
         policy_note = (
             f", output policy {output_policy.label}" if output_policy else ""
         )
+        precompute_note = "warm" if args.precompute else "cold"
         print(f"serving {args.model} on {host}:{port} "
               f"({'linear' if model.is_linear() else 'kernel'} model, "
               f"dimension {model.dimension}, "
-              f"up to {args.workers} concurrent connections{policy_note})")
+              f"up to {args.workers} concurrent connections{policy_note}, "
+              f"bignum backend {fastpath.backend_name()}, "
+              f"precompute {precompute_note})")
         if args.port_file:
             with open(args.port_file, "w", encoding="utf-8") as handle:
                 handle.write(str(port))
@@ -646,6 +668,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "session: raw, threshold:<t>, top-k:<k>, or "
                             "permuted (clients requesting a different "
                             "policy are refused)")
+    serve.add_argument("--precompute", default=True,
+                       action=argparse.BooleanOptionalAction,
+                       help="warm the shared precompute store (generator "
+                            "tables) at startup so sessions never rebuild "
+                            "it; --no-precompute measures cold starts")
 
     remote_classify = sub.add_parser(
         "remote-classify",

@@ -107,6 +107,12 @@ class OneOfNSender:
         :class:`DualBaseExponentiator` serve every slot from two
         session-constant windowed tables — same keys, same transcript
         bytes, ~25–40% less sender time at protocol sizes.
+
+        Both derivations run entirely on the active bignum backend
+        (:mod:`repro.math.fastpath.backends`): ``group.exp`` /
+        ``exp_g`` dispatch through it and the dual tables hold
+        backend-native entries, so installing gmpy2 accelerates the OT
+        key schedule with no change to the transcript.
         """
         if self._setup is None:
             raise ObliviousTransferError("transfer before setup")

@@ -18,14 +18,23 @@ Fixed-point encoding maps signed rationals onto ``Z_n``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import List, Optional, Tuple, Union
 
+from repro import obs
 from repro.exceptions import DecryptionError, KeyGenerationError, ValidationError
 from repro.math import fastpath
 from repro.math.numtheory import crt_combine, generate_prime, lcm, modular_inverse
 from repro.utils.rng import ReproRandom
+
+
+def _powmod():
+    """Active modexp: bignum backend under the hot path, CPython otherwise."""
+    if fastpath.enabled():
+        return fastpath.get_backend().powmod
+    return pow
 
 Number = Union[int, float, Fraction]
 
@@ -64,7 +73,7 @@ class PaillierPublicKey:
             randomizer = pool.take()
         else:
             r = rng.randrange_coprime(self.n)
-            randomizer = pow(r, self.n, n_sq)
+            randomizer = _powmod()(r, self.n, n_sq)
         # (1 + n)^m = 1 + m*n (mod n^2) — the g = n + 1 shortcut.
         g_m = (1 + message * self.n) % n_sq
         return (g_m * randomizer) % n_sq
@@ -75,10 +84,11 @@ class PaillierPublicKey:
 
     def multiply_plain(self, ciphertext: int, scalar: int) -> int:
         """Homomorphic multiplication by a plaintext integer."""
+        powmod = _powmod()
         if scalar < 0:
             inverse = modular_inverse(ciphertext, self.n_squared)
-            return pow(inverse, -scalar, self.n_squared)
-        return pow(ciphertext, scalar, self.n_squared)
+            return powmod(inverse, -scalar, self.n_squared)
+        return powmod(ciphertext, scalar, self.n_squared)
 
 
 @dataclass(frozen=True)
@@ -108,7 +118,7 @@ class PaillierPrivateKey:
             raise DecryptionError("ciphertext out of range")
         if fastpath.enabled() and self.p is not None and self.q is not None:
             return self._decrypt_crt(ciphertext)
-        x = pow(ciphertext, self.lam, n_sq)
+        x = _powmod()(ciphertext, self.lam, n_sq)
         if (x - 1) % n != 0:
             raise DecryptionError("ciphertext is not a valid Paillier encryption")
         return ((x - 1) // n * self.mu) % n
@@ -124,10 +134,11 @@ class PaillierPrivateKey:
         rejected exactly as the ``λ`` path rejects it.
         """
         p, q = self.p, self.q
+        powmod = _powmod()
         residues: List[int] = []
         for prime in (p, q):
             prime_sq = prime * prime
-            x = pow(ciphertext, prime - 1, prime_sq)
+            x = powmod(ciphertext, prime - 1, prime_sq)
             if (x - 1) % prime != 0:
                 raise DecryptionError("ciphertext is not a valid Paillier encryption")
             l_value = (x - 1) // prime % prime
@@ -179,29 +190,85 @@ class RandomizerPool:
         self._batch = batch
         self._ready: List[int] = []
         self.precomputed_total = 0
+        self.taken_total = 0
 
     def refill(self, count: Optional[int] = None) -> None:
         """Precompute ``count`` (default: one batch of) randomizers."""
         count = self._batch if count is None else count
         n = self.public_key.n
         n_sq = self.public_key.n_squared
+        powmod = _powmod()
+        started = time.perf_counter()
         fresh = [
-            pow(self._rng.randrange_coprime(n), n, n_sq) for _ in range(count)
+            powmod(self._rng.randrange_coprime(n), n, n_sq) for _ in range(count)
         ]
+        elapsed = time.perf_counter() - started
         fresh.reverse()  # take() pops from the end, oldest first
         self._ready[:0] = fresh
         self.precomputed_total += count
+        self._record_health(refill_seconds=elapsed)
 
     def take(self) -> int:
         """Pop the next randomizer, refilling the pool when empty."""
         if not self._ready:
             self.refill()
-        return self._ready.pop()
+        self.taken_total += 1
+        randomizer = self._ready.pop()
+        self._record_health()
+        return randomizer
 
     @property
     def available(self) -> int:
         """Randomizers currently precomputed and unused."""
         return len(self._ready)
+
+    def export_ready(self) -> List[int]:
+        """The unused randomizers, oldest first (for cross-process sharding)."""
+        return list(reversed(self._ready))
+
+    def adopt(self, ready: List[int], precomputed_total: Optional[int] = None) -> None:
+        """Replace the ready queue with externally precomputed randomizers.
+
+        Used by the precompute service to hand each engine worker a
+        *disjoint* shard of a warm batch — randomizers are never
+        duplicated across processes (reuse would break semantic
+        security), only redistributed.
+        """
+        self._ready = list(reversed(ready))
+        self.precomputed_total = (
+            len(ready) if precomputed_total is None else precomputed_total
+        )
+        self._record_health()
+
+    def _record_health(self, refill_seconds: Optional[float] = None) -> None:
+        """Export pool health into the metrics registry (when enabled).
+
+        The plain attributes (``precomputed_total``, ``available``,
+        ``taken_total``) remain the source of truth; the gauges mirror
+        them so ``repro observe`` / ``repro top`` see pool state
+        without holding a reference to the pool object.
+        """
+        metrics = obs.get_metrics()
+        if not metrics.enabled:
+            return
+        bits = str(self.public_key.n.bit_length())
+        metrics.gauge(
+            "repro_precompute_randomizers_total",
+            "Randomizers ever precomputed by a Paillier pool",
+        ).set(self.precomputed_total, bits=bits)
+        metrics.gauge(
+            "repro_precompute_randomizers_available",
+            "Randomizers precomputed and not yet consumed",
+        ).set(len(self._ready), bits=bits)
+        metrics.gauge(
+            "repro_precompute_randomizers_outstanding",
+            "Randomizers already consumed by encryptions",
+        ).set(self.taken_total, bits=bits)
+        if refill_seconds is not None:
+            metrics.histogram(
+                "repro_precompute_refill_seconds",
+                "Latency of Paillier randomizer-pool refills",
+            ).observe(refill_seconds, bits=bits)
 
 
 class FixedPointCodec:

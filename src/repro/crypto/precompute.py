@@ -1,0 +1,268 @@
+"""Warm shared precompute service for group and Paillier material.
+
+PR 3 introduced two per-process caches: the window-8 generator tables
+in :mod:`repro.math.groups` and the Paillier ``r^n``
+:class:`~repro.crypto.paillier.RandomizerPool`.  Both were rebuilt
+silently in every process that touched them — notably in *every*
+:class:`~repro.engine.engine.ProtocolEngine` worker, because nothing
+warmed the parent before the fork.  This module promotes those caches
+into an explicit service:
+
+* :meth:`PrecomputeService.warm_group` builds (or confirms) the
+  generator table for a ``(p, q, g)`` triple **once**, recording
+  ``repro_precompute_hits_total`` / ``repro_precompute_misses_total``
+  and build-time histograms in the active metrics registry;
+* :meth:`PrecomputeService.export_state` /
+  :meth:`PrecomputeService.install_state` serialize warm material into
+  a picklable blob — the engine ships it inside the worker spec, so
+  workers under both ``fork`` (inherit) and ``spawn`` (install) start
+  warm, and :class:`~repro.net.service.TrainerServer` warms at
+  construction so every accepted session runs on hot tables;
+* :meth:`PrecomputeService.paillier_pool` hands out one shared,
+  thread-safe randomizer pool per public key.  Exported pool state is
+  **sharded, never duplicated** across workers: reusing an ``r^n``
+  randomizer in two ciphertexts would break semantic security.
+
+The service is deliberately process-global (one warm store per
+process), mirroring the caches it fronts; :func:`reset_precompute_service`
+exists for test isolation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from repro import obs
+from repro.crypto.paillier import PaillierPublicKey, RandomizerPool
+from repro.exceptions import ValidationError
+from repro.math import groups
+from repro.math.groups import SchnorrGroup
+from repro.utils.rng import ReproRandom, derive_seed
+
+
+class SharedRandomizerPool:
+    """A thread-safe facade over one :class:`RandomizerPool`.
+
+    ``TrainerServer`` sessions run on concurrent threads; the raw pool
+    mutates a plain list.  This wrapper serializes ``take``/``refill``
+    so one warm pool can serve every session.  It is duck-compatible
+    with the raw pool where it matters: ``encrypt_raw(pool=...)`` only
+    calls :meth:`take`.
+    """
+
+    def __init__(self, pool: RandomizerPool) -> None:
+        self._pool = pool
+        self._lock = threading.Lock()
+
+    def take(self) -> int:
+        with self._lock:
+            return self._pool.take()
+
+    def refill(self, count: Optional[int] = None) -> None:
+        with self._lock:
+            self._pool.refill(count)
+
+    @property
+    def available(self) -> int:
+        return self._pool.available
+
+    @property
+    def precomputed_total(self) -> int:
+        return self._pool.precomputed_total
+
+    @property
+    def public_key(self) -> PaillierPublicKey:
+        return self._pool.public_key
+
+
+class PrecomputeService:
+    """Process-wide warm store of group tables and Paillier pools."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._lock = threading.Lock()
+        self._pools: Dict[int, SharedRandomizerPool] = {}
+
+    # -- group tables ------------------------------------------------------
+
+    def warm_group(self, group: SchnorrGroup) -> None:
+        """Ensure the generator table for ``group`` is built and hot.
+
+        A miss builds the table (counted inside
+        :meth:`SchnorrGroup.fixed_base_table` with its build-time
+        histogram); a hit is counted here as
+        ``repro_precompute_hits_total{kind="fixed-base-table"}``.
+        """
+        before = groups.fixed_base_table_stats()["builds"]
+        group.fixed_base_table()
+        if groups.fixed_base_table_stats()["builds"] == before:
+            metrics = obs.get_metrics()
+            if metrics.enabled:
+                metrics.counter(
+                    "repro_precompute_hits_total",
+                    "Precompute-store hits served from warm material",
+                ).inc(kind="fixed-base-table")
+
+    def warm_groups(self, group_list: Sequence[SchnorrGroup]) -> None:
+        for group in group_list:
+            self.warm_group(group)
+
+    def warmed_group_keys(self) -> List[tuple]:
+        """``(p, q, g)`` triples currently warm in this process."""
+        return groups.cached_table_keys()
+
+    # -- paillier pools ----------------------------------------------------
+
+    def paillier_pool(
+        self,
+        public_key: PaillierPublicKey,
+        batch: int = 64,
+        warm: bool = True,
+    ) -> SharedRandomizerPool:
+        """One shared randomizer pool per public key, built on demand.
+
+        The pool draws from a dedicated rng seeded by
+        ``derive_seed(service seed, "paillier-pool", n)`` — shared
+        pools trade the pooled-equals-unpooled ciphertext-stream
+        guarantee (which requires the *caller's* rng) for cross-session
+        amortization; callers needing that guarantee keep constructing
+        private pools via ``PaillierCipher(pool_batch=...)``.
+        """
+        if batch < 1:
+            raise ValidationError(f"batch must be at least 1, got {batch}")
+        key = public_key.n
+        with self._lock:
+            shared = self._pools.get(key)
+            if shared is None:
+                rng = ReproRandom(derive_seed(self._seed, "paillier-pool", key))
+                shared = SharedRandomizerPool(
+                    RandomizerPool(public_key, rng, batch=batch)
+                )
+                self._pools[key] = shared
+        if warm and shared.available == 0:
+            shared.refill()
+        return shared
+
+    # -- cross-process hand-off --------------------------------------------
+
+    def export_state(
+        self,
+        group_list: Optional[Sequence[SchnorrGroup]] = None,
+        shard_index: int = 0,
+        shard_count: int = 1,
+    ) -> dict:
+        """Serialize warm material for another process (picklable).
+
+        Tables are exported whole (they are pure public precompute);
+        pool randomizers are exported as the ``shard_index``-th of
+        ``shard_count`` disjoint slices so no randomizer ever lands in
+        two processes.
+        """
+        if shard_count < 1 or not 0 <= shard_index < shard_count:
+            raise ValidationError(
+                f"invalid shard {shard_index}/{shard_count}"
+            )
+        keys = None
+        if group_list is not None:
+            keys = [(g.p, g.q, g.g) for g in group_list]
+        with self._lock:
+            pools = [
+                {
+                    "n": shared.public_key.n,
+                    "ready": shared._pool.export_ready()[shard_index::shard_count],
+                    "batch": shared._pool._batch,
+                }
+                for shared in self._pools.values()
+            ]
+        return {
+            "tables": groups.export_fixed_base_tables(keys),
+            "pools": pools,
+            "shard": (shard_index, shard_count),
+        }
+
+    def install_state(self, state: dict) -> Dict[str, int]:
+        """Install exported material into this process's warm store.
+
+        Returns ``{"tables": installed, "pools": installed}``.  Under
+        ``fork`` the tables already exist (inherited) and install is a
+        no-op; under ``spawn`` this is what makes the worker warm.
+        """
+        installed_tables = groups.install_fixed_base_tables(
+            state.get("tables", ())
+        )
+        installed_pools = 0
+        shard_index, shard_count = state.get("shard", (0, 1))
+        for blob in state.get("pools", ()):
+            public_key = PaillierPublicKey(n=blob["n"])
+            shared = self.paillier_pool(
+                public_key, batch=blob.get("batch", 64), warm=False
+            )
+            if blob["ready"]:
+                with shared._lock:
+                    shared._pool.adopt(blob["ready"])
+                installed_pools += 1
+        return {"tables": installed_tables, "pools": installed_pools}
+
+    # -- observability -----------------------------------------------------
+
+    def export_metrics(self, scope: str = "process") -> None:
+        """Mirror the (hot-path-cheap) table cache counters as gauges.
+
+        Table *hits* are tracked in a plain dict because they happen
+        once per ``exp_g``; this pushes them into the registry at a
+        boundary (engine drain, ``repro observe``) under a ``scope``
+        label so per-worker gauges survive the snapshot merge.
+        """
+        metrics = obs.get_metrics()
+        if not metrics.enabled:
+            return
+        stats = groups.fixed_base_table_stats()
+        metrics.gauge(
+            "repro_precompute_table_hits",
+            "Generator-table cache hits in this scope",
+        ).set(stats["hits"], scope=scope)
+        metrics.gauge(
+            "repro_precompute_table_builds",
+            "Generator-table builds in this scope",
+        ).set(stats["builds"], scope=scope)
+
+    def stats(self) -> dict:
+        """Human-readable snapshot for the CLI."""
+        table_stats = groups.fixed_base_table_stats()
+        with self._lock:
+            pool_stats = {
+                str(n): {
+                    "available": shared.available,
+                    "precomputed_total": shared.precomputed_total,
+                }
+                for n, shared in self._pools.items()
+            }
+        return {
+            "tables": {
+                "cached": len(groups.cached_table_keys()),
+                **table_stats,
+            },
+            "paillier_pools": pool_stats,
+        }
+
+
+_SERVICE: Optional[PrecomputeService] = None
+_SERVICE_LOCK = threading.Lock()
+
+
+def get_precompute_service() -> PrecomputeService:
+    """The process-global precompute service (created on first use)."""
+    global _SERVICE
+    if _SERVICE is None:
+        with _SERVICE_LOCK:
+            if _SERVICE is None:
+                _SERVICE = PrecomputeService()
+    return _SERVICE
+
+
+def reset_precompute_service() -> None:
+    """Drop the global service (tests); group tables stay cached."""
+    global _SERVICE
+    with _SERVICE_LOCK:
+        _SERVICE = None

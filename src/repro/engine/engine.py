@@ -31,10 +31,11 @@ from __future__ import annotations
 import multiprocessing
 import queue as queue_module
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.crypto.precompute import get_precompute_service
 from repro.engine.jobs import ClassificationJob, Job, JobResult, SimilarityJob
 from repro.engine.worker import DRAIN, make_spec, worker_main
 from repro.exceptions import EngineError, ValidationError
@@ -127,6 +128,7 @@ class ProtocolEngine:
         policy: Optional[EnginePolicy] = None,
         seed: int = 0,
         trace: bool = False,
+        precompute: bool = True,
     ) -> None:
         if workers < 1:
             raise ValidationError(f"workers must be at least 1, got {workers}")
@@ -138,6 +140,7 @@ class ProtocolEngine:
         self.workers = workers
         self.queue_capacity = queue_capacity
         self.seed = seed
+        self.precompute = precompute
         self.spec = make_spec(
             model,
             config=config,
@@ -161,6 +164,18 @@ class ProtocolEngine:
         """Spawn the worker fleet (idempotent)."""
         if self._started:
             return self
+        if self.precompute:
+            # Warm the generator table in the *parent* before the fleet
+            # exists: fork children inherit the hot cache outright, and
+            # the serialized copy in the spec covers spawn contexts.
+            # Without this, every worker silently rebuilt the table.
+            service = get_precompute_service()
+            group = self.spec.config.resolved_group()
+            service.warm_group(group)
+            self.spec = replace(
+                self.spec,
+                warm_state=service.export_state(group_list=[group]),
+            )
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
@@ -357,6 +372,7 @@ def run_engine(
     policy: Optional[EnginePolicy] = None,
     seed: int = 0,
     trace: bool = False,
+    precompute: bool = True,
 ) -> EngineReport:
     """One-shot convenience: classify ``samples`` through an engine."""
     with ProtocolEngine(
@@ -368,6 +384,7 @@ def run_engine(
         policy=policy,
         seed=seed,
         trace=trace,
+        precompute=precompute,
     ) as engine:
         for sample in samples:
             engine.submit_classification(sample)

@@ -22,6 +22,14 @@ The switch is process-global: :func:`set_enabled` /
 :func:`naive_arithmetic` flip it (benchmarks and differential tests),
 and the ``REPRO_NAIVE_ARITH=1`` environment variable disables the hot
 path at import time (engine worker processes inherit it).
+
+Underneath the switch sits a second, orthogonal axis: the **bignum
+backend** (:mod:`repro.math.fastpath.backends`).  The hot path
+dispatches its primitive operations (``powmod``, ``invert``,
+``mul_mod``, ``jacobi``) through the active :class:`BignumBackend` —
+pure CPython by default (the oracle), GMP via ``gmpy2`` when importable
+or forced with ``REPRO_BIGNUM_BACKEND``.  Both backends are
+bit-identical; the naive reference never touches the backend at all.
 """
 
 from __future__ import annotations
@@ -31,6 +39,18 @@ from contextlib import contextmanager
 from fractions import Fraction
 from math import gcd
 from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.math.fastpath.backends import (  # noqa: F401 - re-exported API
+    BignumBackend,
+    Gmpy2Backend,
+    PythonBackend,
+    available_backends,
+    backend_name,
+    get_backend,
+    gmpy2_available,
+    set_backend,
+    use_backend,
+)
 
 _ENABLED = os.environ.get("REPRO_NAIVE_ARITH", "").strip().lower() not in (
     "1",

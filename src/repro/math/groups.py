@@ -13,10 +13,12 @@ Parameter sizes here are tunable: tests and benchmarks use small groups
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.exceptions import ValidationError
 from repro.math import fastpath
 from repro.math.numtheory import (
@@ -77,7 +79,15 @@ class SchnorrGroup:
         return pow(element, self.q, self.p) == 1
 
     def exp(self, base: int, exponent: int) -> int:
-        """Return ``base ** exponent mod p``."""
+        """Return ``base ** exponent mod p``.
+
+        Variable-base exponentiation routes through the active bignum
+        backend under the hot path (gmpy2's ``powmod`` is several times
+        faster than CPython ``pow`` at these sizes); the naive
+        reference stays pure CPython.
+        """
+        if fastpath.enabled():
+            return fastpath.get_backend().powmod(base, exponent % self.q, self.p)
         return pow(base, exponent % self.q, self.p)
 
     def exp_g(self, exponent: int) -> int:
@@ -108,7 +118,21 @@ class SchnorrGroup:
         key = (self.p, self.q, self.g)
         table = _FIXED_BASE_TABLES.get(key)
         if table is None:
+            started = time.perf_counter()
             table = FixedBaseTable(self.g, self.p, self.q.bit_length())
+            elapsed = time.perf_counter() - started
+            _TABLE_STATS["builds"] += 1
+            _TABLE_STATS["build_seconds"] += elapsed
+            metrics = obs.get_metrics()
+            if metrics.enabled:
+                metrics.counter(
+                    "repro_precompute_misses_total",
+                    "Precompute-store misses that forced a live build",
+                ).inc(kind="fixed-base-table")
+                metrics.histogram(
+                    "repro_precompute_build_seconds",
+                    "Time spent building precompute material on a miss",
+                ).observe(elapsed, kind="fixed-base-table")
             _FIXED_BASE_TABLES[key] = table
             while len(_FIXED_BASE_TABLES) > _FIXED_BASE_TABLE_CAP:
                 try:
@@ -116,6 +140,9 @@ class SchnorrGroup:
                 except KeyError:
                     break  # another thread emptied the cache under us
         else:
+            # Hot path (once per exp_g): a plain dict bump only — the
+            # metrics registry is consulted on misses, never on hits.
+            _TABLE_STATS["hits"] += 1
             try:
                 _FIXED_BASE_TABLES.move_to_end(key)
             except KeyError:
@@ -170,6 +197,81 @@ class SchnorrGroup:
 _FIXED_BASE_TABLES: "OrderedDict" = OrderedDict()
 _FIXED_BASE_TABLE_CAP = 16
 
+#: Process-local generator-table cache statistics.  Kept as a plain
+#: dict (not metrics instruments) because the hit counter is bumped on
+#: every ``exp_g`` — the precompute service exports these into the
+#: registry at convenient boundaries (engine drain, ``repro observe``).
+_TABLE_STATS: Dict[str, float] = {"hits": 0, "builds": 0, "build_seconds": 0.0}
+
+
+def fixed_base_table_stats() -> Dict[str, float]:
+    """Snapshot of the generator-table cache counters (hits/builds)."""
+    return dict(_TABLE_STATS)
+
+
+def reset_fixed_base_table_stats() -> None:
+    """Zero the cache counters (engine workers call this after fork,
+    so inherited parent-side builds are not charged to the worker)."""
+    _TABLE_STATS["hits"] = 0
+    _TABLE_STATS["builds"] = 0
+    _TABLE_STATS["build_seconds"] = 0.0
+
+
+def cached_table_keys() -> List[tuple]:
+    """The ``(p, q, g)`` triples currently warm in the table cache."""
+    return list(_FIXED_BASE_TABLES.keys())
+
+
+def export_fixed_base_tables(
+    keys: Optional[Sequence[tuple]] = None,
+) -> List[dict]:
+    """Serialize cached generator tables for another process.
+
+    Rows are lowered to plain ints, so the blob is picklable and
+    backend-independent; ``keys`` filters to specific ``(p, q, g)``
+    triples (the engine ships only its own group, not every cached
+    table).
+    """
+    wanted = set(keys) if keys is not None else None
+    exported = []
+    for key, table in _FIXED_BASE_TABLES.items():
+        if wanted is not None and key not in wanted:
+            continue
+        p, q, g = key
+        exported.append(
+            {
+                "p": p,
+                "q": q,
+                "g": g,
+                "window": table.window,
+                "rows": table.to_rows(),
+            }
+        )
+    return exported
+
+
+def install_fixed_base_tables(blobs: Sequence[dict]) -> int:
+    """Install serialized tables into this process's cache.
+
+    Existing entries win (a worker forked from a warm parent already
+    holds the identical table); returns the number actually installed.
+    """
+    installed = 0
+    for blob in blobs:
+        key = (blob["p"], blob["q"], blob["g"])
+        if key in _FIXED_BASE_TABLES:
+            continue
+        _FIXED_BASE_TABLES[key] = FixedBaseTable.from_rows(
+            blob["p"], blob["window"], blob["rows"]
+        )
+        installed += 1
+        while len(_FIXED_BASE_TABLES) > _FIXED_BASE_TABLE_CAP:
+            try:
+                _FIXED_BASE_TABLES.popitem(last=False)
+            except KeyError:
+                break
+    return installed
+
 
 class FixedBaseTable:
     """Windowed fixed-base exponentiation.
@@ -189,14 +291,39 @@ class FixedBaseTable:
         self.window = window
         self.windows = (exponent_bits + window - 1) // window
         self._table = []
+        # Table entries are held in the backend-native representation
+        # (mpz under gmpy2, plain int under python): the per-window
+        # multiplications in ``mul_power`` then run on native values
+        # with operator syntax — no per-multiply dispatch overhead —
+        # and the result is lowered to int exactly once on return.
+        lift = fastpath.get_backend().mpz
+        native_modulus = lift(modulus)
         radix = 1 << window
-        block_base = base
+        block_base = lift(base % modulus)
+        one = lift(1)
         for _ in range(self.windows):
-            row = [1] * radix
+            row = [one] * radix
             for digit in range(1, radix):
-                row[digit] = (row[digit - 1] * block_base) % modulus
+                row[digit] = (row[digit - 1] * block_base) % native_modulus
             self._table.append(row)
-            block_base = (row[radix - 1] * block_base) % modulus
+            block_base = (row[radix - 1] * block_base) % native_modulus
+
+    def to_rows(self) -> List[List[int]]:
+        """The precomputed rows as plain ints (picklable, backend-free)."""
+        return [[int(entry) for entry in row] for row in self._table]
+
+    @classmethod
+    def from_rows(
+        cls, modulus: int, window: int, rows: Sequence[Sequence[int]]
+    ) -> "FixedBaseTable":
+        """Rebuild a table from :meth:`to_rows` output without recomputing."""
+        table = cls.__new__(cls)
+        table.modulus = modulus
+        table.window = window
+        table.windows = len(rows)
+        lift = fastpath.get_backend().mpz
+        table._table = [[lift(entry) for entry in row] for row in rows]
+        return table
 
     def power(self, exponent: int) -> int:
         """Return ``base ** exponent mod modulus``."""
@@ -224,7 +351,8 @@ class FixedBaseTable:
             position += 1
         if exponent:
             raise ValidationError("exponent exceeds the precomputed range")
-        return result
+        # Lower back to int: table entries may be backend-native (mpz).
+        return int(result)
 
 
 #: Minimum slot count before the per-session dual tables pay for their

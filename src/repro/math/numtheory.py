@@ -13,7 +13,21 @@ import math
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import KeyGenerationError, ValidationError
+from repro.math import fastpath
 from repro.utils.rng import ReproRandom
+
+
+def _powmod():
+    """The active modexp primitive: backend under the hot path, else pow.
+
+    The naive reference (``fastpath.enabled() == False``) must stay
+    pure CPython — it is the seed implementation retained verbatim —
+    so backend dispatch is gated on the hot-path switch, not merely on
+    backend availability.
+    """
+    if fastpath.enabled():
+        return fastpath.get_backend().powmod
+    return pow
 
 #: Small primes used for fast trial-division pre-screening.
 _SMALL_PRIMES: Tuple[int, ...] = (
@@ -38,11 +52,12 @@ def _miller_rabin_witness(candidate: int, witness: int) -> bool:
     while exponent % 2 == 0:
         exponent //= 2
         twos += 1
-    x = pow(witness, exponent, candidate)
+    powmod = _powmod()
+    x = powmod(witness, exponent, candidate)
     if x in (1, candidate - 1):
         return False
     for _ in range(twos - 1):
-        x = pow(x, 2, candidate)
+        x = powmod(x, 2, candidate)
         if x == candidate - 1:
             return False
     return True
@@ -122,6 +137,10 @@ def modular_inverse(value: int, modulus: int) -> int:
     """
     if modulus <= 1:
         raise ValidationError(f"modulus must exceed 1, got {modulus}")
+    if fastpath.enabled():
+        # The backend raises the same ValidationError message on
+        # non-invertible values, so callers see one error shape.
+        return fastpath.get_backend().invert(value, modulus)
     g, x, _ = extended_gcd(value % modulus, modulus)
     if g != 1:
         raise ValidationError(f"{value} is not invertible modulo {modulus}")
@@ -145,20 +164,27 @@ def batch_modular_inverse(values: Sequence[int], modulus: int) -> List[int]:
     reduced = [value % modulus for value in values]
     if not reduced:
         return []
-    prefix = [0] * len(reduced)
-    running = 1
-    for index, value in enumerate(reduced):
+    # Under the hot path, run the product chains on backend-native
+    # values (mpz under gmpy2; identity under python) and lower each
+    # inverse back to int — type and value identical to the reference.
+    backend = fastpath.get_backend() if fastpath.enabled() else None
+    lift = backend.mpz if backend is not None else (lambda v: v)
+    mod = lift(modulus)
+    lifted = [lift(value) for value in reduced]
+    prefix = [0] * len(lifted)
+    running = lift(1)
+    for index, value in enumerate(lifted):
         prefix[index] = running
-        running = (running * value) % modulus
-    if math.gcd(running, modulus) != 1:
+        running = (running * value) % mod
+    if math.gcd(int(running), modulus) != 1:
         for value in reduced:  # locate the culprit for a precise error
             if math.gcd(value, modulus) != 1:
                 raise ValidationError(f"{value} is not invertible modulo {modulus}")
-    inverse_running = modular_inverse(running, modulus)
-    inverses = [0] * len(reduced)
-    for index in range(len(reduced) - 1, -1, -1):
-        inverses[index] = (inverse_running * prefix[index]) % modulus
-        inverse_running = (inverse_running * reduced[index]) % modulus
+    inverse_running = lift(modular_inverse(int(running), modulus))
+    inverses = [0] * len(lifted)
+    for index in range(len(lifted) - 1, -1, -1):
+        inverses[index] = int((inverse_running * prefix[index]) % mod)
+        inverse_running = (inverse_running * lifted[index]) % mod
     return inverses
 
 
@@ -174,6 +200,8 @@ def jacobi_symbol(a: int, n: int) -> int:
     """
     if n <= 0 or n % 2 == 0:
         raise ValidationError(f"Jacobi symbol requires odd positive n, got {n}")
+    if fastpath.enabled():
+        return fastpath.get_backend().jacobi(a, n)
     a %= n
     result = 1
     while a:

@@ -83,6 +83,7 @@ from repro.core.similarity.remote import (
     run_similarity_bob_linear,
     run_similarity_bob_nonlinear,
 )
+from repro.crypto.precompute import get_precompute_service
 from repro.exceptions import ProtocolError, ReproError, ValidationError
 from repro.ml.svm.model import SVMModel
 from repro.net import wire
@@ -209,6 +210,7 @@ class TrainerServer:
         drain_timeout: float = 5.0,
         trace_log_size: int = 256,
         output_policy: Optional[OutputPolicy] = None,
+        precompute: bool = True,
     ) -> None:
         if max_connections < 1:
             raise ValidationError(
@@ -234,6 +236,17 @@ class TrainerServer:
         self.max_connections = max_connections
         self.drain_timeout = drain_timeout
         self._function = decision_function_for_model(model)
+        #: Warm the shared precompute store before the first accept:
+        #: the generator table for this server's group is built exactly
+        #: once here, and every session (each on its own thread) then
+        #: runs on the hot table — zero per-session rebuilds.  The
+        #: ``serve --no-precompute`` flag disables this for cold-start
+        #: measurements.
+        self.precompute = precompute
+        if precompute:
+            service = get_precompute_service()
+            service.warm_group(self.config.resolved_group())
+            service.export_metrics(scope="server")
         self._socket = wire.listen(host, port, backlog=max(4, max_connections))
         self._lock = threading.Lock()
         self._served = 0
@@ -558,6 +571,12 @@ class TrainerServer:
             raise ProtocolError("session/open 'trace' must be a trace context")
         transport = getattr(connection, "transport", "tcp")
         session_id = f"s{next(self._session_ids)}"
+        if self.precompute:
+            # Hand the session the warm store: a hit here (the expected
+            # case after the constructor warmed the group) is counted
+            # as repro_precompute_hits_total{kind="fixed-base-table"};
+            # a miss rebuilds and is counted loudly as such.
+            get_precompute_service().warm_group(self.config.resolved_group())
         with self._lock:
             state = self._connections.get(connection)
             if state is not None:

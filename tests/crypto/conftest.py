@@ -1,0 +1,34 @@
+"""Backend matrix for the crypto differential/property suites.
+
+Mirror of ``tests/math/conftest.py``: every OT/Paillier/hashing test
+runs under each available bignum backend, pinning transcript- and
+ciphertext-level bit-identity between the pure-Python oracle and the
+gmpy2 accelerator (skipped when gmpy2 is not importable).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.math.fastpath import backends
+
+
+def _backend_params():
+    params = [pytest.param("python", id="be-python")]
+    params.append(
+        pytest.param(
+            "gmpy2",
+            id="be-gmpy2",
+            marks=pytest.mark.skipif(
+                not backends.gmpy2_available(), reason="gmpy2 not installed"
+            ),
+        )
+    )
+    return params
+
+
+@pytest.fixture(params=_backend_params(), autouse=True)
+def bignum_backend(request):
+    """Run the test under each backend, restoring the previous one."""
+    with backends.use_backend(request.param):
+        yield request.param

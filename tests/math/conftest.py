@@ -1,0 +1,35 @@
+"""Backend matrix for the math differential/property suites.
+
+Every test in this directory runs once per available bignum backend
+(:mod:`repro.math.fastpath.backends`): the pure-Python oracle always,
+and gmpy2 when importable (skipped otherwise).  Bit-identity between
+backends is thereby enforced by the *entire* suite, not just by the
+dedicated cross-backend tests in ``test_backends.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.math.fastpath import backends
+
+
+def _backend_params():
+    params = [pytest.param("python", id="be-python")]
+    params.append(
+        pytest.param(
+            "gmpy2",
+            id="be-gmpy2",
+            marks=pytest.mark.skipif(
+                not backends.gmpy2_available(), reason="gmpy2 not installed"
+            ),
+        )
+    )
+    return params
+
+
+@pytest.fixture(params=_backend_params(), autouse=True)
+def bignum_backend(request):
+    """Run the test under each backend, restoring the previous one."""
+    with backends.use_backend(request.param):
+        yield request.param
