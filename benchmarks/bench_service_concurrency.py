@@ -247,3 +247,258 @@ def test_concurrent_similarity_t_squared_identical(bench_config):
     for seed in seeds:
         assert outcomes[seed].t_squared == reference[seed].t_squared
         assert outcomes[seed].t == reference[seed].t
+
+
+# -- protocol v2: multiplexed sessions ---------------------------------------
+
+_V2_CLIENTS = 16
+
+
+def _v2_seed(client, session):
+    return 5000 + client * 10 + session
+
+
+def _run_v1_thread_per_connection(model, config, think_s):
+    """16 clients, one connection each, two think-separated sessions,
+    against a server with a fixed budget of 4 serve threads.  The think
+    time parks a scarce serve thread: this is the head-of-line cost v2
+    exists to remove."""
+    server = TrainerServer(
+        model, config=config, max_connections=4, session_timeout=120.0,
+    )
+    host, port = server.address
+    total = _V2_CLIENTS * _SESSIONS_PER_CLIENT
+    serving = threading.Thread(
+        target=lambda: server.serve_forever(
+            max_sessions=total, accept_timeout=120.0
+        ),
+        daemon=True,
+    )
+    serving.start()
+    outcomes = {}
+    errors = []
+
+    def client_run(index):
+        try:
+            with TrainerClient(
+                host, port, config=config, timeout=120.0,
+                attempts=60, retry_delay_s=0.1, protocol="v1",
+            ) as client:
+                for session in range(_SESSIONS_PER_CLIENT):
+                    if session:
+                        time.sleep(think_s)
+                    outcomes[(index, session)] = client.classify(
+                        _SAMPLES[index % len(_SAMPLES)],
+                        seed=_v2_seed(index, session),
+                    )
+        except BaseException as error:  # noqa: BLE001 — reported below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=client_run, args=(index,), daemon=True)
+        for index in range(_V2_CLIENTS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    server.stop()
+    serving.join(10.0)
+    server.close()
+    if errors:
+        raise errors[0]
+    return wall, outcomes
+
+
+def _run_v2_multiplexed(model, config, think_s):
+    """The same 16-client workload multiplexed over ONE connection,
+    against the same thread budget (4 session workers).  Thinking
+    clients cost the server nothing: the event loop holds their idle
+    sessions while the worker pool serves active ones."""
+    server = TrainerServer(
+        model, config=config, session_timeout=120.0, session_workers=4,
+    )
+    host, port = server.address
+    total = _V2_CLIENTS * _SESSIONS_PER_CLIENT
+    serving = threading.Thread(
+        target=lambda: server.serve_forever(
+            max_sessions=total, accept_timeout=120.0
+        ),
+        daemon=True,
+    )
+    serving.start()
+    outcomes = {}
+    errors = []
+
+    with TrainerClient(
+        host, port, config=config, timeout=120.0, protocol="v2"
+    ) as client:
+
+        def client_run(index):
+            try:
+                for session in range(_SESSIONS_PER_CLIENT):
+                    if session:
+                        time.sleep(think_s)
+                    outcomes[(index, session)] = client.classify_async(
+                        _SAMPLES[index % len(_SAMPLES)],
+                        seed=_v2_seed(index, session),
+                    ).result(timeout=120.0)
+            except BaseException as error:  # noqa: BLE001 — reported below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=client_run, args=(index,), daemon=True)
+            for index in range(_V2_CLIENTS)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+    server.stop()
+    serving.join(10.0)
+    server.close()
+    if errors:
+        raise errors[0]
+    return wall, outcomes
+
+
+def test_v2_multiplexing_is_2x_v1_at_16_clients(bench_config):
+    """Fixed thread budget (4 protocol threads), 16 clients with think
+    time: v2 session throughput >= 2x v1 thread-per-connection, with
+    transcripts bit-identical to v1 and to the in-process protocol."""
+    model = make_linear_model(_MODEL_WEIGHTS, _MODEL_BIAS)
+
+    calibration = TrainerServer(model, config=bench_config)
+    host, port = calibration.address
+    serving = threading.Thread(
+        target=lambda: calibration.serve_forever(max_sessions=3),
+        daemon=True,
+    )
+    serving.start()
+    session_cost = _measure_session_cost(host, port, bench_config)
+    calibration.stop()
+    serving.join(10.0)
+    calibration.close()
+    think_s = max(0.25, 30.0 * session_cost)
+
+    wall_v1, outcomes_v1 = _run_v1_thread_per_connection(
+        model, bench_config, think_s
+    )
+    wall_v2, outcomes_v2 = _run_v2_multiplexed(model, bench_config, think_s)
+
+    total = _V2_CLIENTS * _SESSIONS_PER_CLIENT
+    speedup = wall_v1 / wall_v2
+    print(
+        f"\nv1 thread-per-connection {wall_v1:.2f}s "
+        f"({total / wall_v1:.1f} sessions/s), "
+        f"v2 multiplexed {wall_v2:.2f}s ({total / wall_v2:.1f} sessions/s), "
+        f"speedup {speedup:.2f}x "
+        f"(think {think_s * 1e3:.0f} ms, 4 protocol threads each)"
+    )
+    update_artifact(
+        "service",
+        "protocol_v2",
+        {
+            "clients": _V2_CLIENTS,
+            "sessions_per_client": _SESSIONS_PER_CLIENT,
+            "protocol_threads": 4,
+            "think_ms": round(think_s * 1e3, 1),
+            "v1_wall_s": round(wall_v1, 3),
+            "v2_wall_s": round(wall_v2, 3),
+            "v1_sessions_per_s": round(total / wall_v1, 2),
+            "v2_sessions_per_s": round(total / wall_v2, 2),
+            "speedup": round(speedup, 2),
+        },
+        directory=_artifact_dir(),
+    )
+
+    # Bit-identity across all three transports, every session.
+    for index in range(_V2_CLIENTS):
+        for session in range(_SESSIONS_PER_CLIENT):
+            reference = private_classify(
+                model, _SAMPLES[index % len(_SAMPLES)],
+                config=bench_config, seed=_v2_seed(index, session),
+            )
+            v1 = outcomes_v1[(index, session)]
+            v2 = outcomes_v2[(index, session)]
+            for outcome in (v1, v2):
+                assert outcome.label == reference.label
+                assert (
+                    outcome.randomized_value == reference.randomized_value
+                )
+            assert (
+                v1.report.transcript.bytes_by_phase()
+                == v2.report.transcript.bytes_by_phase()
+                == reference.report.transcript.bytes_by_phase()
+            )
+
+    assert speedup >= 2.0, (
+        f"v2 multiplexing only {speedup:.2f}x over v1 thread-per-connection "
+        f"(v1 {wall_v1:.2f}s, v2 {wall_v2:.2f}s)"
+    )
+
+
+def test_v2_64_sessions_on_one_connection(bench_config):
+    """64 concurrent multiplexed sessions on a single TCP connection,
+    every one bit-identical to its in-process run."""
+    model = make_linear_model(_MODEL_WEIGHTS, _MODEL_BIAS)
+    count = 64
+    server = TrainerServer(
+        model, config=bench_config, session_timeout=120.0, session_workers=8,
+    )
+    host, port = server.address
+    serving = threading.Thread(
+        target=lambda: server.serve_forever(
+            max_sessions=count, accept_timeout=120.0
+        ),
+        daemon=True,
+    )
+    serving.start()
+    with TrainerClient(
+        host, port, config=bench_config, timeout=120.0, protocol="v2"
+    ) as client:
+        start = time.perf_counter()
+        futures = [
+            client.classify_async(
+                _SAMPLES[index % len(_SAMPLES)], seed=7000 + index
+            )
+            for index in range(count)
+        ]
+        outcomes = [future.result(timeout=120.0) for future in futures]
+        wall = time.perf_counter() - start
+    server.stop()
+    serving.join(10.0)
+    server.close()
+
+    print(
+        f"\n{count} multiplexed sessions on one connection: "
+        f"{wall:.2f}s ({count / wall:.1f} sessions/s, 8 session workers)"
+    )
+    update_artifact(
+        "service",
+        "v2_single_connection",
+        {
+            "sessions": count,
+            "connections": 1,
+            "session_workers": 8,
+            "wall_s": round(wall, 3),
+            "sessions_per_s": round(count / wall, 2),
+        },
+        directory=_artifact_dir(),
+    )
+
+    for index, outcome in enumerate(outcomes):
+        reference = private_classify(
+            model, _SAMPLES[index % len(_SAMPLES)],
+            config=bench_config, seed=7000 + index,
+        )
+        assert outcome.label == reference.label
+        assert outcome.randomized_value == reference.randomized_value
+        assert (
+            outcome.report.transcript.bytes_by_phase()
+            == reference.report.transcript.bytes_by_phase()
+        )

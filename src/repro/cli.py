@@ -382,6 +382,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain_timeout=args.drain_timeout,
         output_policy=output_policy,
         precompute=args.precompute,
+        session_workers=args.session_workers,
     ) as server:
         from repro.math import fastpath
 
@@ -393,7 +394,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serving {args.model} on {host}:{port} "
               f"({'linear' if model.is_linear() else 'kernel'} model, "
               f"dimension {model.dimension}, "
-              f"up to {args.workers} concurrent connections{policy_note}, "
+              f"up to {args.workers} concurrent connections, "
+              f"protocols v1+v2 ({args.session_workers} session workers)"
+              f"{policy_note}, "
               f"bignum backend {fastpath.backend_name()}, "
               f"precompute {precompute_note})")
         if args.port_file:
@@ -416,14 +419,17 @@ def _cmd_remote_classify(args: argparse.Namespace) -> int:
     try:
         if args.pool > 1:
             with TrainerClientPool(
-                host, port, size=args.pool, config=config, timeout=args.timeout
+                host, port, size=args.pool, config=config,
+                timeout=args.timeout, protocol=args.protocol,
+                pipeline=args.pipeline,
             ) as pool:
                 outcomes = pool.classify_many(
                     [X[index] for index in range(limit)], seeds=seeds
                 )
         else:
             with TrainerClient(
-                host, port, config=config, timeout=args.timeout
+                host, port, config=config, timeout=args.timeout,
+                protocol=args.protocol,
             ) as client:
                 outcomes = [
                     client.classify(X[index], seed=seeds[index])
@@ -459,7 +465,10 @@ def _cmd_remote_similarity(args: argparse.Namespace) -> int:
         from repro.core.similarity.policy import parse_output_policy
 
         policy = parse_output_policy(args.output_policy)
-    with TrainerClient(host, port, config=config, timeout=args.timeout) as client:
+    with TrainerClient(
+        host, port, config=config, timeout=args.timeout,
+        protocol=args.protocol,
+    ) as client:
         outcome = client.evaluate_similarity(
             model, seed=args.seed, policy=policy
         )
@@ -518,7 +527,9 @@ def _cmd_top(args: argparse.Namespace) -> int:
     from repro.net.service import AdminClient
 
     host, port = _parse_endpoint(args.connect)
-    with AdminClient(host, port, timeout=args.timeout) as admin:
+    with AdminClient(
+        host, port, timeout=args.timeout, protocol=args.protocol
+    ) as admin:
         for iteration in range(max(1, args.iterations)):
             if iteration:
                 time.sleep(args.interval)
@@ -541,7 +552,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     fragments = []
     if args.connect:
         host, port = _parse_endpoint(args.connect)
-        with AdminClient(host, port, timeout=args.timeout) as admin:
+        with AdminClient(
+            host, port, timeout=args.timeout, protocol=args.protocol
+        ) as admin:
             dump = admin.trace(session=args.session)
         for entry in dump.sessions:
             origin = f"server/{entry.get('session', '?')}"
@@ -657,6 +670,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-connection socket timeout in seconds")
     serve.add_argument("--workers", type=int, default=8,
                        help="max concurrent client connections")
+    serve.add_argument("--session-workers", type=int, default=8,
+                       help="worker threads for protocol v2 multiplexed "
+                            "sessions (v1 connections are unaffected)")
     serve.add_argument("--drain-timeout", type=float, default=5.0,
                        help="seconds in-flight sessions get to finish on shutdown")
     serve.add_argument("--security-degree", type=int, default=2)
@@ -688,6 +704,14 @@ def build_parser() -> argparse.ArgumentParser:
     remote_classify.add_argument("--seed", type=int, default=0)
     remote_classify.add_argument("--timeout", type=float, default=30.0)
     remote_classify.add_argument("--security-degree", type=int, default=2)
+    remote_classify.add_argument("--protocol", default="auto",
+                                 choices=("v1", "v2", "auto"),
+                                 help="wire protocol: v1 (one session per "
+                                      "connection), v2 (multiplexed "
+                                      "sessions), or auto-negotiate")
+    remote_classify.add_argument("--pipeline", type=int, default=16,
+                                 help="max in-flight sessions per pooled v2 "
+                                      "connection (ignored on v1)")
     remote_classify.add_argument("--trace-out", default=None,
                                  help="trace the run and write the client-side "
                                       "span fragment as JSON lines")
@@ -702,6 +726,10 @@ def build_parser() -> argparse.ArgumentParser:
     remote_similarity.add_argument("--seed", type=int, default=0)
     remote_similarity.add_argument("--timeout", type=float, default=30.0)
     remote_similarity.add_argument("--security-degree", type=int, default=2)
+    remote_similarity.add_argument("--protocol", default="auto",
+                                   choices=("v1", "v2", "auto"),
+                                   help="wire protocol: v1, v2, or "
+                                        "auto-negotiate")
     remote_similarity.add_argument("--output-policy", default=None,
                                    help="request a mitigated output mode: "
                                         "raw, threshold:<t>, top-k:<k>, or "
@@ -736,6 +764,9 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--no-clear", action="store_true",
                      help="do not clear the screen between frames")
     top.add_argument("--timeout", type=float, default=10.0)
+    top.add_argument("--protocol", default="auto",
+                     choices=("v1", "v2", "auto"),
+                     help="admin channel wire protocol")
 
     trace = sub.add_parser(
         "trace",
@@ -749,6 +780,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="extra local trace JSONL files to stitch in "
                             "(e.g. from remote-classify --trace-out)")
     trace.add_argument("--timeout", type=float, default=10.0)
+    trace.add_argument("--protocol", default="auto",
+                       choices=("v1", "v2", "auto"),
+                       help="admin channel wire protocol")
 
     return parser
 

@@ -52,6 +52,11 @@ class Message:
         Estimated wire size.
     sequence:
         Global monotonically increasing id (ordering in transcripts).
+    session_id:
+        Wire session the message travelled on (protocol v2
+        multiplexing); ``None`` on unmultiplexed transports.  Excluded
+        from equality so v1, v2, and in-memory transcripts of the same
+        protocol run compare equal message for message.
     """
 
     sender: str
@@ -60,6 +65,7 @@ class Message:
     payload: Any
     size_bytes: int = field(default=-1)
     sequence: int = field(default_factory=lambda: next(_COUNTER))
+    session_id: Any = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not self.msg_type:

@@ -1,0 +1,552 @@
+"""Server-side event loop for protocol v2 (multiplexed) connections.
+
+One :class:`MuxServerLoop` thread owns every upgraded connection's
+socket through a ``selectors`` poll: it reads non-blocking, reassembles
+length-prefixed frames, and routes each one through the connection's
+:class:`~repro.net.mux.MuxRouter`.  Opened sessions are handed to a
+bounded :class:`~concurrent.futures.ThreadPoolExecutor`
+(``session_workers``) where the unchanged *blocking* protocol drivers
+run — the anonlink-style split between async I/O workers and CPU
+workers.  Session threads write back through a per-connection send
+lock (with writability polling, since the loop owns the socket in
+non-blocking mode), so the loop thread never blocks on a slow peer.
+
+Fault containment mirrors the router's error vocabulary: a session-
+scoped fault (unknown/duplicate/closed session id) answers with a
+``session/error`` frame on the offending id and bumps
+``repro_wire_faults_total{kind=...}`` — every other session keeps
+running; a frame-level fault (truncated header, bad version byte,
+undecodable message) kills the connection and poisons its sessions,
+because past it the stream has no trustworthy frame boundaries.  A
+mid-session disconnect poisons exactly that connection's sessions; the
+loop and the other connections are untouched.
+
+This module is transport-plumbing only: what a session *does* (accept
+negotiation, protocol serving, budget accounting) is injected by
+:class:`~repro.net.service.TrainerServer` as the ``session_handler``
+and ``control_handler`` callbacks.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import struct
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional
+
+from repro import obs
+from repro.exceptions import ProtocolError, ReproError
+from repro.net.mux import (
+    CLOSE,
+    ERROR,
+    ClosedSessionError,
+    DuplicateSessionError,
+    MuxFrameError,
+    MuxSession,
+    UnknownSessionError,
+)
+from repro.net.wire import MAX_FRAME_BYTES, _wire_fault
+from repro.utils.serialization import (
+    CONTROL_SESSION_ID,
+    decode_message,
+    encode_message,
+    encode_mux_frame,
+)
+
+_HEADER = struct.Struct(">I")
+
+#: Deadline for best-effort error frames sent from the *loop* thread.
+#: The loop serves every connection; it must never block long on one
+#: hostile peer's full send buffer.
+_LOOP_SEND_DEADLINE_S = 0.5
+
+
+def _count_wire_bytes(direction: str, count: int) -> None:
+    metrics = obs.get_metrics()
+    if metrics.enabled:
+        metrics.counter(
+            "repro_wire_bytes_total", "Raw TCP bytes, by direction"
+        ).inc(count, direction=direction)
+
+
+class MuxConnection:
+    """One upgraded (protocol v2) server connection.
+
+    The loop thread is the only reader and the only party that closes
+    the socket; session threads send through :meth:`send_frame` under
+    the send lock.  Session bookkeeping is lock-guarded because session
+    threads discard their entry while the loop thread routes frames.
+    """
+
+    #: Transport label for session telemetry.
+    transport = "tcp"
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        session_timeout: Optional[float],
+        on_closed: Optional[Callable[[], None]] = None,
+    ) -> None:
+        sock.setblocking(False)
+        self.sock = sock
+        self.session_timeout = session_timeout
+        self.buffer = bytearray()
+        self.router: Any = None  # set by the loop (import-cycle-free)
+        self._on_closed = on_closed
+        self._send_lock = threading.Lock()
+        self._sessions: Dict[int, MuxSession] = {}
+        self._sessions_lock = threading.Lock()
+        # Closed-state flips under its own lock, NOT the send lock: the
+        # loop thread closes connections and must never wait behind a
+        # session thread stalled in a writability poll.
+        self._state_lock = threading.Lock()
+        self._closed = False
+
+    # -- sessions ----------------------------------------------------------------
+
+    def add_session(self, session: MuxSession) -> None:
+        with self._sessions_lock:
+            self._sessions[session.id] = session
+
+    def get_session(self, session_id: int) -> Optional[MuxSession]:
+        with self._sessions_lock:
+            return self._sessions.get(session_id)
+
+    def pop_session(self, session_id: int) -> Optional[MuxSession]:
+        with self._sessions_lock:
+            return self._sessions.pop(session_id, None)
+
+    def drain_sessions(self) -> List[MuxSession]:
+        with self._sessions_lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        return sessions
+
+    @property
+    def session_count(self) -> int:
+        with self._sessions_lock:
+            return len(self._sessions)
+
+    # -- sending -----------------------------------------------------------------
+
+    def send_frame(
+        self, data: bytes, deadline_s: Optional[float] = None
+    ) -> int:
+        """Send one length-prefixed frame; thread-safe, blocking.
+
+        The socket is non-blocking (the event loop owns its read side),
+        so a full kernel buffer is waited out with writability polls —
+        bounded by ``deadline_s`` when given, else by the connection's
+        session timeout.
+        """
+        frame = _HEADER.pack(len(data)) + data
+        if deadline_s is None:
+            deadline_s = self.session_timeout
+        deadline = (
+            None if deadline_s is None else time.monotonic() + deadline_s
+        )
+        with self._send_lock:
+            if self._closed:
+                _wire_fault("disconnect")
+                raise ProtocolError(
+                    "peer connection lost during send: connection closed"
+                )
+            view = memoryview(frame)
+            while view:
+                try:
+                    sent = self.sock.send(view)
+                except (BlockingIOError, InterruptedError):
+                    remaining = 0.2
+                    if deadline is not None:
+                        remaining = min(remaining, deadline - time.monotonic())
+                        if remaining <= 0:
+                            _wire_fault("timeout")
+                            raise ProtocolError(
+                                "send timed out"
+                            ) from None
+                    try:
+                        selectors_wait_writable(self.sock, remaining)
+                    except (OSError, ValueError) as exc:
+                        _wire_fault("disconnect")
+                        raise ProtocolError(
+                            f"peer connection lost during send: {exc}"
+                        ) from exc
+                    continue
+                except OSError as exc:
+                    _wire_fault("disconnect")
+                    raise ProtocolError(
+                        f"peer connection lost during send: {exc}"
+                    ) from exc
+                view = view[sent:]
+        _count_wire_bytes("sent", len(frame))
+        return len(frame)
+
+    def send_session_error(
+        self, session_id: int, reason: str, from_loop: bool = False
+    ) -> None:
+        """Best-effort ``session/error`` frame on ``session_id``."""
+        try:
+            self.send_frame(
+                encode_mux_frame(session_id, encode_message(ERROR, reason)),
+                deadline_s=_LOOP_SEND_DEADLINE_S if from_loop else None,
+            )
+        except ProtocolError:
+            pass  # the connection is already unusable
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def mark_closed(self) -> bool:
+        """First caller wins; later calls are no-ops."""
+        with self._state_lock:
+            if self._closed:
+                return False
+            self._closed = True
+        return True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def notify_closed(self) -> None:
+        if self._on_closed is not None:
+            callback, self._on_closed = self._on_closed, None
+            callback()
+
+
+def selectors_wait_writable(sock: socket.socket, timeout: float) -> None:
+    """Block until ``sock`` is writable (or ``timeout`` passes)."""
+    with selectors.DefaultSelector() as selector:
+        selector.register(sock, selectors.EVENT_WRITE)
+        selector.select(max(0.0, timeout))
+
+
+class MuxServerLoop:
+    """The protocol-v2 event loop: one thread, many connections.
+
+    ``session_handler(conn, session, request)`` runs on an executor
+    thread for every accepted ``session/open``; it owns negotiation,
+    protocol serving, and accounting.  ``control_handler(conn,
+    msg_type, payload)`` answers control-session (admin) frames.
+    ``service_fault(kind)`` reports server-level faults so this module
+    stays free of a :mod:`repro.net.service` import.
+    """
+
+    def __init__(
+        self,
+        session_handler: Callable[[MuxConnection, MuxSession, Any], None],
+        control_handler: Callable[[MuxConnection, str, Any], None],
+        service_fault: Callable[[str], None],
+        router_factory: Callable[[], Any],
+        session_workers: int = 8,
+        session_timeout: Optional[float] = None,
+    ) -> None:
+        self._session_handler = session_handler
+        self._control_handler = control_handler
+        self._service_fault = service_fault
+        self._router_factory = router_factory
+        self._session_workers = max(1, session_workers)
+        self._session_timeout = session_timeout
+        self._selector = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._selector.register(self._wake_r, selectors.EVENT_READ)
+        self._pending: List[MuxConnection] = []
+        self._connections: List[MuxConnection] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        with self._lock:
+            if self._thread is not None:
+                return
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._session_workers,
+                thread_name_prefix="mux-session",
+            )
+            self._thread = threading.Thread(
+                target=self._run, name="mux-loop", daemon=True
+            )
+            self._thread.start()
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"\x00")
+        except OSError:
+            pass  # loop already shut down
+
+    def adopt(
+        self,
+        sock: socket.socket,
+        on_closed: Optional[Callable[[], None]] = None,
+    ) -> MuxConnection:
+        """Take ownership of an upgraded connection's socket."""
+        self._ensure_started()
+        conn = MuxConnection(
+            sock, self._session_timeout, on_closed=on_closed
+        )
+        conn.router = self._router_factory()
+        with self._lock:
+            if self._stop.is_set():
+                sock.close()
+                raise ProtocolError("server is stopping; connection refused")
+            self._pending.append(conn)
+        self._wake()
+        return conn
+
+    @property
+    def connection_count(self) -> int:
+        with self._lock:
+            return len(self._connections) + len(self._pending)
+
+    @property
+    def session_count(self) -> int:
+        with self._lock:
+            conns = list(self._connections)
+        return sum(conn.session_count for conn in conns)
+
+    def drain(self, deadline: float, poll_s: float = 0.05) -> None:
+        """Wait (until ``deadline``) for in-flight sessions to finish."""
+        while time.monotonic() < deadline:
+            if self.session_count == 0:
+                return
+            time.sleep(poll_s)
+
+    def shutdown(self, drain_timeout: float = 5.0) -> None:
+        """Drain, force-close the stragglers, and stop the loop thread.
+
+        Idempotent; safe to call when the loop never started.  Each
+        connection still mid-session at the deadline counts one
+        ``force-closed`` service fault, matching the v1 drain.
+        """
+        with self._lock:
+            thread = self._thread
+        if thread is not None:
+            self.drain(time.monotonic() + drain_timeout)
+        self._stop.set()
+        self._wake()
+        if thread is not None:
+            thread.join(timeout=drain_timeout + 5.0)
+        with self._lock:
+            leftovers = self._connections + self._pending
+            self._connections = []
+            self._pending = []
+            executor = self._executor
+        for conn in leftovers:
+            if conn.session_count:
+                self._service_fault("force-closed")
+            self._close_connection(
+                conn,
+                ProtocolError("server is stopping"),
+                unregister=False,
+            )
+        if executor is not None:
+            executor.shutdown(wait=True)
+        try:
+            self._selector.close()
+        except OSError:
+            pass
+        for sock in (self._wake_r, self._wake_w):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -- the loop ----------------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                events = self._selector.select(timeout=0.2)
+            except OSError:
+                break  # selector closed under us during shutdown
+            self._admit_pending()
+            for key, _ in events:
+                if key.fileobj is self._wake_r:
+                    try:
+                        while self._wake_r.recv(4096):
+                            pass
+                    except (BlockingIOError, InterruptedError):
+                        pass
+                    except OSError:
+                        return
+                    continue
+                self._on_readable(key.data)
+
+    def _admit_pending(self) -> None:
+        with self._lock:
+            pending, self._pending = self._pending, []
+            self._connections.extend(pending)
+        for conn in pending:
+            self._selector.register(conn.sock, selectors.EVENT_READ, conn)
+
+    def _on_readable(self, conn: MuxConnection) -> None:
+        if conn.closed:
+            return
+        try:
+            data = conn.sock.recv(1 << 16)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError as exc:
+            _wire_fault("disconnect")
+            self._close_connection(
+                conn, ProtocolError(f"peer connection lost: {exc}")
+            )
+            return
+        if not data:
+            # EOF.  With sessions still open this is a mid-session
+            # disconnect (a fault); between sessions it is an orderly
+            # hang-up, exactly like the v1 serve loop's ConnectionClosed.
+            if conn.session_count:
+                _wire_fault("disconnect")
+            self._close_connection(
+                conn,
+                ProtocolError("peer closed the connection mid-session"),
+            )
+            return
+        conn.buffer += data
+        self._pump_frames(conn)
+
+    def _pump_frames(self, conn: MuxConnection) -> None:
+        while not conn.closed:
+            if len(conn.buffer) < _HEADER.size:
+                return
+            (length,) = _HEADER.unpack_from(conn.buffer)
+            if length > MAX_FRAME_BYTES:
+                _wire_fault("oversized-recv")
+                self._close_connection(
+                    conn,
+                    ProtocolError(
+                        f"peer announced a {length}-byte frame, above the "
+                        f"{MAX_FRAME_BYTES}-byte frame cap"
+                    ),
+                )
+                return
+            if len(conn.buffer) < _HEADER.size + length:
+                return
+            frame = bytes(conn.buffer[_HEADER.size:_HEADER.size + length])
+            del conn.buffer[:_HEADER.size + length]
+            _count_wire_bytes("received", _HEADER.size + length)
+            if not self._dispatch(conn, frame):
+                return
+
+    def _dispatch(self, conn: MuxConnection, frame: bytes) -> bool:
+        """Route one frame; False once the connection is gone."""
+        try:
+            routed = conn.router.route(frame)
+        except MuxFrameError as error:
+            # Frame boundaries can no longer be trusted: kill the
+            # connection (and only it).
+            _wire_fault("mux-frame")
+            conn.send_session_error(
+                CONTROL_SESSION_ID, str(error), from_loop=True
+            )
+            self._close_connection(conn, error)
+            return False
+        except DuplicateSessionError as error:
+            _wire_fault("duplicate-session")
+            conn.send_session_error(error.session_id, str(error), from_loop=True)
+            return True
+        except ClosedSessionError as error:
+            _wire_fault("closed-session")
+            conn.send_session_error(error.session_id, str(error), from_loop=True)
+            return True
+        except UnknownSessionError as error:
+            _wire_fault("unknown-session")
+            conn.send_session_error(error.session_id, str(error), from_loop=True)
+            return True
+        if routed.action == "control":
+            if routed.msg_type == CLOSE:
+                self._close_connection(
+                    conn, ProtocolError("peer closed the connection")
+                )
+                return False
+            try:
+                self._control_handler(conn, routed.msg_type, routed.payload)
+            except ReproError as error:
+                conn.send_session_error(
+                    CONTROL_SESSION_ID, str(error), from_loop=True
+                )
+            return True
+        if routed.action == "open":
+            session = MuxSession(
+                routed.session_id,
+                conn.send_frame,
+                timeout=conn.session_timeout,
+            )
+            conn.add_session(session)
+            assert self._executor is not None
+            self._executor.submit(
+                self._run_session, conn, session, routed.payload
+            )
+            return True
+        if routed.action == "deliver":
+            session = conn.get_session(routed.session_id)
+            if session is not None:
+                session.deliver(routed.message)
+            else:
+                # The session finished server-side a moment ago; count
+                # the straggler and drop it.
+                _wire_fault("closed-session")
+            return True
+        # action == "close": the peer cancelled or orderly-closed the
+        # session; unblock its serve thread with a typed error.
+        session = conn.pop_session(routed.session_id)
+        if session is not None:
+            if routed.msg_type == ERROR:
+                try:
+                    _, reason, _ = decode_message(routed.message)
+                except ReproError:
+                    reason = "unreadable reason"
+                session.poison(
+                    ProtocolError(f"peer reported a session error: {reason!r}")
+                )
+            else:
+                session.poison(
+                    ProtocolError(
+                        f"peer closed session {routed.session_id} mid-protocol"
+                    )
+                )
+        return True
+
+    def _run_session(
+        self, conn: MuxConnection, session: MuxSession, request: Any
+    ) -> None:
+        try:
+            self._session_handler(conn, session, request)
+        finally:
+            session.finish()
+            conn.pop_session(session.id)
+            conn.router.finish(session.id)
+
+    def _close_connection(
+        self,
+        conn: MuxConnection,
+        error: Exception,
+        unregister: bool = True,
+    ) -> None:
+        if not conn.mark_closed():
+            return
+        if unregister:
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+            with self._lock:
+                try:
+                    self._connections.remove(conn)
+                except ValueError:
+                    pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        for session in conn.drain_sessions():
+            session.poison(error)
+        conn.notify_closed()

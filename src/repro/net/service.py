@@ -87,6 +87,14 @@ from repro.crypto.precompute import get_precompute_service
 from repro.exceptions import ProtocolError, ReproError, ValidationError
 from repro.ml.svm.model import SVMModel
 from repro.net import wire
+from repro.net.mux import (
+    HELLO,
+    WELCOME,
+    MuxChannel,
+    MuxClientConnection,
+    MuxRouter,
+)
+from repro.net.muxserver import MuxConnection, MuxServerLoop
 from repro.net.transcript import Transcript
 from repro.net.wire import ConnectionClosed, WireChannel, WireConnection
 from repro.obs.distributed import (
@@ -99,7 +107,12 @@ from repro.obs.distributed import (
 )
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS
 from repro.obs.tracing import spans_to_jsonl
-from repro.utils.serialization import decode_message, encode_message
+from repro.utils.serialization import (
+    CONTROL_SESSION_ID,
+    decode_message,
+    encode_message,
+    encode_mux_frame,
+)
 
 #: Control message labels (never seen by protocol transcripts).
 OPEN = "session/open"
@@ -130,9 +143,28 @@ SESSION_BYTES = "repro_service_session_bytes_total"
 SERVICE_FAULTS = "repro_service_faults_total"
 _SERVICE_FAULTS_HELP = "Trainer service faults, by kind"
 
+#: Sessions currently being served, labelled by wire protocol
+#: (``protocol="v1"`` thread-per-connection, ``protocol="v2"``
+#: multiplexed).
+SESSIONS_INFLIGHT = "repro_service_sessions_inflight"
+
+#: Client-side wire protocol selection: ``"v1"`` (legacy sequential),
+#: ``"v2"`` (multiplexed, refuses v1-only peers), ``"auto"`` (try v2,
+#: fall back to v1 when the peer refuses the upgrade).
+CLIENT_PROTOCOLS = ("v1", "v2", "auto")
+
 
 def _service_fault(kind: str) -> None:
     obs.record_fault(kind, SERVICE_FAULTS, _SERVICE_FAULTS_HELP)
+
+
+def _sessions_inflight(delta: float, protocol: str) -> None:
+    metrics = obs.get_metrics()
+    if metrics.enabled:
+        metrics.gauge(
+            SESSIONS_INFLIGHT,
+            "Protocol sessions currently being served, by wire protocol",
+        ).inc(delta, protocol=protocol)
 
 
 def send_control(connection: WireConnection, msg_type: str, payload: Any) -> None:
@@ -161,6 +193,93 @@ def _annotate_session(span: Any, accept: Any) -> None:
     session = accept.get("session")
     if isinstance(session, str):
         span.set(session=session)
+
+
+class _WireEndpoint:
+    """Server-side session plumbing for a v1 (sequential) connection.
+
+    The protocol-agnostic face :meth:`TrainerServer._serve_session`
+    serves through: control sends and protocol channels ride the
+    blocking connection directly, exactly as before protocol v2
+    existed — which is what keeps v1 serving bit-identical.
+    """
+
+    protocol = "v1"
+
+    def __init__(self, server: "TrainerServer", connection: WireConnection) -> None:
+        self._server = server
+        self._connection = connection
+        self.transport = getattr(connection, "transport", "tcp")
+
+    def send_control(self, msg_type: str, payload: Any) -> None:
+        send_control(self._connection, msg_type, payload)
+
+    def channel(self) -> WireChannel:
+        return WireChannel("alice", "bob", self._connection)
+
+    def note_session(self, session_id: str, kind: str) -> None:
+        with self._server._lock:
+            state = self._server._connections.get(self._connection)
+            if state is not None:
+                state.session_id = session_id
+                state.kind = kind
+
+
+class _MuxEndpoint:
+    """Server-side session plumbing for one multiplexed (v2) session.
+
+    Same face as :class:`_WireEndpoint`, but control sends and protocol
+    channels ride this session's envelope on the shared connection.
+    The *inner* messages are encoded identically, so the two endpoints
+    serve bit-identical protocol runs through the shared
+    ``_serve_session`` code path.
+    """
+
+    protocol = "v2"
+
+    def __init__(
+        self, server: "TrainerServer", session: Any, transport: str = "tcp"
+    ) -> None:
+        self._server = server
+        self._session = session
+        self.transport = transport
+
+    def send_control(self, msg_type: str, payload: Any) -> None:
+        self._session.send_control(msg_type, payload)
+
+    def channel(self) -> MuxChannel:
+        return MuxChannel("alice", "bob", self._session)
+
+    def note_session(self, session_id: str, kind: str) -> None:
+        with self._server._lock:
+            self._server._mux_live[self._session.id] = {
+                "session": session_id,
+                "kind": kind,
+                "started_at": time.monotonic(),
+            }
+
+    def clear_session(self) -> None:
+        with self._server._lock:
+            self._server._mux_live.pop(self._session.id, None)
+
+
+class _MuxControlProxy:
+    """Duck-typed connection whose frames ride control session 0.
+
+    Lets :meth:`TrainerServer._serve_admin` answer admin requests on a
+    multiplexed connection through the same ``send_control`` helper the
+    v1 path uses — the reply is simply wrapped in the session-0
+    envelope.  Sends are deadline-bounded because they run on the event
+    loop thread.
+    """
+
+    def __init__(self, conn: MuxConnection) -> None:
+        self._conn = conn
+
+    def send_frame(self, data: bytes) -> int:
+        return self._conn.send_frame(
+            encode_mux_frame(CONTROL_SESSION_ID, data), deadline_s=2.0
+        )
 
 
 class _ConnState:
@@ -211,10 +330,15 @@ class TrainerServer:
         trace_log_size: int = 256,
         output_policy: Optional[OutputPolicy] = None,
         precompute: bool = True,
+        session_workers: int = 8,
     ) -> None:
         if max_connections < 1:
             raise ValidationError(
                 f"max_connections must be at least 1, got {max_connections}"
+            )
+        if session_workers < 1:
+            raise ValidationError(
+                f"session_workers must be at least 1, got {session_workers}"
             )
         if drain_timeout < 0:
             raise ValidationError("drain_timeout must be non-negative")
@@ -234,6 +358,11 @@ class TrainerServer:
         self.output_policy = output_policy
         self.session_timeout = session_timeout
         self.max_connections = max_connections
+        #: Concurrent *multiplexed* sessions served at once (protocol
+        #: v2).  Independent of ``max_connections``: v2 connections are
+        #: cheap to hold idle (the event loop owns them), and this
+        #: bounds the CPU-side worker pool the protocol math runs on.
+        self.session_workers = session_workers
         self.drain_timeout = drain_timeout
         self._function = decision_function_for_model(model)
         #: Warm the shared precompute store before the first accept:
@@ -261,6 +390,11 @@ class TrainerServer:
         self._connections: Dict[WireConnection, _ConnState] = {}
         self._workers: List[threading.Thread] = []
         self._session_ids = itertools.count(1)
+        #: Protocol-v2 event loop; built lazily on the first upgraded
+        #: connection so v1-only servers never start the extra thread.
+        self._mux: Optional[MuxServerLoop] = None
+        #: Live multiplexed sessions, for ``admin/health`` (under lock).
+        self._mux_live: Dict[int, Dict[str, Any]] = {}
         #: Completed sessions' span fragments, newest last, bounded.
         self._trace_log: "collections.deque" = collections.deque(
             maxlen=max(1, trace_log_size)
@@ -279,9 +413,11 @@ class TrainerServer:
 
     @property
     def active_connections(self) -> int:
-        """Connections currently held by a serve thread."""
+        """Connections currently held by a serve thread or the mux loop."""
         with self._lock:
-            return len(self._connections)
+            count = len(self._connections)
+            mux = self._mux
+        return count + (mux.connection_count if mux is not None else 0)
 
     def close(self) -> None:
         """Close the listening socket (unblocks a running serve loop)."""
@@ -413,13 +549,19 @@ class TrainerServer:
         self._run_connection(connection)
 
     def _run_connection(self, connection: WireConnection) -> None:
-        """One serve thread: sequential sessions on one connection."""
+        """One serve thread: sequential sessions on one connection.
+
+        A connection that upgrades to protocol v2 mid-loop is *detached*
+        here — its socket now belongs to the mux event loop, which keeps
+        holding this connection's accept slot until it closes.
+        """
         with self._lock:
             state = self._connections.get(connection)
             if state is not None:
                 state.thread_ident = threading.get_ident()
+        outcome = None
         try:
-            self._serve_connection(connection)
+            outcome = self._serve_connection(connection)
         except ReproError as error:
             _service_fault("session-aborted")
             try:
@@ -427,16 +569,17 @@ class TrainerServer:
             except ReproError:
                 pass  # the connection is already gone
         finally:
-            connection.close()
+            if outcome != "detached":
+                connection.close()
+                self._slots.release()
             with self._lock:
                 self._connections.pop(connection, None)
                 try:
                     self._workers.remove(threading.current_thread())
                 except ValueError:
                     pass
-            self._slots.release()
 
-    def _serve_connection(self, connection: WireConnection) -> None:
+    def _serve_connection(self, connection: WireConnection) -> Optional[str]:
         while True:
             try:
                 msg_type, request = recv_control(connection)
@@ -454,7 +597,12 @@ class TrainerServer:
                 _service_fault("control")
                 return  # stalled or truncated mid-frame; drop the client
             if msg_type == CLOSE:
-                return
+                return None
+            if msg_type == HELLO:
+                # Per-connection protocol negotiation: a v2-capable
+                # client leads with mux/hello; v1 clients never send it
+                # and fall straight through to the legacy serve loop.
+                return self._upgrade_connection(connection, request)
             if msg_type in _ADMIN_FRAMES:
                 # Admin traffic consumes no session slot or budget and
                 # stays off every protocol transcript.
@@ -472,11 +620,131 @@ class TrainerServer:
                 )
                 return
             try:
-                self._serve_session(connection, request)
+                self._serve_session(_WireEndpoint(self, connection), request)
             except ReproError:
                 self._abort_session(connection)
                 raise
             self._finish_session(connection)
+
+    # -- protocol v2 (multiplexed connections) --------------------------------
+
+    def _mux_loop(self) -> MuxServerLoop:
+        with self._lock:
+            if self._mux is None:
+                self._mux = MuxServerLoop(
+                    session_handler=self._run_mux_session,
+                    control_handler=self._serve_mux_control,
+                    service_fault=_service_fault,
+                    router_factory=MuxRouter,
+                    session_workers=self.session_workers,
+                    session_timeout=self.session_timeout,
+                )
+            return self._mux
+
+    def _upgrade_connection(
+        self, connection: WireConnection, request: Any
+    ) -> Optional[str]:
+        """Negotiate ``mux/hello``; hand the socket to the event loop.
+
+        Returns ``"detached"`` once the mux loop owns the socket (the
+        serve thread must stop touching it and keep the accept slot
+        held — it is released when the mux connection closes), or
+        ``None`` when the upgrade was refused and the connection ends.
+        """
+        versions = request.get("versions") if isinstance(request, dict) else None
+        if not isinstance(versions, (list, tuple)) or 2 not in versions:
+            _service_fault("control")
+            send_control(
+                connection,
+                ERROR,
+                f"no mutually supported wire protocol in {versions!r} "
+                f"(server speaks v2)",
+            )
+            return None
+        if not hasattr(connection, "detach"):
+            _service_fault("control")
+            send_control(
+                connection, ERROR, "protocol v2 requires a socket connection"
+            )
+            return None
+        send_control(connection, WELCOME, {"version": 2})
+        sock = connection.detach()
+        try:
+            self._mux_loop().adopt(sock, on_closed=self._slots.release)
+        except ProtocolError:
+            # The loop is shutting down: the socket is already closed;
+            # give the accept slot back ourselves.
+            self._slots.release()
+        return "detached"
+
+    def _run_mux_session(
+        self, conn: MuxConnection, session: Any, request: Any
+    ) -> None:
+        """Serve one multiplexed session (on a session-worker thread).
+
+        The shared ``_serve_session`` path does the protocol work; this
+        wrapper owns the v2-specific accounting and fault containment —
+        an aborted session answers with a ``session/error`` frame on its
+        own id and leaves every other session on the connection running.
+        """
+        if not self._begin_mux_session():
+            try:
+                session.send_control(
+                    ERROR, "server is stopping or out of session budget"
+                )
+            except ReproError:
+                pass
+            return
+        endpoint = _MuxEndpoint(
+            self, session, getattr(conn, "transport", "tcp")
+        )
+        try:
+            self._serve_session(endpoint, request)
+        except ReproError as error:
+            self._abort_mux_session()
+            _service_fault("session-aborted")
+            try:
+                session.send_control(ERROR, str(error))
+            except ReproError:
+                pass  # the connection (or session) is already gone
+        else:
+            self._finish_mux_session()
+        finally:
+            endpoint.clear_session()
+
+    def _serve_mux_control(
+        self, conn: MuxConnection, msg_type: str, request: Any
+    ) -> None:
+        """Answer one control-session (admin) frame on a v2 connection."""
+        if msg_type not in _ADMIN_FRAMES:
+            raise ProtocolError(
+                f"unexpected control-session message {msg_type!r}"
+            )
+        self._serve_admin(_MuxControlProxy(conn), msg_type, request)
+
+    def _begin_mux_session(self) -> bool:
+        with self._lock:
+            if self._stopping.is_set() or self._draining.is_set():
+                return False
+            if self._remaining is not None:
+                if self._remaining <= 0:
+                    return False
+                self._remaining -= 1
+        _sessions_inflight(1, "v2")
+        return True
+
+    def _abort_mux_session(self) -> None:
+        with self._lock:
+            if self._remaining is not None:
+                self._remaining += 1
+        _sessions_inflight(-1, "v2")
+
+    def _finish_mux_session(self) -> None:
+        with self._lock:
+            self._served += 1
+            if self._target is not None and self._served >= self._target:
+                self._budget_done.set()
+        _sessions_inflight(-1, "v2")
 
     # -- session accounting (shared across serve threads) --------------------
 
@@ -492,6 +760,7 @@ class TrainerServer:
             state = self._connections.setdefault(connection, _ConnState())
             state.state = "session"
             state.started_at = time.monotonic()
+        _sessions_inflight(1, "v1")
         return True
 
     def _set_idle(self, connection: WireConnection) -> None:
@@ -507,6 +776,7 @@ class TrainerServer:
             if self._remaining is not None:
                 self._remaining += 1
             self._set_idle(connection)
+        _sessions_inflight(-1, "v1")
 
     def _finish_session(self, connection: WireConnection) -> None:
         with self._lock:
@@ -514,6 +784,7 @@ class TrainerServer:
             self._set_idle(connection)
             if self._target is not None and self._served >= self._target:
                 self._budget_done.set()
+        _sessions_inflight(-1, "v1")
 
     def _drain(self) -> None:
         """Drain in-flight sessions, then force-close the stragglers.
@@ -535,27 +806,38 @@ class TrainerServer:
             connection.close()
         while time.monotonic() < deadline:
             with self._lock:
-                if not any(
+                busy = any(
                     state.state == "session"
                     for state in self._connections.values()
-                ):
-                    break
+                )
+                mux = self._mux
+            if not busy and (mux is None or mux.session_count == 0):
+                break
             time.sleep(self._POLL_S)
         with self._lock:
             leftover = list(self._connections.items())
             workers = list(self._workers)
+            mux = self._mux
         for connection, state in leftover:
             if state.state == "session":
                 _service_fault("force-closed")
             connection.close()
+        if mux is not None:
+            # The deadline above already covered the graceful wait;
+            # whatever is still running gets force-closed right away.
+            mux.shutdown(drain_timeout=0.0)
         for worker in workers:
             worker.join(timeout=self.drain_timeout + 1.0)
 
     # -- one session ---------------------------------------------------------
 
-    def _serve_session(
-        self, connection: WireConnection, request: Any
-    ) -> None:
+    def _serve_session(self, endpoint: Any, request: Any) -> None:
+        """Serve one session through a protocol-agnostic endpoint.
+
+        ``endpoint`` is a :class:`_WireEndpoint` (v1) or
+        :class:`_MuxEndpoint` (v2) — the single shared code path is
+        what makes v2 sessions bit-identical to v1 by construction.
+        """
         if not isinstance(request, dict):
             raise ProtocolError("session/open payload must be a mapping")
         kind = request.get("kind")
@@ -569,7 +851,7 @@ class TrainerServer:
         trace_context = request.get("trace")
         if trace_context is not None and not isinstance(trace_context, TraceContext):
             raise ProtocolError("session/open 'trace' must be a trace context")
-        transport = getattr(connection, "transport", "tcp")
+        transport = endpoint.transport
         session_id = f"s{next(self._session_ids)}"
         if self.precompute:
             # Hand the session the warm store: a hit here (the expected
@@ -577,11 +859,7 @@ class TrainerServer:
             # as repro_precompute_hits_total{kind="fixed-base-table"};
             # a miss rebuilds and is counted loudly as such.
             get_precompute_service().warm_group(self.config.resolved_group())
-        with self._lock:
-            state = self._connections.get(connection)
-            if state is not None:
-                state.session_id = session_id
-                state.kind = kind
+        endpoint.note_session(session_id, kind)
         metrics = obs.get_metrics()
         if metrics.enabled:
             metrics.counter(
@@ -603,10 +881,10 @@ class TrainerServer:
         try:
             with span:
                 if kind == "classify":
-                    self._serve_classify(connection, seed, session_id, transcripts)
+                    self._serve_classify(endpoint, seed, session_id, transcripts)
                 else:
                     self._serve_similarity(
-                        connection, request, seed, session_id, transcripts
+                        endpoint, request, seed, session_id, transcripts
                     )
         except ReproError as error:
             error_text = f"{type(error).__name__}: {error}"
@@ -665,13 +943,12 @@ class TrainerServer:
 
     def _serve_classify(
         self,
-        connection: WireConnection,
+        endpoint: Any,
         seed: Optional[int],
         session_id: str,
         transcripts: List[Transcript],
     ) -> None:
-        send_control(
-            connection,
+        endpoint.send_control(
             ACCEPT,
             {
                 "dimension": self.model.dimension,
@@ -679,7 +956,7 @@ class TrainerServer:
                 "session": session_id,
             },
         )
-        channel = WireChannel("alice", "bob", connection)
+        channel = endpoint.channel()
         transcripts.append(channel.transcript)
         run_ompe_sender(
             self._function,
@@ -693,7 +970,7 @@ class TrainerServer:
 
     def _serve_similarity(
         self,
-        connection: WireConnection,
+        endpoint: Any,
         request: Any,
         seed: Optional[int],
         session_id: str,
@@ -724,8 +1001,7 @@ class TrainerServer:
         # The accept echo is the negotiation result: the client applies
         # exactly the echoed policy, so a server-mandated policy
         # propagates even when the client requested nothing.
-        send_control(
-            connection,
+        endpoint.send_control(
             ACCEPT,
             {"linear": linear, "session": session_id, "policy": effective},
         )
@@ -734,8 +1010,8 @@ class TrainerServer:
 
             record_leakage(effective, 1)
 
-        def factory() -> WireChannel:
-            channel = WireChannel("alice", "bob", connection)
+        def factory():
+            channel = endpoint.channel()
             transcripts.append(channel.transcript)
             return channel
 
@@ -796,7 +1072,17 @@ class TrainerServer:
         with self._lock:
             states = list(self._connections.values())
             served = self._served
+            mux_live = [dict(entry) for entry in self._mux_live.values()]
+            mux = self._mux
         sessions = []
+        for entry in mux_live:
+            sessions.append(
+                {
+                    "session": entry["session"],
+                    "kind": entry["kind"],
+                    "age_s": now - entry["started_at"],
+                }
+            )
         for state in states:
             if state.state != "session":
                 continue
@@ -815,7 +1101,8 @@ class TrainerServer:
                 entry["phase"] = span.phase
             sessions.append(entry)
         return AdminHealth(
-            active_connections=len(states),
+            active_connections=len(states)
+            + (mux.connection_count if mux is not None else 0),
             max_connections=self.max_connections,
             sessions_served=served,
             stopping=self._stopping.is_set(),
@@ -824,12 +1111,161 @@ class TrainerServer:
         )
 
 
+class _WireClientSession:
+    """Client-side v1 session: control + channel on the raw connection."""
+
+    def __init__(self, connection: WireConnection, request: Any) -> None:
+        self._connection = connection
+        send_control(connection, OPEN, request)
+
+    def recv_accept(self) -> Any:
+        return recv_control(self._connection, ACCEPT)[1]
+
+    def channel(self) -> WireChannel:
+        return WireChannel("bob", "alice", self._connection)
+
+    def abort(self, reason: str) -> None:
+        pass  # v1 has no session-scoped cancel; the connection is the session
+
+    def finish(self) -> None:
+        pass
+
+
+class _MuxClientSession:
+    """Client-side v2 session: one endpoint on the shared connection."""
+
+    def __init__(
+        self, mux_connection: MuxClientConnection, request: Any
+    ) -> None:
+        self._session = mux_connection.open_session(request)
+
+    def recv_accept(self) -> Any:
+        _, payload = self._session.recv_control(ACCEPT)
+        return payload
+
+    def channel(self) -> MuxChannel:
+        return MuxChannel("bob", "alice", self._session)
+
+    def abort(self, reason: str) -> None:
+        self._session.cancel(reason)
+
+    def finish(self) -> None:
+        self._session.finish()
+
+
+class SessionFuture:
+    """Result handle for one pipelined (protocol v2) session.
+
+    Returned by :meth:`TrainerClient.classify_async` and
+    :meth:`TrainerClient.evaluate_similarity_async`.  ``result()``
+    blocks (optionally bounded) for the session's outcome; ``cancel()``
+    aborts the in-flight session — the server receives a
+    ``session/error`` frame on exactly that session and every other
+    pipelined session keeps running.
+    """
+
+    def __init__(self) -> None:
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self._finished = threading.Event()
+        self._lock = threading.Lock()
+        self._session: Optional[_MuxClientSession] = None
+        self._cancel_reason: Optional[str] = None
+
+    # -- driver side -----------------------------------------------------------
+
+    def _attach(self, session: _MuxClientSession) -> None:
+        with self._lock:
+            self._session = session
+            reason = self._cancel_reason
+        if reason is not None:
+            session.abort(reason)
+
+    def _resolve(self, value: Any) -> None:
+        self._value = value
+        self._finished.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._finished.set()
+
+    # -- caller side -----------------------------------------------------------
+
+    def done(self) -> bool:
+        """True once the session finished (successfully or not)."""
+        return self._finished.is_set()
+
+    def cancel(self, reason: str = "session cancelled by client") -> bool:
+        """Abort the in-flight session; False if it already finished.
+
+        The session's driver thread unblocks with a
+        :class:`ProtocolError`, which :meth:`result` then re-raises.
+        """
+        if self._finished.is_set():
+            return False
+        with self._lock:
+            session = self._session
+            self._cancel_reason = reason
+        if session is not None:
+            session.abort(reason)
+        return True
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """The session outcome; raises what the session raised.
+
+        An expired ``timeout`` raises :class:`ProtocolError` and leaves
+        the session running — pair with :meth:`cancel` to abandon it.
+        """
+        if not self._finished.wait(timeout):
+            raise ProtocolError(
+                "timed out waiting for the pipelined session result"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+def _upgrade_client(
+    connection: WireConnection,
+    protocol: str,
+    timeout: Optional[float],
+    redial: Any = None,
+) -> Tuple[WireConnection, Optional[MuxClientConnection]]:
+    """Negotiate the client's wire protocol on a fresh connection.
+
+    Returns ``(connection, mux_or_None)``.  With ``protocol="auto"``, a
+    peer that refuses the v2 upgrade (it drops the connection after its
+    error reply) is redialed through ``redial`` and spoken to in v1.
+    """
+    if protocol not in CLIENT_PROTOCOLS:
+        raise ValidationError(
+            f"protocol must be one of {CLIENT_PROTOCOLS}, got {protocol!r}"
+        )
+    if protocol == "v1":
+        return connection, None
+    try:
+        return connection, MuxClientConnection(connection, timeout=timeout)
+    except ProtocolError:
+        connection.close()
+        if protocol == "v2" or redial is None:
+            raise
+        return redial(), None
+
+
 class TrainerClient:
     """Client (Bob) side of the trainer service — one connection.
 
     Pass ``connection`` (e.g. one end of
     :func:`repro.net.wire.memory_pair`) to drive a pre-established
     connection instead of dialing ``host:port``.
+
+    ``protocol`` selects the wire protocol: ``"v1"`` (default, the
+    legacy sequential connection), ``"v2"`` (session-multiplexed —
+    :meth:`classify_async` / :meth:`evaluate_similarity_async` pipeline
+    any number of concurrent sessions over this one connection), or
+    ``"auto"`` (try v2, fall back to v1 when the server refuses the
+    upgrade; needs ``host``/``port`` to redial).  Protocol runs are
+    bit-identical across v1 and v2 for the same seed.
     """
 
     def __init__(
@@ -842,9 +1278,11 @@ class TrainerClient:
         attempts: int = 5,
         retry_delay_s: float = 0.05,
         connection: Optional[WireConnection] = None,
+        protocol: str = "v1",
     ) -> None:
         self.config = config or OMPEConfig()
         self.params = params or MetricParams()
+        redial = None
         if connection is not None:
             self._connection = connection
         else:
@@ -852,15 +1290,27 @@ class TrainerClient:
                 raise ValidationError(
                     "TrainerClient needs host and port (or a connection)"
                 )
-            self._connection = wire.connect(
-                host,
-                port,
-                timeout=timeout,
-                attempts=attempts,
-                retry_delay_s=retry_delay_s,
-            )
+
+            def redial() -> WireConnection:
+                return wire.connect(
+                    host,
+                    port,
+                    timeout=timeout,
+                    attempts=attempts,
+                    retry_delay_s=retry_delay_s,
+                )
+
+            self._connection = redial()
+        self._connection, self._mux = _upgrade_client(
+            self._connection, protocol, timeout, redial=redial
+        )
+        #: The negotiated wire protocol ("v1" or "v2").
+        self.protocol = "v2" if self._mux is not None else "v1"
 
     def close(self) -> None:
+        if self._mux is not None:
+            self._mux.close()
+            return
         try:
             send_control(self._connection, CLOSE, None)
         except ReproError:
@@ -875,6 +1325,11 @@ class TrainerClient:
 
     # -- sessions ------------------------------------------------------------
 
+    def _open_session(self, request: Any) -> Any:
+        if self._mux is not None:
+            return _MuxClientSession(self._mux, request)
+        return _WireClientSession(self._connection, request)
+
     def classify(
         self, sample: Sequence[float], seed: Optional[int] = None
     ) -> ClassificationOutcome:
@@ -883,8 +1338,73 @@ class TrainerClient:
         Given the same seed, the result — label, masked value
         ``r_a·d(t̃)``, and per-phase byte counts — is bit-identical to
         an in-process :func:`~repro.core.classification.private_classify`
-        against the same model.
+        against the same model, on either wire protocol.
         """
+        return self._classify(sample, seed)
+
+    def classify_async(
+        self, sample: Sequence[float], seed: Optional[int] = None
+    ) -> SessionFuture:
+        """Pipeline one classification session (protocol v2 only).
+
+        Returns immediately with a :class:`SessionFuture`; any number
+        of sessions may be in flight on this one connection at once.
+        """
+        self._require_mux()
+        future = SessionFuture()
+        sample = tuple(sample)
+
+        def drive() -> None:
+            try:
+                future._resolve(
+                    self._classify(sample, seed, on_session=future._attach)
+                )
+            except BaseException as error:  # noqa: BLE001 — surfaced by result()
+                future._fail(error)
+
+        threading.Thread(
+            target=drive, name="client-session", daemon=True
+        ).start()
+        return future
+
+    def evaluate_similarity_async(
+        self,
+        model: SVMModel,
+        seed: Optional[int] = None,
+        policy: Optional[OutputPolicy] = None,
+    ) -> SessionFuture:
+        """Pipeline one similarity session (protocol v2 only)."""
+        self._require_mux()
+        future = SessionFuture()
+
+        def drive() -> None:
+            try:
+                future._resolve(
+                    self._similarity(
+                        model, seed, policy, on_session=future._attach
+                    )
+                )
+            except BaseException as error:  # noqa: BLE001 — surfaced by result()
+                future._fail(error)
+
+        threading.Thread(
+            target=drive, name="client-session", daemon=True
+        ).start()
+        return future
+
+    def _require_mux(self) -> None:
+        if self._mux is None:
+            raise ValidationError(
+                "pipelined sessions need protocol='v2' (or 'auto' against "
+                "a v2 server)"
+            )
+
+    def _classify(
+        self,
+        sample: Sequence[float],
+        seed: Optional[int],
+        on_session: Any = None,
+    ) -> ClassificationOutcome:
         sample = tuple(sample)
         with obs.get_tracer().span(
             "service.classify", party="bob", phase="service"
@@ -893,9 +1413,12 @@ class TrainerClient:
             context = current_trace_context()
             if context is not None:
                 request["trace"] = context
+            session = None
             try:
-                send_control(self._connection, OPEN, request)
-                _, accept = recv_control(self._connection, ACCEPT)
+                session = self._open_session(request)
+                if on_session is not None:
+                    on_session(session)
+                accept = session.recv_accept()
                 if not isinstance(accept, dict) or not isinstance(
                     accept.get("dimension"), int
                 ):
@@ -910,11 +1433,14 @@ class TrainerClient:
                         f"sample has {len(sample)} coordinates, server model "
                         f"expects {dimension}"
                     )
-                channel = WireChannel("bob", "alice", self._connection)
+                channel = session.channel()
                 outcome = run_ompe_receiver(
                     sample, channel, config=self.config, seed=seed, name="bob"
                 )
+                session.finish()
             except ReproError as error:
+                if session is not None:
+                    session.abort(f"{type(error).__name__}: {error}")
                 if span.enabled:
                     span.set(error=f"{type(error).__name__}: {error}")
                 raise
@@ -940,6 +1466,15 @@ class TrainerClient:
         ``None`` — is what gets applied, so a non-raw negotiation
         returns a mitigated outcome instead of the raw one.
         """
+        return self._similarity(model, seed, policy)
+
+    def _similarity(
+        self,
+        model: SVMModel,
+        seed: Optional[int],
+        policy: Optional[OutputPolicy],
+        on_session: Any = None,
+    ) -> PrivateSimilarityOutcome:
         linear = model.is_linear()
         if policy is not None and not isinstance(policy, OutputPolicy):
             raise ValidationError(
@@ -958,9 +1493,12 @@ class TrainerClient:
             context = current_trace_context()
             if context is not None:
                 request["trace"] = context
+            session = None
             try:
-                send_control(self._connection, OPEN, request)
-                _, accept = recv_control(self._connection, ACCEPT)
+                session = self._open_session(request)
+                if on_session is not None:
+                    on_session(session)
+                accept = session.recv_accept()
                 if not isinstance(accept, dict):
                     raise ProtocolError(
                         f"session/accept payload must be a mapping: {accept!r}"
@@ -983,19 +1521,24 @@ class TrainerClient:
                         f"the requested {policy.label!r}"
                     )
                 _annotate_session(span, accept)
-                factory = lambda: WireChannel("bob", "alice", self._connection)
+                factory = session.channel
                 if linear:
-                    return run_similarity_bob_linear(
+                    outcome = run_similarity_bob_linear(
                         model, factory,
                         params=self.params, config=self.config, seed=seed,
                         policy=echoed,
                     )
-                return run_similarity_bob_nonlinear(
-                    model, factory,
-                    params=self.params, config=self.config, seed=seed,
-                    policy=echoed,
-                )
+                else:
+                    outcome = run_similarity_bob_nonlinear(
+                        model, factory,
+                        params=self.params, config=self.config, seed=seed,
+                        policy=echoed,
+                    )
+                session.finish()
+                return outcome
             except ReproError as error:
+                if session is not None:
+                    session.abort(f"{type(error).__name__}: {error}")
                 if span.enabled:
                     span.set(error=f"{type(error).__name__}: {error}")
                 raise
@@ -1019,7 +1562,9 @@ class AdminClient:
         attempts: int = 5,
         retry_delay_s: float = 0.05,
         connection: Optional[WireConnection] = None,
+        protocol: str = "v1",
     ) -> None:
+        redial = None
         if connection is not None:
             self._connection = connection
         else:
@@ -1027,15 +1572,26 @@ class AdminClient:
                 raise ValidationError(
                     "AdminClient needs host and port (or a connection)"
                 )
-            self._connection = wire.connect(
-                host,
-                port,
-                timeout=timeout,
-                attempts=attempts,
-                retry_delay_s=retry_delay_s,
-            )
+
+            def redial() -> WireConnection:
+                return wire.connect(
+                    host,
+                    port,
+                    timeout=timeout,
+                    attempts=attempts,
+                    retry_delay_s=retry_delay_s,
+                )
+
+            self._connection = redial()
+        self._connection, self._mux = _upgrade_client(
+            self._connection, protocol, timeout, redial=redial
+        )
+        self.protocol = "v2" if self._mux is not None else "v1"
 
     def close(self) -> None:
+        if self._mux is not None:
+            self._mux.close()
+            return
         try:
             send_control(self._connection, CLOSE, None)
         except ReproError:
@@ -1049,6 +1605,15 @@ class AdminClient:
         self.close()
 
     def _request(self, msg_type: str, payload: Any) -> Any:
+        if self._mux is not None:
+            # Admin traffic rides the reserved control session (id 0),
+            # so it never contends with protocol sessions for an id.
+            reply_type, response = self._mux.control_request(msg_type, payload)
+            if reply_type != msg_type:
+                raise ProtocolError(
+                    f"expected control message {msg_type!r}, got {reply_type!r}"
+                )
+            return response
         send_control(self._connection, msg_type, payload)
         _, response = recv_control(self._connection, msg_type)
         return response
@@ -1086,6 +1651,11 @@ class TrainerClientPool:
     thread per pooled connection) and returns outcomes in input order —
     with pinned seeds the results are bit-identical to running the
     batch sequentially on one client.
+
+    With ``protocol="v2"`` (or ``"auto"`` against a v2 server) each
+    pooled connection is multiplexed: :meth:`classify_many` pipelines up
+    to ``pipeline`` concurrent sessions *per connection* instead of one,
+    so a small pool drives a large session fan-out.
     """
 
     def __init__(
@@ -1098,10 +1668,17 @@ class TrainerClientPool:
         timeout: Optional[float] = 30.0,
         attempts: int = 5,
         retry_delay_s: float = 0.05,
+        protocol: str = "v1",
+        pipeline: int = 16,
     ) -> None:
         if size < 1:
             raise ValidationError(f"pool size must be at least 1, got {size}")
+        if pipeline < 1:
+            raise ValidationError(
+                f"pipeline depth must be at least 1, got {pipeline}"
+            )
         self.size = size
+        self.pipeline = pipeline
         self._clients: List[TrainerClient] = []
         self._idle: "queue.LifoQueue[TrainerClient]" = queue.LifoQueue()
         try:
@@ -1114,6 +1691,7 @@ class TrainerClientPool:
                     timeout=timeout,
                     attempts=attempts,
                     retry_delay_s=retry_delay_s,
+                    protocol=protocol,
                 )
                 self._clients.append(client)
                 self._idle.put(client)
@@ -1186,6 +1764,8 @@ class TrainerClientPool:
                 )
         if not samples:
             return []
+        if self._clients and self._clients[0].protocol == "v2":
+            return self._classify_many_pipelined(samples, seed_list)
         results: List[Optional[ClassificationOutcome]] = [None] * len(samples)
         errors: List[Tuple[int, BaseException]] = []
         pending: "queue.SimpleQueue[int]" = queue.SimpleQueue()
@@ -1214,6 +1794,47 @@ class TrainerClientPool:
             thread.start()
         for thread in threads:
             thread.join()
+        if errors:
+            index, error = min(errors, key=lambda pair: pair[0])
+            raise error
+        return results  # type: ignore[return-value]
+
+    def _classify_many_pipelined(
+        self,
+        samples: List[Tuple[float, ...]],
+        seed_list: List[Optional[int]],
+    ) -> List[ClassificationOutcome]:
+        """v2 fan-out: pipeline sessions over the pooled connections.
+
+        Samples round-robin across the pool's multiplexed connections
+        with a bounded in-flight window (``pipeline`` sessions per
+        connection), collected in input order; like the v1 path, the
+        first failure is re-raised only after every sample has been
+        attempted.
+        """
+        results: List[Optional[ClassificationOutcome]] = [None] * len(samples)
+        errors: List[Tuple[int, BaseException]] = []
+        window = self.pipeline * len(self._clients)
+        inflight: "collections.deque" = collections.deque()
+
+        def collect(index: int, future: SessionFuture) -> None:
+            try:
+                results[index] = future.result()
+            except BaseException as error:  # noqa: BLE001 — re-raised below
+                errors.append((index, error))
+
+        for index, sample in enumerate(samples):
+            if len(inflight) >= window:
+                collect(*inflight.popleft())
+            client = self._clients[index % len(self._clients)]
+            try:
+                inflight.append(
+                    (index, client.classify_async(sample, seed=seed_list[index]))
+                )
+            except BaseException as error:  # noqa: BLE001 — re-raised below
+                errors.append((index, error))
+        while inflight:
+            collect(*inflight.popleft())
         if errors:
             index, error = min(errors, key=lambda pair: pair[0])
             raise error

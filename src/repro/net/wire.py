@@ -196,6 +196,21 @@ class WireConnection:
         """Re-bound every subsequent blocking operation."""
         self._sock.settimeout(timeout)
 
+    def detach(self) -> socket.socket:
+        """Hand off the underlying socket and retire this wrapper.
+
+        Used when a connection is upgraded to protocol v2: the accept
+        thread's blocking :class:`WireConnection` surrenders its socket
+        to the multiplexing event loop.  The wrapper reads as closed
+        afterwards (so accounting sees it gone) but the socket itself is
+        left untouched — the caller owns it from here.
+        """
+        if self._closed:
+            raise ProtocolError("cannot detach a closed connection")
+        self._closed = True
+        sock, self._sock = self._sock, None
+        return sock
+
     # -- polling -------------------------------------------------------------
 
     def readable(self) -> bool:

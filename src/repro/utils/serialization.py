@@ -55,6 +55,13 @@ Encodable = Union[Scalar, Tuple]
 #: backwards-incompatible change to the tag vocabulary.
 WIRE_VERSION = 1
 
+#: Version byte leading every *multiplexed* (protocol v2) frame.  A v2
+#: frame wraps an ordinary v1 message in a session envelope:
+#: ``0x02 + u32 session_id + v1 message``.  The first byte therefore
+#: distinguishes the two frame generations unambiguously — a v1 decoder
+#: handed a v2 frame fails loudly on the version byte, never silently.
+MUX_WIRE_VERSION = 2
+
 #: Nesting depth bound for the decoder: deeper frames are rejected as
 #: hostile before Python's recursion limit turns them into a crash.
 MAX_DECODE_DEPTH = 64
@@ -397,6 +404,31 @@ def encode_message(msg_type: str, payload: Any) -> bytes:
     )
 
 
+def peek_message_type(data: bytes) -> str:
+    """Decode only the ``msg_type`` of an encoded v1 message.
+
+    The multiplexing demultiplexer routes frames by type without paying
+    for a full payload decode on the I/O loop — the session's worker
+    thread decodes the payload.  Validation of the header segment is as
+    strict as :func:`decode_message`'s.
+    """
+    data = bytes(data)
+    if not data:
+        raise ValidationError("empty message frame")
+    if data[0] != WIRE_VERSION:
+        raise ValidationError(
+            f"unsupported wire version {data[0]} (expected {WIRE_VERSION})"
+        )
+    raw_type, _ = _decode_varbytes(data, 1)
+    try:
+        msg_type = raw_type.decode("utf-8")
+    except UnicodeDecodeError:
+        raise ValidationError("invalid utf-8 in message type")
+    if not msg_type:
+        raise ValidationError("empty message type")
+    return msg_type
+
+
 def decode_message(data: bytes) -> Tuple[str, Any, int]:
     """Decode one message; returns ``(msg_type, payload, payload_bytes)``.
 
@@ -430,3 +462,58 @@ def decode_message(data: bytes) -> Tuple[str, Any, int]:
     if offset != len(data):
         raise ValidationError("trailing bytes after message")
     return msg_type, payload, payload_bytes
+
+
+# -- multiplexed (protocol v2) frame codec ------------------------------------
+
+#: Hard ceiling on a v2 session id (u32 on the wire).  Session id 0 is
+#: the connection-control session (negotiation, admin traffic).
+MAX_SESSION_ID = 2**32 - 1
+
+#: The reserved connection-control session id.
+CONTROL_SESSION_ID = 0
+
+_SESSION_HEADER = struct.Struct(">I")
+
+
+def encode_mux_frame(session_id: int, message: bytes) -> bytes:
+    """Wrap one encoded v1 message in a v2 session envelope.
+
+    Layout: ``0x02 + u32_be session_id + message``.  The transport's
+    length prefix goes *around* this, exactly as for v1 frames, so the
+    framing layer below is version-agnostic.
+    """
+    if not isinstance(session_id, int) or isinstance(session_id, bool):
+        raise ValidationError(
+            f"session id must be an int, got {type(session_id).__name__}"
+        )
+    if not 0 <= session_id <= MAX_SESSION_ID:
+        raise ValidationError(
+            f"session id {session_id} outside the u32 range"
+        )
+    if not message:
+        raise ValidationError("a mux frame needs a non-empty inner message")
+    return bytes([MUX_WIRE_VERSION]) + _SESSION_HEADER.pack(session_id) + message
+
+
+def split_mux_frame(data: bytes) -> Tuple[int, bytes]:
+    """Split a v2 frame into ``(session_id, inner message bytes)``.
+
+    Strict: a wrong version byte (including a v1 message byte, 0x01), a
+    truncated session header, or an empty inner message all raise
+    :class:`ValidationError`.  The inner message is *not* decoded here —
+    the demultiplexer routes on the session id first and decodes on the
+    session's own thread.
+    """
+    data = bytes(data)
+    if not data:
+        raise ValidationError("empty mux frame")
+    if data[0] != MUX_WIRE_VERSION:
+        raise ValidationError(
+            f"unsupported mux frame version {data[0]} "
+            f"(expected {MUX_WIRE_VERSION})"
+        )
+    if len(data) < 1 + _SESSION_HEADER.size + 1:
+        raise ValidationError("truncated mux frame header")
+    (session_id,) = _SESSION_HEADER.unpack_from(data, 1)
+    return session_id, data[1 + _SESSION_HEADER.size:]

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import signal
+import threading
 
 import pytest
 
@@ -20,19 +21,49 @@ SOCKET_TEST_TIMEOUT_S = 60
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
-    if item.get_closest_marker("socket") and hasattr(signal, "SIGALRM"):
+    """Hard per-test timeout for ``socket``-marked tests.
+
+    A watchdog thread re-sends SIGALRM to the main thread every second
+    past the deadline rather than arming a one-shot ``signal.alarm``.
+    The one-shot form breaks under the v2 event-loop stack: if the
+    single alarm lands while the main thread is parked in an
+    EINTR-retrying wait (``queue.get``, ``Event.wait``, joining the mux
+    loop thread), or the raised ``TimeoutError`` is swallowed by a
+    broad ``except`` inside the code under test, the alarm is spent and
+    the test hangs forever.  Repeating the signal until the test body
+    actually returns makes the deadline inescapable.
+    """
+    if item.get_closest_marker("socket") and hasattr(signal, "pthread_kill"):
+        finished = threading.Event()
+        main_thread = threading.main_thread()
+
         def _expired(signum, frame):
+            if finished.is_set():
+                return  # late signal after the test body already returned
             raise TimeoutError(
                 f"socket test exceeded the {SOCKET_TEST_TIMEOUT_S}s "
                 f"hard timeout"
             )
 
+        def _watchdog():
+            if finished.wait(SOCKET_TEST_TIMEOUT_S):
+                return
+            while not finished.wait(1.0):
+                try:
+                    signal.pthread_kill(main_thread.ident, signal.SIGALRM)
+                except (ProcessLookupError, ValueError):
+                    return
+
         previous = signal.signal(signal.SIGALRM, _expired)
-        signal.alarm(SOCKET_TEST_TIMEOUT_S)
+        watchdog = threading.Thread(
+            target=_watchdog, name="socket-test-watchdog", daemon=True
+        )
+        watchdog.start()
         try:
             yield
         finally:
-            signal.alarm(0)
+            finished.set()
+            watchdog.join(timeout=5.0)
             signal.signal(signal.SIGALRM, previous)
     else:
         yield

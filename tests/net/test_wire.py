@@ -243,7 +243,13 @@ class TestConnect:
         port = _free_port()
 
         def late_server():
-            time.sleep(0.25)
+            # Bind only after the client has provably failed a dial —
+            # deterministic, unlike a fixed sleep that races the
+            # client's first attempt on a loaded machine.
+            deadline = time.monotonic() + 10.0
+            while registry.counter("repro_wire_retries_total").total() == 0:
+                assert time.monotonic() < deadline, "client never retried"
+                time.sleep(0.005)
             server = wire.listen("127.0.0.1", port)
             try:
                 connection = wire.accept(server, timeout=10.0)
@@ -454,7 +460,13 @@ class TestFaultPaths:
         port = _free_port()
 
         def late_service():
-            time.sleep(0.25)
+            # Same deterministic gate as test_retry_then_succeed: bind
+            # once the client has recorded a retry, not after a timed
+            # nap that may or may not cover the first dial.
+            deadline = time.monotonic() + 10.0
+            while registry.counter("repro_wire_retries_total").total() == 0:
+                assert time.monotonic() < deadline, "client never retried"
+                time.sleep(0.005)
             with TrainerServer(
                 model, port=port, config=fast_config
             ) as server:
