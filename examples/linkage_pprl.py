@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Privacy-preserving record linkage over the bulk linkage pipeline.
+
+Two agencies hold overlapping person registries.  Neither will share
+raw records, but each is willing to publish, per record, a tiny linear
+model fitted to that record's feature vector — the paper's similarity
+protocol then scores every cross-agency pair *privately*: the T metric
+(smaller = closer) comes out, the feature vectors never do.
+
+This example drives :func:`repro.linkage.run_linkage` end to end:
+
+1. sample two registries with a known overlap (same underlying people,
+   re-measured with noise) plus distinct non-overlap records;
+2. encode every record as a linear model (weights = features);
+3. run a chunked linkage job with a T threshold into a resumable
+   result store;
+4. score the declared matches against ground truth
+   (precision/recall) — knowable here only because we simulated both
+   registries.
+
+Run:  python examples/linkage_pprl.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from repro.core.ompe import OMPEConfig
+from repro.linkage import LinkageJobSpec, SerialLinkageRunner, run_linkage
+from repro.math.groups import fast_group
+from repro.ml.svm.model import make_linear_model
+
+DIMENSION = 4
+OVERLAP = 6  # people present in both registries
+ONLY_A = 3
+ONLY_B = 4
+NOISE = 0.02  # re-measurement noise on shared people
+THRESHOLD = 0.001  # keep pairs with T <= this
+
+
+def sample_registries(seed: int = 123):
+    """Two registries over a partially shared population."""
+    rng = np.random.default_rng(seed)
+    shared = rng.uniform(-1.0, 1.0, (OVERLAP, DIMENSION))
+    registry_a = {
+        f"A{i:02d}": shared[i] + rng.normal(0.0, NOISE, DIMENSION)
+        for i in range(OVERLAP)
+    }
+    registry_b = {
+        f"B{i:02d}": shared[i] + rng.normal(0.0, NOISE, DIMENSION)
+        for i in range(OVERLAP)
+    }
+    for i in range(ONLY_A):
+        registry_a[f"A{OVERLAP + i:02d}"] = rng.uniform(-1.0, 1.0, DIMENSION)
+    for i in range(ONLY_B):
+        registry_b[f"B{OVERLAP + i:02d}"] = rng.uniform(-1.0, 1.0, DIMENSION)
+    truth = {(f"A{i:02d}", f"B{i:02d}") for i in range(OVERLAP)}
+    return registry_a, registry_b, truth
+
+
+def encode(registry):
+    """One linear model per record: a hyperplane normal to its features.
+
+    The offset matters twice over: bias-0 hyperplanes all pass through
+    the origin (collapsing the T metric's position term to ~0), and a
+    fixed absolute offset can push a small record's plane outside the
+    bounded data space.  So the plane sits at relative distance
+    ``0.25 + 0.5 / (1 + ||f||)`` from the origin — always within the
+    box (the distance stays below 3/4 < 1), continuous in the features
+    so noisy re-measurements land close, and magnitude-sensitive so two
+    records pointing the same way but sized differently do not collide.
+    """
+    encoded = {}
+    for key, features in registry.items():
+        norm = float(np.linalg.norm(features))
+        distance = 0.25 + 0.5 / (1.0 + norm)
+        encoded[key] = make_linear_model(
+            [float(v) for v in features], bias=-distance * norm
+        )
+    return encoded
+
+
+def main() -> None:
+    registry_a, registry_b, truth = sample_registries()
+    left = encode(registry_a)
+    right = encode(registry_b)
+    print(
+        f"registry A: {len(left)} records, registry B: {len(right)} "
+        f"records, true overlap: {len(truth)}"
+    )
+
+    config = OMPEConfig(security_degree=1, cover_expansion=2, group=fast_group())
+    spec = LinkageJobSpec(
+        left, right, chunk_pairs=16, threshold=THRESHOLD, seed=7, config=config
+    )
+    with tempfile.TemporaryDirectory(prefix="linkage-") as store:
+        report = run_linkage(spec, SerialLinkageRunner(), store)
+    print(
+        f"scored {report.pairs_scored} pairs in {report.elapsed_s:.1f}s "
+        f"({report.pairs_per_second:.1f} pairs/s, "
+        f"{report.chunks_total} chunks)"
+    )
+
+    declared = {(score.left, score.right) for score in report.matches}
+    print(f"\n--- Declared matches (T <= {THRESHOLD}) ---")
+    for score in report.matches:
+        marker = "true" if (score.left, score.right) in truth else "FALSE"
+        print(f"{score.left} ~ {score.right}:  T = {score.t:.4f}  [{marker}]")
+
+    true_positives = len(declared & truth)
+    precision = true_positives / len(declared) if declared else 0.0
+    recall = true_positives / len(truth)
+    print(
+        f"\nprecision = {precision:.2f}  recall = {recall:.2f}  "
+        f"({true_positives}/{len(declared)} declared, "
+        f"{true_positives}/{len(truth)} true pairs found)"
+    )
+
+
+if __name__ == "__main__":
+    main()

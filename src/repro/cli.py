@@ -11,8 +11,11 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli experiment --all
     python -m repro.cli observe --runs 3             # traced run + drift check
     python -m repro.cli serve model.json --port 9000 # host a trainer over TCP
+    python -m repro.cli serve --models-dir left/ --port 9000
     python -m repro.cli remote-classify d.libsvm --connect 127.0.0.1:9000
     python -m repro.cli remote-similarity model_b.json --connect 127.0.0.1:9000
+    python -m repro.cli link --left-dir left/ --right-dir right/ \
+        --store store/ --backend engine --workers 4 --threshold 0.8
     python -m repro.cli serve-bench --jobs 16 --workers 1,2,4
     python -m repro.cli top --connect 127.0.0.1:9000 # live server view
     python -m repro.cli trace --connect 127.0.0.1:9000 --session s1
@@ -357,10 +360,30 @@ def _parse_endpoint(text: str) -> tuple:
     return host, port
 
 
+def _load_model_dir(path: str) -> dict:
+    """Load ``<path>/*.json`` as a keyed model collection (stem = key)."""
+    from pathlib import Path
+
+    from repro.exceptions import ValidationError
+
+    files = sorted(Path(path).glob("*.json"))
+    if not files:
+        raise ValidationError(f"no *.json model files in {path!r}")
+    return {file.stem: load_model(str(file)) for file in files}
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.net.service import TrainerServer
 
-    model = load_model(args.model)
+    models = None
+    if args.models_dir:
+        models = _load_model_dir(args.models_dir)
+        model = None
+    elif args.model:
+        model = load_model(args.model)
+    else:
+        print("serve needs a model file or --models-dir", file=sys.stderr)
+        return 2
     config = OMPEConfig(security_degree=args.security_degree)
     output_policy = None
     if args.output_policy:
@@ -383,6 +406,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         output_policy=output_policy,
         precompute=args.precompute,
         session_workers=args.session_workers,
+        models=models,
     ) as server:
         from repro.math import fastpath
 
@@ -391,9 +415,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f", output policy {output_policy.label}" if output_policy else ""
         )
         precompute_note = "warm" if args.precompute else "cold"
-        print(f"serving {args.model} on {host}:{port} "
-              f"({'linear' if model.is_linear() else 'kernel'} model, "
-              f"dimension {model.dimension}, "
+        if models:
+            what = (
+                f"{len(models)} keyed models from {args.models_dir} "
+                f"({', '.join(sorted(models))})"
+            )
+        else:
+            what = args.model
+        shown = server.model
+        print(f"serving {what} on {host}:{port} "
+              f"({'linear' if shown.is_linear() else 'kernel'} model, "
+              f"dimension {shown.dimension}, "
               f"up to {args.workers} concurrent connections, "
               f"protocols v1+v2 ({args.session_workers} session workers)"
               f"{policy_note}, "
@@ -575,6 +607,85 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_link(args: argparse.Namespace) -> int:
+    from repro.linkage import (
+        EngineLinkageRunner,
+        LinkageJobSpec,
+        SerialLinkageRunner,
+        ServiceLinkageRunner,
+        run_linkage,
+    )
+    from repro.math.groups import fast_group
+
+    config_kwargs = {"security_degree": args.security_degree}
+    if args.fast_group:
+        config_kwargs["group"] = fast_group()
+    config = OMPEConfig(**config_kwargs)
+    spec = LinkageJobSpec(
+        _load_model_dir(args.left_dir),
+        _load_model_dir(args.right_dir),
+        chunk_pairs=args.chunk_pairs,
+        threshold=args.threshold,
+        top_k=args.top_k,
+        seed=args.seed,
+        config=config,
+    )
+    if args.backend == "engine":
+        runner = EngineLinkageRunner(workers=args.workers, seed=args.seed)
+    elif args.backend == "tcp":
+        from repro.net.service import TrainerClientPool
+
+        if not args.connect:
+            print("--backend tcp needs --connect host:port", file=sys.stderr)
+            return 2
+        host, port = _parse_endpoint(args.connect)
+        pool = TrainerClientPool(
+            host, port, size=args.pool, config=config,
+            timeout=args.timeout, protocol=args.protocol,
+            pipeline=args.pipeline,
+        )
+        runner = ServiceLinkageRunner(pool, owns_pool=True)
+    else:
+        runner = SerialLinkageRunner()
+
+    report = run_linkage(spec, runner, args.store, resume=not args.no_resume)
+    if args.matches_out:
+        with open(args.matches_out, "w", encoding="utf-8") as handle:
+            for score in report.matches:
+                handle.write(score.encode() + "\n")
+    summary = report.summary()
+    print(
+        f"linked {summary['pairs_total']} pairs "
+        f"({len(spec.left)} left x {len(spec.right)} right) in "
+        f"{summary['chunks_total']} chunks via {args.backend}: "
+        f"{summary['chunks_computed']} computed, "
+        f"{summary['chunks_resumed']} resumed, "
+        f"{summary['chunks_quarantined']} quarantined"
+    )
+    if report.corrupt:
+        for error in report.corrupt:
+            print(f"recovered from damaged chunk: {error}", file=sys.stderr)
+    if summary["pairs_scored"]:
+        print(
+            f"scored {summary['pairs_scored']} pairs in "
+            f"{summary['elapsed_s']:.2f}s "
+            f"({summary['pairs_per_second']:.2f} pairs/s)"
+        )
+    filters = []
+    if spec.threshold is not None:
+        filters.append(f"T <= {spec.threshold:g}")
+    if spec.top_k is not None:
+        filters.append(f"top-{spec.top_k} per left record")
+    note = f" ({', '.join(filters)})" if filters else ""
+    print(f"{len(report.matches)} surviving pair(s){note}:")
+    for score in report.matches[: args.limit]:
+        print(f"  {score.left} ~ {score.right}  T = {score.t:.6g}")
+    hidden = len(report.matches) - args.limit
+    if hidden > 0:
+        print(f"  ... and {hidden} more (raise --limit to show)")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     ids = available_experiments() if args.all else [args.experiment]
     if not args.all and args.experiment is None:
@@ -658,7 +769,13 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="host a trained model as a TCP trainer service",
     )
-    serve.add_argument("model")
+    serve.add_argument("model", nargs="?", default=None)
+    serve.add_argument("--models-dir", default=None,
+                       help="serve every *.json model in this directory as a "
+                            "keyed collection (filename stem = key); "
+                            "sessions select one via the session/open "
+                            "'model' field — the bulk-linkage TCP backend "
+                            "relies on this")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0,
                        help="0 picks a free port (printed on startup)")
@@ -735,6 +852,56 @@ def build_parser() -> argparse.ArgumentParser:
                                         "raw, threshold:<t>, top-k:<k>, or "
                                         "permuted (e.g. top-k:5)")
 
+    link = sub.add_parser(
+        "link",
+        help="bulk-link two model collections (chunked NxM similarity "
+             "with a crash-resumable result store)",
+    )
+    link.add_argument("--left-dir", required=True,
+                      help="directory of *.json left models (trainer side)")
+    link.add_argument("--right-dir", required=True,
+                      help="directory of *.json right models (querying side)")
+    link.add_argument("--store", required=True,
+                      help="result-store directory (reused to resume)")
+    link.add_argument("--backend", default="serial",
+                      choices=("serial", "engine", "tcp"),
+                      help="serial (baseline), engine (worker fleet), or "
+                           "tcp (fan out to a served left collection)")
+    link.add_argument("--workers", type=int, default=2,
+                      help="engine backend worker processes")
+    link.add_argument("--connect", default=None,
+                      help="tcp backend endpoint host:port (serve the left "
+                           "collection with serve --models-dir first)")
+    link.add_argument("--pool", type=int, default=2,
+                      help="tcp backend pooled connections")
+    link.add_argument("--pipeline", type=int, default=16,
+                      help="tcp backend in-flight sessions per v2 connection")
+    link.add_argument("--protocol", default="auto",
+                      choices=("v1", "v2", "auto"),
+                      help="tcp backend wire protocol")
+    link.add_argument("--timeout", type=float, default=30.0,
+                      help="tcp backend per-session timeout in seconds")
+    link.add_argument("--chunk-pairs", type=int, default=128,
+                      help="pairs per chunk (the unit of resume)")
+    link.add_argument("--threshold", type=float, default=None,
+                      help="keep pairs with T <= this (smaller T = more "
+                           "similar)")
+    link.add_argument("--top-k", type=int, default=None,
+                      help="keep the k most-similar pairs per left record")
+    link.add_argument("--seed", type=int, default=0)
+    link.add_argument("--security-degree", type=int, default=2)
+    link.add_argument("--fast-group", action="store_true",
+                      help="use the small test group (fast, not "
+                           "production-sized security)")
+    link.add_argument("--no-resume", action="store_true",
+                      help="recompute every chunk even if the store has "
+                           "completed ones")
+    link.add_argument("--matches-out", default=None,
+                      help="write the final filtered pair set as canonical "
+                           "JSONL (stable bytes across backends/resumes)")
+    link.add_argument("--limit", type=int, default=20,
+                      help="max surviving pairs to print")
+
     serve_bench = sub.add_parser(
         "serve-bench",
         help="benchmark the multi-core protocol engine (jobs/sec per worker count)",
@@ -794,6 +961,7 @@ _HANDLERS = {
     "classify": _cmd_classify,
     "similarity": _cmd_similarity,
     "experiment": _cmd_experiment,
+    "link": _cmd_link,
     "observe": _cmd_observe,
     "serve": _cmd_serve,
     "remote-classify": _cmd_remote_classify,

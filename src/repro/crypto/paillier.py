@@ -191,9 +191,17 @@ class RandomizerPool:
         self._ready: List[int] = []
         self.precomputed_total = 0
         self.taken_total = 0
+        self.refills_total = 0
 
-    def refill(self, count: Optional[int] = None) -> None:
-        """Precompute ``count`` (default: one batch of) randomizers."""
+    def refill(self, count: Optional[int] = None, trigger: str = "manual") -> None:
+        """Precompute ``count`` (default: one batch of) randomizers.
+
+        ``trigger`` labels the refill counter: ``"manual"`` (explicit
+        warm-up), ``"empty"`` (a :meth:`take` found the pool dry and
+        had to refill inline — the slow path long batch runs should
+        avoid), or ``"low-water"`` (a proactive top-up by
+        :class:`~repro.crypto.precompute.SharedRandomizerPool`).
+        """
         count = self._batch if count is None else count
         n = self.public_key.n
         n_sq = self.public_key.n_squared
@@ -206,12 +214,13 @@ class RandomizerPool:
         fresh.reverse()  # take() pops from the end, oldest first
         self._ready[:0] = fresh
         self.precomputed_total += count
-        self._record_health(refill_seconds=elapsed)
+        self.refills_total += 1
+        self._record_health(refill_seconds=elapsed, trigger=trigger)
 
     def take(self) -> int:
         """Pop the next randomizer, refilling the pool when empty."""
         if not self._ready:
-            self.refill()
+            self.refill(trigger="empty")
         self.taken_total += 1
         randomizer = self._ready.pop()
         self._record_health()
@@ -240,7 +249,11 @@ class RandomizerPool:
         )
         self._record_health()
 
-    def _record_health(self, refill_seconds: Optional[float] = None) -> None:
+    def _record_health(
+        self,
+        refill_seconds: Optional[float] = None,
+        trigger: Optional[str] = None,
+    ) -> None:
         """Export pool health into the metrics registry (when enabled).
 
         The plain attributes (``precomputed_total``, ``available``,
@@ -269,6 +282,11 @@ class RandomizerPool:
                 "repro_precompute_refill_seconds",
                 "Latency of Paillier randomizer-pool refills",
             ).observe(refill_seconds, bits=bits)
+        if trigger is not None:
+            metrics.counter(
+                "repro_precompute_pool_refills_total",
+                "Paillier randomizer-pool refills, by trigger",
+            ).inc(trigger=trigger, bits=bits)
 
 
 class FixedPointCodec:

@@ -49,19 +49,43 @@ class SharedRandomizerPool:
     so one warm pool can serve every session.  It is duck-compatible
     with the raw pool where it matters: ``encrypt_raw(pool=...)`` only
     calls :meth:`take`.
+
+    ``low_water`` keeps sustained batch runs warm: whenever a take
+    leaves fewer than that many randomizers ready, the pool tops itself
+    up by a batch *before* the next encryption arrives, so
+    ``repro_precompute_randomizers_available`` never silently hits zero
+    and no encryption ever pays the cold ``trigger="empty"`` refill
+    inline.  ``low_water=0`` restores the old drain-then-refill
+    behaviour.
     """
 
-    def __init__(self, pool: RandomizerPool) -> None:
+    def __init__(self, pool: RandomizerPool, low_water: int = 0) -> None:
+        if low_water < 0:
+            raise ValidationError(
+                f"low_water must be non-negative, got {low_water}"
+            )
         self._pool = pool
+        self._low_water = low_water
         self._lock = threading.Lock()
 
     def take(self) -> int:
         with self._lock:
-            return self._pool.take()
+            randomizer = self._pool.take()
+            if self._low_water and self._pool.available <= self._low_water:
+                self._pool.refill(trigger="low-water")
+            return randomizer
 
     def refill(self, count: Optional[int] = None) -> None:
         with self._lock:
             self._pool.refill(count)
+
+    @property
+    def low_water(self) -> int:
+        return self._low_water
+
+    @property
+    def refills_total(self) -> int:
+        return self._pool.refills_total
 
     @property
     def available(self) -> int:
@@ -119,6 +143,7 @@ class PrecomputeService:
         public_key: PaillierPublicKey,
         batch: int = 64,
         warm: bool = True,
+        low_water: Optional[int] = None,
     ) -> SharedRandomizerPool:
         """One shared randomizer pool per public key, built on demand.
 
@@ -128,16 +153,25 @@ class PrecomputeService:
         guarantee (which requires the *caller's* rng) for cross-session
         amortization; callers needing that guarantee keep constructing
         private pools via ``PaillierCipher(pool_batch=...)``.
+
+        ``low_water`` defaults to a quarter batch: sustained batch runs
+        (the linkage pipeline's million-pair jobs) top the pool up
+        proactively instead of letting an encryption hit an empty pool
+        and pay a cold inline refill.  Pass ``low_water=0`` for the old
+        drain-then-refill behaviour.
         """
         if batch < 1:
             raise ValidationError(f"batch must be at least 1, got {batch}")
+        if low_water is None:
+            low_water = max(1, batch // 4)
         key = public_key.n
         with self._lock:
             shared = self._pools.get(key)
             if shared is None:
                 rng = ReproRandom(derive_seed(self._seed, "paillier-pool", key))
                 shared = SharedRandomizerPool(
-                    RandomizerPool(public_key, rng, batch=batch)
+                    RandomizerPool(public_key, rng, batch=batch),
+                    low_water=low_water,
                 )
                 self._pools[key] = shared
         if warm and shared.available == 0:
@@ -198,10 +232,29 @@ class PrecomputeService:
             shared = self.paillier_pool(
                 public_key, batch=blob.get("batch", 64), warm=False
             )
-            if blob["ready"]:
-                with shared._lock:
+            with shared._lock:
+                if blob["ready"]:
                     shared._pool.adopt(blob["ready"])
-                installed_pools += 1
+                    installed_pools += 1
+                if shard_count > 1:
+                    # Post-shard refills MUST diverge per worker: every
+                    # process's pool was seeded with the same
+                    # ``(seed, "paillier-pool", n)`` stream, so once a
+                    # long batch run drains its shard, identically
+                    # seeded refills would hand the *same* ``r^n``
+                    # randomizers to every worker — randomizer reuse
+                    # across ciphertexts, a semantic-security break.
+                    # Re-seed the refill stream with the shard index so
+                    # exhausted shards refill disjointly.
+                    shared._pool._rng = ReproRandom(
+                        derive_seed(
+                            self._seed,
+                            "paillier-pool-shard",
+                            blob["n"],
+                            shard_index,
+                            shard_count,
+                        )
+                    )
         return {"tables": installed_tables, "pools": installed_pools}
 
     # -- observability -----------------------------------------------------

@@ -32,7 +32,7 @@ import multiprocessing
 import queue as queue_module
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.crypto.precompute import get_precompute_service
@@ -120,7 +120,7 @@ class ProtocolEngine:
 
     def __init__(
         self,
-        model: SVMModel,
+        model: Optional[SVMModel] = None,
         config=None,
         workers: int = 2,
         pool_size: int = 16,
@@ -129,6 +129,8 @@ class ProtocolEngine:
         seed: int = 0,
         trace: bool = False,
         precompute: bool = True,
+        models: Optional[Mapping[str, SVMModel]] = None,
+        params=None,
     ) -> None:
         if workers < 1:
             raise ValidationError(f"workers must be at least 1, got {workers}")
@@ -136,6 +138,14 @@ class ProtocolEngine:
             raise ValidationError(
                 f"queue_capacity must be at least 1, got {queue_capacity}"
             )
+        if model is None:
+            if not models:
+                raise ValidationError(
+                    "ProtocolEngine needs a model (or a keyed models "
+                    "collection)"
+                )
+            # Deterministic default: the first key in sorted order.
+            model = models[sorted(models)[0]]
         self.policy = policy or EnginePolicy()
         self.workers = workers
         self.queue_capacity = queue_capacity
@@ -148,6 +158,8 @@ class ProtocolEngine:
             pool_size=pool_size,
             timeout_s=self.policy.timeout_s,
             trace=trace,
+            models=dict(models) if models is not None else None,
+            params=params,
         )
         self._started = False
         self._closed = False
@@ -156,6 +168,12 @@ class ProtocolEngine:
         self._in_flight = 0
         self._retries = 0
         self._completed: List[JobResult] = []
+        #: Pristine parent-side copies of in-flight jobs, keyed by id.
+        #: Retries resubmit from here — never from the copy a worker
+        #: echoed back — so a retried job reruns with exactly its
+        #: original seed and payload (pinned by the resubmission-
+        #: determinism regression tests).
+        self._pending: Dict[int, Job] = {}
         self._started_at: Optional[float] = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -223,6 +241,7 @@ class ProtocolEngine:
     def submit(self, job: Job) -> int:
         """Enqueue one job; blocks while the bounded queue is full."""
         self._require_started()
+        self._pending[job.job_id] = job
         self._job_queue.put((job, 1))
         self._in_flight += 1
         return job.job_id
@@ -237,25 +256,34 @@ class ProtocolEngine:
         job_id = self._next_job_id
         self._next_job_id += 1
         inject.setdefault("trace", current_trace_context())
+        inject.setdefault("seed", derive_seed(self.seed, "job", job_id))
         return self.submit(
             ClassificationJob(
                 job_id=job_id,
                 sample=tuple(float(v) for v in sample),
-                seed=derive_seed(self.seed, "job", job_id),
                 **inject,
             )
         )
 
     def submit_similarity(self, other_model: SVMModel, **inject) -> int:
-        """Build and enqueue a similarity job with a derived seed."""
+        """Build and enqueue a similarity job.
+
+        The seed defaults to ``derive_seed(engine seed, "job", job_id)``
+        but callers may pin ``seed=`` explicitly — the linkage pipeline
+        does, deriving per-pair seeds from stable record keys so a
+        resumed run (whose job ids differ from the clean run's)
+        reproduces bit-identical outcomes.  ``left_key=`` selects one of
+        the engine's keyed models as the left side; ``tag=`` labels the
+        job in results and retry-exhausted errors.
+        """
         job_id = self._next_job_id
         self._next_job_id += 1
         inject.setdefault("trace", current_trace_context())
+        inject.setdefault("seed", derive_seed(self.seed, "job", job_id))
         return self.submit(
             SimilarityJob(
                 job_id=job_id,
                 model_document=model_to_dict(other_model),
-                seed=derive_seed(self.seed, "job", job_id),
                 **inject,
             )
         )
@@ -279,17 +307,24 @@ class ProtocolEngine:
                         "all engine workers exited with work in flight"
                     ) from None
 
-    def drain(self) -> EngineReport:
-        """Wait for every submitted job, merge observability, report.
-
-        Retries failed attempts (``EnginePolicy.max_retries``), then
-        sends the drain sentinel to each worker and folds the
-        per-worker metrics/trace snapshots into the parent registry.
-        """
-        self._require_started()
+    def _patience(self) -> float:
         patience = self._DRAIN_PATIENCE_S
         if self.policy.timeout_s:
             patience = max(patience, 10.0 * self.policy.timeout_s)
+        return patience
+
+    def _settle(self) -> None:
+        """Process results until nothing is in flight (retrying failures).
+
+        A failed attempt inside the retry budget is resubmitted from the
+        parent's *pristine* copy of the job (``self._pending``), not the
+        copy the worker echoed back — the seed and payload of a retried
+        job are therefore exactly the submitted ones.  A job that
+        exhausts its budget surfaces with an error message prefixed by
+        its job id (and tag, when set) so batch callers can attribute
+        the failure to a chunk/pair.
+        """
+        patience = self._patience()
         while self._in_flight:
             record = self._collect(patience)
             kind = record[0]
@@ -298,13 +333,54 @@ class ProtocolEngine:
                 raise EngineError(f"worker {worker_id} failed to start: {message}")
             if kind != "result":  # pragma: no cover - defensive
                 raise EngineError(f"unexpected worker record {kind!r}")
-            _, result, job = record
+            _, result, _echoed = record
             if not result.ok and result.attempts <= self.policy.max_retries:
                 self._retries += 1
-                self._job_queue.put((job, result.attempts + 1))
+                pristine = self._pending[result.job_id]
+                self._job_queue.put((pristine, result.attempts + 1))
                 continue
+            job = self._pending.pop(result.job_id, None)
+            if not result.ok:
+                tag = result.tag or getattr(job, "tag", None)
+                label = f"job {result.job_id}" + (f" [{tag}]" if tag else "")
+                result = replace(
+                    result,
+                    error=(
+                        f"{label} failed after {result.attempts} "
+                        f"attempts: {result.error}"
+                    ),
+                    tag=tag,
+                )
             self._in_flight -= 1
             self._completed.append(result)
+
+    def sync(self) -> Tuple[JobResult, ...]:
+        """Wait for every in-flight job; keep the fleet running.
+
+        Returns the results completed since the previous ``sync()`` (or
+        engine start), sorted by job id, and clears the internal
+        completion buffer.  Unlike :meth:`drain` the workers stay alive,
+        so a caller can interleave submission waves — the linkage
+        pipeline settles one chunk at a time this way.  Worker metrics
+        are merged only by the final :meth:`drain`.
+        """
+        self._require_started()
+        self._settle()
+        results = tuple(sorted(self._completed, key=lambda r: r.job_id))
+        self._completed = []
+        return results
+
+    def drain(self) -> EngineReport:
+        """Wait for every submitted job, merge observability, report.
+
+        Retries failed attempts (``EnginePolicy.max_retries``), then
+        sends the drain sentinel to each worker and folds the
+        per-worker metrics/trace snapshots into the parent registry.
+        ``results`` covers jobs completed since the last :meth:`sync`.
+        """
+        self._require_started()
+        patience = self._patience()
+        self._settle()
 
         for _ in self._processes:
             self._job_queue.put(DRAIN)

@@ -48,6 +48,9 @@ class ClassificationJob:
     inject_failures: int = 0
     inject_delay_s: float = 0.0
     trace: Optional[TraceContext] = None
+    #: Caller-supplied label carried through to the result (and into
+    #: the exhausted-retry error text), e.g. a linkage chunk/pair id.
+    tag: Optional[str] = None
 
     kind = CLASSIFICATION
 
@@ -69,6 +72,13 @@ class SimilarityJob:
     inject_failures: int = 0
     inject_delay_s: float = 0.0
     trace: Optional[TraceContext] = None
+    #: Caller-supplied label carried through to the result (and into
+    #: the exhausted-retry error text), e.g. a linkage chunk/pair id.
+    tag: Optional[str] = None
+    #: Selects which of the engine's models is the left/Alice side;
+    #: ``None`` uses the engine's default model.  Keys come from
+    #: ``EngineSpec.model_documents`` (the multi-model collection).
+    left_key: Optional[str] = None
 
     kind = SIMILARITY
 
@@ -101,6 +111,12 @@ class JobResult:
     value: Optional[Number] = None
     label: Optional[float] = None
     t: Optional[float] = None
+    #: Exact squared metric ``T²`` for similarity jobs (a Fraction);
+    #: what the linkage result store persists for bit-identical
+    #: cross-backend comparison.
+    t_squared: Optional[Number] = None
     total_bytes: int = 0
     duration_s: float = 0.0
     error: Optional[str] = None
+    #: Echo of the job's ``tag``.
+    tag: Optional[str] = None

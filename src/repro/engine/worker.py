@@ -23,8 +23,8 @@ from __future__ import annotations
 import signal
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core.classification.linear import _label_from_value
@@ -67,6 +67,15 @@ class EngineSpec:
     pool_size: int = 16
     timeout_s: Optional[float] = None
     trace: bool = False
+    #: Optional keyed collection of additional left-side models for
+    #: similarity jobs (``SimilarityJob.left_key`` selects one); the
+    #: linkage pipeline ships a whole collection this way so one worker
+    #: fleet serves every left record.  Workers reconstruct lazily and
+    #: cache per key.
+    model_documents: Optional[dict] = None
+    #: Similarity metric parameters shared by every similarity job
+    #: (``None`` means library defaults).
+    metric_params: Optional[MetricParams] = None
     #: Serialized warm precompute material (see
     #: :meth:`repro.crypto.precompute.PrecomputeService.export_state`).
     #: Under ``fork`` the worker inherits the warm caches anyway and
@@ -92,8 +101,23 @@ def make_spec(
     pool_size: int = 16,
     timeout_s: Optional[float] = None,
     trace: bool = False,
+    models: Optional[dict] = None,
+    params: Optional[MetricParams] = None,
 ) -> EngineSpec:
-    """Build an :class:`EngineSpec` from an in-memory model."""
+    """Build an :class:`EngineSpec` from an in-memory model.
+
+    ``models`` optionally maps string keys to additional
+    :class:`SVMModel` instances served as alternative left sides for
+    similarity jobs.
+    """
+    documents = None
+    if models is not None:
+        for key in models:
+            if not isinstance(key, str) or not key:
+                raise ValidationError(
+                    f"model keys must be non-empty strings, got {key!r}"
+                )
+        documents = {key: model_to_dict(m) for key, m in models.items()}
     return EngineSpec(
         model_document=model_to_dict(model),
         config=config or OMPEConfig(),
@@ -101,6 +125,8 @@ def make_spec(
         pool_size=pool_size,
         timeout_s=timeout_s,
         trace=trace,
+        model_documents=documents,
+        metric_params=params,
     )
 
 
@@ -135,6 +161,8 @@ class WorkerState:
     receiver_pool: Optional[ReceiverPool] = None
     refills: int = 0
     jobs_done: int = 0
+    #: Lazily reconstructed keyed left models (``spec.model_documents``).
+    extra_models: Dict[str, SVMModel] = field(default_factory=dict)
 
     @classmethod
     def from_spec(cls, spec: EngineSpec, worker_id: int) -> "WorkerState":
@@ -146,6 +174,23 @@ class WorkerState:
             function=_decision_function(model),
             root=ReproRandom(spec.seed).fork("worker", worker_id),
         )
+
+    def model_for(self, left_key: Optional[str]) -> SVMModel:
+        """The left-side model a similarity job asked for."""
+        if left_key is None:
+            return self.model
+        cached = self.extra_models.get(left_key)
+        if cached is not None:
+            return cached
+        documents = self.spec.model_documents or {}
+        if left_key not in documents:
+            raise EngineError(
+                f"unknown left model key {left_key!r}; the engine spec "
+                f"carries {sorted(documents)!r}"
+            )
+        model = model_from_dict(documents[left_key])
+        self.extra_models[left_key] = model
+        return model
 
     # -- precompute pools --------------------------------------------------
 
@@ -260,6 +305,7 @@ def execute_job(state: WorkerState, job: Job, attempt: int) -> JobResult:
                 attempts=attempt,
                 duration_s=time.perf_counter() - start,
                 error=error_text,
+                tag=getattr(job, "tag", None),
             )
         state.jobs_done += 1
         metrics = obs.get_metrics()
@@ -295,6 +341,7 @@ def _run_classification(
         label=_label_from_value(outcome.value),
         total_bytes=outcome.report.total_bytes,
         duration_s=time.perf_counter() - start,
+        tag=job.tag,
     )
 
 
@@ -302,20 +349,22 @@ def _run_similarity(
     state: WorkerState, job: SimilarityJob, attempt: int
 ) -> JobResult:
     start = time.perf_counter()
+    left = state.model_for(job.left_key)
     other = model_from_dict(job.model_document)
-    if state.model.is_linear() and other.is_linear():
+    params = state.spec.metric_params or MetricParams()
+    if left.is_linear() and other.is_linear():
         outcome = evaluate_similarity_private(
-            state.model,
+            left,
             other,
-            MetricParams(),
+            params,
             config=state.spec.config,
             seed=job.seed,
         )
     else:
         outcome = evaluate_similarity_private_nonlinear(
-            state.model,
+            left,
             other,
-            MetricParams(),
+            params,
             config=state.spec.config,
             seed=job.seed,
         )
@@ -327,8 +376,10 @@ def _run_similarity(
         attempts=attempt,
         value=outcome.t,
         t=float(outcome.t),
+        t_squared=outcome.t_squared,
         total_bytes=outcome.total_bytes,
         duration_s=time.perf_counter() - start,
+        tag=job.tag,
     )
 
 

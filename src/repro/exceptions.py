@@ -65,6 +65,42 @@ class EngineTimeout(EngineError):
     """A job exceeded the engine's per-job timeout budget."""
 
 
+class BatchItemError(ProtocolError):
+    """One item of a batched fan-out failed.
+
+    Carries the item's position in the submitted batch (``index``) so a
+    caller collecting per-item results can attribute the failure without
+    losing its neighbours' outcomes.  The underlying failure is chained
+    as ``__cause__`` and summarized in the message.
+    """
+
+    def __init__(self, index: int, message: str) -> None:
+        super().__init__(f"batch item {index}: {message}")
+        self.index = index
+
+
+class LinkageError(ReproError):
+    """The bulk linkage pipeline failed (bad spec, failed chunk)."""
+
+
+class ResultStoreError(LinkageError):
+    """The linkage result store refused an operation (e.g. a resume
+    against a store written by a different job spec)."""
+
+
+class ResultStoreCorruption(ResultStoreError):
+    """A chunk file in the result store is corrupt or truncated.
+
+    Raised only when corruption is *unrecoverable*; a resume quarantines
+    the damaged file, records an instance of this error in its scan
+    report, and recomputes the chunk instead of propagating.
+    """
+
+    def __init__(self, chunk_id: str, message: str) -> None:
+        super().__init__(f"chunk {chunk_id}: {message}")
+        self.chunk_id = chunk_id
+
+
 class TrainingError(ReproError):
     """SVM training did not converge or received unusable data."""
 

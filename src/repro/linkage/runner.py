@@ -1,0 +1,390 @@
+"""Linkage execution backends and the chunked job driver.
+
+Three interchangeable :class:`LinkageRunner` backends score a chunk's
+pairs with the private T² protocol:
+
+* :class:`SerialLinkageRunner` — pair-at-a-time in this process (the
+  baseline the benchmark measures chunked throughput against);
+* :class:`EngineLinkageRunner` — a
+  :class:`~repro.engine.engine.ProtocolEngine` worker fleet, kept alive
+  across chunks and settled per chunk via :meth:`ProtocolEngine.sync`;
+* :class:`ServiceLinkageRunner` — a
+  :class:`~repro.net.service.TrainerClientPool` fanning sessions out to
+  a remote :class:`~repro.net.service.TrainerServer` hosting the left
+  collection (protocol v2 pipelines the window).
+
+All three produce **bit-identical** scores for a given spec: the
+per-pair protocol seed is a pure function of record keys
+(:meth:`~repro.linkage.spec.LinkageJobSpec.pair_seed`), never of job
+ids, scheduling, or transport.
+
+:func:`run_linkage` drives a spec through a runner against a
+:class:`~repro.linkage.store.LinkageResultStore`: completed chunks are
+skipped on resume, damaged files are quarantined and recomputed,
+threshold filtering is applied *before* a chunk is persisted (only
+survivors materialize), and top-k is applied per left record at
+finalize over the stored survivors.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.core.similarity import (
+    evaluate_similarity_private,
+    evaluate_similarity_private_nonlinear,
+)
+from repro.engine.engine import EnginePolicy, ProtocolEngine
+from repro.exceptions import (
+    BatchItemError,
+    LinkageError,
+    ResultStoreCorruption,
+)
+from repro.linkage.spec import LinkageChunk, LinkageJobSpec
+from repro.linkage.store import LinkageResultStore, PairScore
+
+
+class LinkageRunner:
+    """One strategy for scoring a chunk's pairs.
+
+    Lifecycle: :meth:`prepare` once per job, :meth:`run_chunk` per
+    chunk, :meth:`close` once at the end (also on error paths —
+    :func:`run_linkage` guarantees it).  ``run_chunk`` returns scores
+    in the chunk's ``right_keys`` order, unfiltered; the driver owns
+    filtering and persistence.
+    """
+
+    def prepare(self, spec: LinkageJobSpec) -> None:
+        pass
+
+    def run_chunk(
+        self, spec: LinkageJobSpec, chunk: LinkageChunk
+    ) -> List[PairScore]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "LinkageRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+
+class SerialLinkageRunner(LinkageRunner):
+    """Pair-at-a-time scoring in the calling process (the baseline)."""
+
+    def run_chunk(
+        self, spec: LinkageJobSpec, chunk: LinkageChunk
+    ) -> List[PairScore]:
+        left = spec.left[chunk.left_key]
+        scores = []
+        for right_key in chunk.right_keys:
+            right = spec.right[right_key]
+            evaluate = (
+                evaluate_similarity_private
+                if left.is_linear()
+                else evaluate_similarity_private_nonlinear
+            )
+            outcome = evaluate(
+                left,
+                right,
+                spec.params,
+                config=spec.config,
+                seed=spec.pair_seed(chunk.left_key, right_key),
+            )
+            scores.append(
+                PairScore.from_outcome(
+                    chunk.left_key, right_key, outcome.t, outcome.t_squared
+                )
+            )
+        return scores
+
+
+class EngineLinkageRunner(LinkageRunner):
+    """Chunked scoring over a :class:`ProtocolEngine` worker fleet.
+
+    The fleet hosts the *entire left collection* (keyed models in the
+    worker spec) and stays alive across chunks; each chunk submits one
+    similarity job per pair — seed pinned to the spec's per-pair seed,
+    ``left_key`` selecting the model, ``tag`` carrying the right key —
+    and settles with :meth:`ProtocolEngine.sync`.  :meth:`close` drains
+    the fleet so worker metrics merge into the active registry.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        pool_size: int = 16,
+        queue_capacity: int = 64,
+        policy: Optional[EnginePolicy] = None,
+        seed: int = 0,
+    ) -> None:
+        self.workers = workers
+        self.pool_size = pool_size
+        self.queue_capacity = queue_capacity
+        self.policy = policy
+        self.seed = seed
+        self._engine: Optional[ProtocolEngine] = None
+
+    def prepare(self, spec: LinkageJobSpec) -> None:
+        self._engine = ProtocolEngine(
+            models=spec.left,
+            config=spec.config,
+            workers=self.workers,
+            pool_size=self.pool_size,
+            queue_capacity=self.queue_capacity,
+            policy=self.policy,
+            seed=self.seed,
+            params=spec.params,
+        ).start()
+
+    def run_chunk(
+        self, spec: LinkageJobSpec, chunk: LinkageChunk
+    ) -> List[PairScore]:
+        if self._engine is None:
+            raise LinkageError("runner is not prepared (no engine fleet)")
+        submitted: Dict[int, str] = {}
+        for right_key in chunk.right_keys:
+            job_id = self._engine.submit_similarity(
+                spec.right[right_key],
+                seed=spec.pair_seed(chunk.left_key, right_key),
+                left_key=chunk.left_key,
+                tag=right_key,
+            )
+            submitted[job_id] = right_key
+        by_right: Dict[str, PairScore] = {}
+        for result in self._engine.sync():
+            right_key = submitted.get(result.job_id)
+            if right_key is None:  # pragma: no cover - defensive
+                raise LinkageError(
+                    f"chunk {chunk.chunk_id}: engine returned unknown "
+                    f"job {result.job_id}"
+                )
+            if not result.ok:
+                raise LinkageError(
+                    f"chunk {chunk.chunk_id} pair "
+                    f"({chunk.left_key!r}, {right_key!r}): {result.error}"
+                )
+            by_right[right_key] = PairScore.from_outcome(
+                chunk.left_key, right_key, result.t, result.t_squared
+            )
+        return [by_right[right_key] for right_key in chunk.right_keys]
+
+    def close(self) -> None:
+        if self._engine is None:
+            return
+        engine, self._engine = self._engine, None
+        try:
+            if not engine._closed:
+                engine.drain()
+        finally:
+            engine.close()
+
+
+class ServiceLinkageRunner(LinkageRunner):
+    """Chunked scoring through a :class:`TrainerClientPool`.
+
+    The remote :class:`~repro.net.service.TrainerServer` must host the
+    spec's left collection under the same keys (``models=``); each
+    chunk fans one batch out with ``server_models`` pinning the left
+    key and per-pair seeds pinning the protocol randomness.  The pool
+    is caller-owned: :meth:`close` leaves it open unless
+    ``owns_pool=True``.
+    """
+
+    def __init__(self, pool, owns_pool: bool = False) -> None:
+        self._pool = pool
+        self._owns_pool = owns_pool
+
+    def run_chunk(
+        self, spec: LinkageJobSpec, chunk: LinkageChunk
+    ) -> List[PairScore]:
+        right_models = [spec.right[key] for key in chunk.right_keys]
+        seeds = [
+            spec.pair_seed(chunk.left_key, key) for key in chunk.right_keys
+        ]
+        outcomes = self._pool.evaluate_similarity_many(
+            right_models,
+            seeds=seeds,
+            server_models=[chunk.left_key] * len(right_models),
+            return_errors=True,
+        )
+        scores = []
+        for right_key, outcome in zip(chunk.right_keys, outcomes):
+            if isinstance(outcome, BatchItemError):
+                raise LinkageError(
+                    f"chunk {chunk.chunk_id} pair "
+                    f"({chunk.left_key!r}, {right_key!r}): {outcome}"
+                ) from outcome
+            scores.append(
+                PairScore.from_outcome(
+                    chunk.left_key, right_key, outcome.t, outcome.t_squared
+                )
+            )
+        return scores
+
+    def close(self) -> None:
+        if self._owns_pool:
+            self._pool.close()
+
+
+@dataclass(frozen=True)
+class LinkageReport:
+    """What one :func:`run_linkage` invocation did and found."""
+
+    #: The final filtered pair set, sorted by ``(left, T², right)``.
+    matches: Tuple[PairScore, ...]
+    pairs_total: int
+    pairs_scored: int
+    chunks_total: int
+    chunks_computed: int
+    chunks_resumed: int
+    chunks_quarantined: int
+    corrupt: Tuple[ResultStoreCorruption, ...]
+    elapsed_s: float
+
+    @property
+    def pairs_per_second(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.pairs_scored / self.elapsed_s
+
+    def summary(self) -> dict:
+        return {
+            "matches": len(self.matches),
+            "pairs_total": self.pairs_total,
+            "pairs_scored": self.pairs_scored,
+            "chunks_total": self.chunks_total,
+            "chunks_computed": self.chunks_computed,
+            "chunks_resumed": self.chunks_resumed,
+            "chunks_quarantined": self.chunks_quarantined,
+            "elapsed_s": self.elapsed_s,
+            "pairs_per_second": self.pairs_per_second,
+        }
+
+
+def _threshold_filter(
+    spec: LinkageJobSpec, scores: List[PairScore]
+) -> List[PairScore]:
+    if spec.threshold is None:
+        return scores
+    return [score for score in scores if score.t <= spec.threshold]
+
+
+def _finalize(
+    spec: LinkageJobSpec, store: LinkageResultStore
+) -> Tuple[PairScore, ...]:
+    """Merge stored survivors into the final filtered pair set.
+
+    Top-k runs here, per left record over *all* its chunks (a chunk
+    only sees one contiguous right block, so per-chunk top-k would be
+    wrong).  Ordering uses the exact ``T²`` fraction, not the float
+    ``T``, so ties break identically everywhere.
+    """
+    per_left: Dict[str, List[PairScore]] = {}
+    for chunk in spec.chunks():
+        for score in store.load_chunk(chunk.chunk_id):
+            per_left.setdefault(score.left, []).append(score)
+    matches: List[PairScore] = []
+    for left_key in spec.left_keys:
+        candidates = per_left.get(left_key, [])
+        candidates.sort(key=lambda s: (s.t_squared, s.right))
+        if spec.top_k is not None:
+            candidates = candidates[: spec.top_k]
+        matches.extend(candidates)
+    return tuple(matches)
+
+
+def run_linkage(
+    spec: LinkageJobSpec,
+    runner: LinkageRunner,
+    store,
+    resume: bool = True,
+) -> LinkageReport:
+    """Drive a linkage spec through a runner against a result store.
+
+    ``store`` is a directory path or an open
+    :class:`LinkageResultStore`; its manifest must carry this spec's
+    fingerprint (a fresh directory is initialised, a mismatched one is
+    refused).  With ``resume=True`` (the default) chunks whose files
+    verify complete are **not recomputed** — their stored scores feed
+    the final set directly — and damaged files are quarantined with a
+    typed record in ``report.corrupt``, then recomputed.
+    """
+    if not isinstance(store, LinkageResultStore):
+        store = LinkageResultStore(store, spec.fingerprint())
+    elif store.fingerprint != spec.fingerprint():
+        raise LinkageError(
+            "store was opened with a different spec fingerprint"
+        )
+    chunks = spec.chunks()
+    scan = (
+        store.scan(chunk.chunk_id for chunk in chunks)
+        if resume
+        else None
+    )
+    completed = set(scan.completed) if scan else set()
+    corrupt = scan.corrupt if scan else ()
+
+    started = time.perf_counter()
+    pairs_scored = 0
+    chunks_computed = 0
+    runner.prepare(spec)
+    try:
+        for chunk in chunks:
+            if chunk.chunk_id in completed:
+                continue
+            scores = runner.run_chunk(spec, chunk)
+            if len(scores) != chunk.pairs:  # pragma: no cover - defensive
+                raise LinkageError(
+                    f"chunk {chunk.chunk_id}: runner returned "
+                    f"{len(scores)} scores for {chunk.pairs} pairs"
+                )
+            store.write_chunk(chunk.chunk_id, _threshold_filter(spec, scores))
+            pairs_scored += chunk.pairs
+            chunks_computed += 1
+    finally:
+        runner.close()
+    elapsed = time.perf_counter() - started
+
+    matches = _finalize(spec, store)
+    metrics = obs.get_metrics()
+    if metrics.enabled:
+        pairs_counter = metrics.counter(
+            "repro_linkage_pairs_total",
+            "Similarity pairs scored by the linkage pipeline",
+        )
+        if pairs_scored:
+            pairs_counter.inc(pairs_scored)
+        chunk_counter = metrics.counter(
+            "repro_linkage_chunks_total",
+            "Linkage chunks by disposition",
+        )
+        if chunks_computed:
+            chunk_counter.inc(chunks_computed, status="computed")
+        if completed:
+            chunk_counter.inc(len(completed), status="resumed")
+        if corrupt:
+            chunk_counter.inc(len(corrupt), status="quarantined")
+        metrics.gauge(
+            "repro_linkage_matches",
+            "Surviving pairs in the final filtered set",
+        ).set(len(matches))
+
+    return LinkageReport(
+        matches=matches,
+        pairs_total=spec.total_pairs,
+        pairs_scored=pairs_scored,
+        chunks_total=len(chunks),
+        chunks_computed=chunks_computed,
+        chunks_resumed=len(completed),
+        chunks_quarantined=len(corrupt),
+        corrupt=corrupt,
+        elapsed_s=elapsed,
+    )

@@ -1,0 +1,309 @@
+"""Crash-resumable on-disk result store for bulk linkage jobs.
+
+Layout (one directory per job)::
+
+    store/
+      manifest.json          # {"version": 1, "fingerprint": <spec digest>}
+      chunks/<chunk_id>.jsonl
+      quarantine/            # damaged chunk files, moved aside on resume
+
+Each chunk file is **append-only JSONL in canonical encoding**: one
+line per surviving pair (``json.dumps(..., sort_keys=True,
+separators=(",", ":"))``, the exact ``T²`` as an integer
+numerator/denominator pair so no backend-dependent rounding can creep
+in), terminated by a *done marker* line carrying the chunk id and the
+pair count.  A chunk counts as completed **iff** its done marker is
+present and consistent; anything else — a truncated tail from a hard
+kill mid-write, a corrupted line, a count mismatch — is quarantined
+with a typed :class:`~repro.exceptions.ResultStoreCorruption` recorded
+in the scan report (never raised mid-resume) and the chunk is simply
+recomputed.  Because pair values are pure functions of the spec (see
+:mod:`repro.linkage.spec`), a recomputed chunk file is byte-identical
+to the one an uninterrupted run would have written.
+
+The manifest pins the spec fingerprint: resuming a store with a
+different spec raises :class:`~repro.exceptions.ResultStoreError`
+instead of silently mixing incompatible scores.
+
+Fault injection: ``REPRO_LINKAGE_CRASH_AFTER_LINES=<n>`` makes
+:meth:`LinkageResultStore.write_chunk` hard-kill the process (SIGKILL,
+uncatchable) after persisting ``n`` pair lines *cumulatively across
+chunks* — chunks sealed before the budget runs out stay complete, the
+chunk in flight is left deterministically truncated.  The
+crash-recovery suite and the resume benchmark drive a ``repro link``
+subprocess with it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+from dataclasses import dataclass
+from fractions import Fraction
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro import obs
+from repro.exceptions import ResultStoreCorruption, ResultStoreError
+
+#: Environment hook: hard-kill the process after this many pair lines
+#: have been flushed to the first chunk written (crash tests only).
+CRASH_ENV = "REPRO_LINKAGE_CRASH_AFTER_LINES"
+
+_MANIFEST = "manifest.json"
+_CHUNK_SUFFIX = ".jsonl"
+
+
+@dataclass(frozen=True)
+class PairScore:
+    """One scored pair: the exact ``T²`` plus its float ``T``."""
+
+    left: str
+    right: str
+    t: float
+    t2_num: int
+    t2_den: int
+
+    @classmethod
+    def from_outcome(
+        cls, left: str, right: str, t: float, t_squared
+    ) -> "PairScore":
+        exact = Fraction(t_squared)
+        return cls(
+            left=left,
+            right=right,
+            t=float(t),
+            t2_num=exact.numerator,
+            t2_den=exact.denominator,
+        )
+
+    @property
+    def t_squared(self) -> Fraction:
+        return Fraction(self.t2_num, self.t2_den)
+
+    def encode(self) -> str:
+        """The canonical JSONL line for this pair (no newline)."""
+        return json.dumps(
+            {
+                "left": self.left,
+                "right": self.right,
+                "t": self.t,
+                "t2": [self.t2_num, self.t2_den],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def decode(cls, line: str) -> "PairScore":
+        record = json.loads(line)
+        if not isinstance(record, dict):
+            raise ValueError(f"pair line is not an object: {line!r}")
+        t2 = record["t2"]
+        if (
+            not isinstance(t2, list)
+            or len(t2) != 2
+            or not all(isinstance(v, int) for v in t2)
+        ):
+            raise ValueError(f"pair line has a malformed 't2': {line!r}")
+        if not isinstance(record["left"], str) or not isinstance(
+            record["right"], str
+        ):
+            raise ValueError(f"pair line has malformed keys: {line!r}")
+        return cls(
+            left=record["left"],
+            right=record["right"],
+            t=float(record["t"]),
+            t2_num=t2[0],
+            t2_den=t2[1],
+        )
+
+
+def _done_marker(chunk_id: str, pairs: int) -> str:
+    return json.dumps(
+        {"chunk": chunk_id, "done": True, "pairs": pairs},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+@dataclass(frozen=True)
+class StoreScan:
+    """What a resume found on disk."""
+
+    #: Chunk id → surviving-pair count, for every verified-complete chunk.
+    completed: Dict[str, int]
+    #: Typed record of every damaged file that was quarantined.
+    corrupt: Tuple[ResultStoreCorruption, ...]
+
+
+class LinkageResultStore:
+    """One job's result directory (see module docstring for layout)."""
+
+    def __init__(self, root, fingerprint: str) -> None:
+        self.root = Path(root)
+        self.fingerprint = fingerprint
+        self._chunks_dir = self.root / "chunks"
+        self._quarantine_dir = self.root / "quarantine"
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._chunks_dir.mkdir(exist_ok=True)
+        manifest_path = self.root / _MANIFEST
+        if manifest_path.exists():
+            try:
+                with open(manifest_path, "r", encoding="utf-8") as handle:
+                    manifest = json.load(handle)
+            except (OSError, ValueError) as error:
+                raise ResultStoreError(
+                    f"unreadable store manifest {manifest_path}: {error}"
+                ) from error
+            recorded = (
+                manifest.get("fingerprint")
+                if isinstance(manifest, dict)
+                else None
+            )
+            if recorded != fingerprint:
+                raise ResultStoreError(
+                    f"store at {self.root} was written by a different "
+                    f"linkage spec (manifest fingerprint {recorded!r}, "
+                    f"this spec {fingerprint!r}); refusing to mix results"
+                )
+        else:
+            document = {"version": 1, "fingerprint": fingerprint}
+            with open(manifest_path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, sort_keys=True, indent=2)
+                handle.write("\n")
+
+    # -- paths --------------------------------------------------------------
+
+    def chunk_path(self, chunk_id: str) -> Path:
+        return self._chunks_dir / f"{chunk_id}{_CHUNK_SUFFIX}"
+
+    # -- writing ------------------------------------------------------------
+
+    def write_chunk(self, chunk_id: str, scores: Iterable[PairScore]) -> Path:
+        """Persist one completed chunk (truncating any partial file).
+
+        Lines are appended in score order and the done marker seals the
+        file; the content is a pure function of ``(chunk_id, scores)``,
+        so recomputing a chunk rewrites identical bytes.
+        """
+        path = self.chunk_path(chunk_id)
+        with open(path, "w", encoding="utf-8") as handle:
+            written = 0
+            for score in scores:
+                handle.write(score.encode() + "\n")
+                written += 1
+                if _crash_tick():
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    os.kill(os.getpid(), signal.SIGKILL)
+            handle.write(_done_marker(chunk_id, written) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return path
+
+    # -- reading ------------------------------------------------------------
+
+    def load_chunk(self, chunk_id: str) -> List[PairScore]:
+        """The surviving pairs of one verified-complete chunk."""
+        scores, _ = self._read_chunk_file(self.chunk_path(chunk_id), chunk_id)
+        return scores
+
+    def read_chunk_bytes(self, chunk_id: str) -> bytes:
+        return self.chunk_path(chunk_id).read_bytes()
+
+    def scan(self, expected_chunk_ids: Iterable[str]) -> StoreScan:
+        """Verify every expected chunk file; quarantine the damaged ones.
+
+        Corruption — a missing or inconsistent done marker, an
+        unparseable line — never crashes the resume: the file moves to
+        ``quarantine/``, a typed error is recorded (and counted under
+        ``repro_linkage_store_corruptions_total``), and the chunk is
+        treated as not-yet-computed.
+        """
+        completed: Dict[str, int] = {}
+        corrupt: List[ResultStoreCorruption] = []
+        for chunk_id in expected_chunk_ids:
+            path = self.chunk_path(chunk_id)
+            if not path.exists():
+                continue
+            try:
+                scores, pairs = self._read_chunk_file(path, chunk_id)
+            except ResultStoreCorruption as error:
+                self._quarantine(path, error)
+                corrupt.append(error)
+                continue
+            completed[chunk_id] = pairs
+        return StoreScan(completed=completed, corrupt=tuple(corrupt))
+
+    def _read_chunk_file(
+        self, path: Path, chunk_id: str
+    ) -> Tuple[List[PairScore], int]:
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise ResultStoreCorruption(
+                chunk_id, f"unreadable chunk file: {error}"
+            ) from error
+        if not raw.endswith("\n"):
+            raise ResultStoreCorruption(
+                chunk_id, "truncated chunk file (no trailing newline)"
+            )
+        lines = raw.splitlines()
+        if not lines:
+            raise ResultStoreCorruption(chunk_id, "empty chunk file")
+        if lines[-1] != _done_marker(chunk_id, len(lines) - 1):
+            raise ResultStoreCorruption(
+                chunk_id,
+                "missing or inconsistent done marker (interrupted write?)",
+            )
+        scores: List[PairScore] = []
+        for number, line in enumerate(lines[:-1], start=1):
+            try:
+                scores.append(PairScore.decode(line))
+            except (ValueError, KeyError, ZeroDivisionError) as error:
+                raise ResultStoreCorruption(
+                    chunk_id, f"corrupt pair line {number}: {error}"
+                ) from error
+        return scores, len(scores)
+
+    def _quarantine(self, path: Path, error: ResultStoreCorruption) -> None:
+        self._quarantine_dir.mkdir(exist_ok=True)
+        target = self._quarantine_dir / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = self._quarantine_dir / f"{path.name}.{suffix}"
+        os.replace(path, target)
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_linkage_store_corruptions_total",
+                "Damaged linkage chunk files quarantined on resume",
+            ).inc()
+
+
+#: Lazily-armed line budget for the crash hook; ``None`` = not read
+#: yet, ``-1`` = disarmed.  Module-global so the countdown spans every
+#: chunk written by the process.
+_CRASH_STATE = {"remaining": None}
+
+
+def _crash_tick() -> bool:
+    """Count one persisted pair line; ``True`` means die *right now*."""
+    remaining = _CRASH_STATE["remaining"]
+    if remaining is None:
+        raw = os.environ.get(CRASH_ENV)
+        try:
+            remaining = int(raw) if raw else -1
+        except ValueError:
+            remaining = -1
+        if remaining <= 0:
+            remaining = -1
+        _CRASH_STATE["remaining"] = remaining
+    if remaining < 0:
+        return False
+    remaining -= 1
+    _CRASH_STATE["remaining"] = remaining
+    return remaining == 0

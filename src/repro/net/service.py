@@ -84,7 +84,12 @@ from repro.core.similarity.remote import (
     run_similarity_bob_nonlinear,
 )
 from repro.crypto.precompute import get_precompute_service
-from repro.exceptions import ProtocolError, ReproError, ValidationError
+from repro.exceptions import (
+    BatchItemError,
+    ProtocolError,
+    ReproError,
+    ValidationError,
+)
 from repro.ml.svm.model import SVMModel
 from repro.net import wire
 from repro.net.mux import (
@@ -319,7 +324,7 @@ class TrainerServer:
 
     def __init__(
         self,
-        model: SVMModel,
+        model: Optional[SVMModel] = None,
         host: str = "127.0.0.1",
         port: int = 0,
         config: Optional[OMPEConfig] = None,
@@ -331,6 +336,7 @@ class TrainerServer:
         output_policy: Optional[OutputPolicy] = None,
         precompute: bool = True,
         session_workers: int = 8,
+        models: Optional[Dict[str, SVMModel]] = None,
     ) -> None:
         if max_connections < 1:
             raise ValidationError(
@@ -348,7 +354,30 @@ class TrainerServer:
             raise ValidationError(
                 f"output_policy must be an OutputPolicy, got {output_policy!r}"
             )
+        #: Keyed model collection for similarity sessions: a client's
+        #: ``session/open`` may carry ``"model": <key>`` to pick the
+        #: server-side (Alice) model — the bulk-linkage TCP backend
+        #: serves a whole left collection this way.  ``model`` stays the
+        #: default for sessions that don't select (and for classify).
+        if models is not None:
+            for key, entry in models.items():
+                if not isinstance(key, str) or not key:
+                    raise ValidationError(
+                        f"model keys must be non-empty strings, got {key!r}"
+                    )
+                if not isinstance(entry, SVMModel):
+                    raise ValidationError(
+                        f"models[{key!r}] must be an SVMModel, got {entry!r}"
+                    )
+        if model is None:
+            if not models:
+                raise ValidationError(
+                    "TrainerServer needs a model (or a keyed models "
+                    "collection)"
+                )
+            model = models[sorted(models)[0]]
         self.model = model
+        self.models: Dict[str, SVMModel] = dict(models) if models else {}
         self.config = config or OMPEConfig()
         self.params = params or MetricParams()
         #: Server-side similarity output policy.  ``None`` keeps the
@@ -976,7 +1005,22 @@ class TrainerServer:
         session_id: str,
         transcripts: List[Transcript],
     ) -> None:
-        linear = self.model.is_linear()
+        model_key = request.get("model")
+        if model_key is None:
+            serving = self.model
+        else:
+            if not isinstance(model_key, str):
+                raise ProtocolError(
+                    f"session/open 'model' must be a string key, got "
+                    f"{model_key!r}"
+                )
+            serving = self.models.get(model_key)
+            if serving is None:
+                raise ProtocolError(
+                    f"unknown server model {model_key!r}; this server hosts "
+                    f"{sorted(self.models) if self.models else ['<default>']}"
+                )
+        linear = serving.is_linear()
         if bool(request.get("linear")) != linear:
             raise ProtocolError(
                 "similarity requires both models to be linear or both kernel"
@@ -1003,7 +1047,12 @@ class TrainerServer:
         # propagates even when the client requested nothing.
         endpoint.send_control(
             ACCEPT,
-            {"linear": linear, "session": session_id, "policy": effective},
+            {
+                "linear": linear,
+                "session": session_id,
+                "policy": effective,
+                "model": model_key,
+            },
         )
         if effective is not None and obs.get_metrics().enabled:
             from repro.core.privacy.leakage import record_leakage
@@ -1017,7 +1066,7 @@ class TrainerServer:
 
         if linear:
             run_similarity_alice_linear(
-                self.model, factory,
+                serving, factory,
                 params=self.params, config=self.config, seed=seed,
             )
         else:
@@ -1028,7 +1077,7 @@ class TrainerServer:
                     f"count in session/open, got {peer_sv_count!r}"
                 )
             run_similarity_alice_nonlinear(
-                self.model, peer_sv_count, factory,
+                serving, peer_sv_count, factory,
                 params=self.params, config=self.config, seed=seed,
             )
 
@@ -1372,6 +1421,7 @@ class TrainerClient:
         model: SVMModel,
         seed: Optional[int] = None,
         policy: Optional[OutputPolicy] = None,
+        server_model: Optional[str] = None,
     ) -> SessionFuture:
         """Pipeline one similarity session (protocol v2 only)."""
         self._require_mux()
@@ -1381,7 +1431,9 @@ class TrainerClient:
             try:
                 future._resolve(
                     self._similarity(
-                        model, seed, policy, on_session=future._attach
+                        model, seed, policy,
+                        server_model=server_model,
+                        on_session=future._attach,
                     )
                 )
             except BaseException as error:  # noqa: BLE001 — surfaced by result()
@@ -1455,6 +1507,7 @@ class TrainerClient:
         model: SVMModel,
         seed: Optional[int] = None,
         policy: Optional[OutputPolicy] = None,
+        server_model: Optional[str] = None,
     ) -> PrivateSimilarityOutcome:
         """Compare the client's model against the server's.
 
@@ -1465,14 +1518,18 @@ class TrainerClient:
         may be the server's mandated default when ``policy`` is
         ``None`` — is what gets applied, so a non-raw negotiation
         returns a mitigated outcome instead of the raw one.
+        ``server_model`` selects one key of a multi-model server's
+        collection as the server-side model (``None`` keeps the
+        server's default).
         """
-        return self._similarity(model, seed, policy)
+        return self._similarity(model, seed, policy, server_model=server_model)
 
     def _similarity(
         self,
         model: SVMModel,
         seed: Optional[int],
         policy: Optional[OutputPolicy],
+        server_model: Optional[str] = None,
         on_session: Any = None,
     ) -> PrivateSimilarityOutcome:
         linear = model.is_linear()
@@ -1490,6 +1547,13 @@ class TrainerClient:
                 "n_support": None if linear else model.n_support,
                 "policy": policy,
             }
+            if server_model is not None:
+                if not isinstance(server_model, str):
+                    raise ValidationError(
+                        f"server_model must be a string key, got "
+                        f"{server_model!r}"
+                    )
+                request["model"] = server_model
             context = current_trace_context()
             if context is not None:
                 request["trace"] = context
@@ -1519,6 +1583,14 @@ class TrainerClient:
                         f"server accepted policy "
                         f"{echoed.label if echoed else None!r} instead of "
                         f"the requested {policy.label!r}"
+                    )
+                if (
+                    server_model is not None
+                    and accept.get("model") != server_model
+                ):
+                    raise ProtocolError(
+                        f"server accepted model {accept.get('model')!r} "
+                        f"instead of the requested {server_model!r}"
                     )
                 _annotate_session(span, accept)
                 factory = session.channel
@@ -1679,20 +1751,24 @@ class TrainerClientPool:
             )
         self.size = size
         self.pipeline = pipeline
+        #: Bound on each pipelined result wait (see
+        #: :meth:`_fan_out_pipelined`); ``None`` waits forever.
+        self._timeout = timeout
+        self._host = host
+        self._port = port
+        self._connect_kwargs = dict(
+            config=config,
+            params=params,
+            timeout=timeout,
+            attempts=attempts,
+            retry_delay_s=retry_delay_s,
+            protocol=protocol,
+        )
         self._clients: List[TrainerClient] = []
         self._idle: "queue.LifoQueue[TrainerClient]" = queue.LifoQueue()
         try:
             for _ in range(size):
-                client = TrainerClient(
-                    host,
-                    port,
-                    config=config,
-                    params=params,
-                    timeout=timeout,
-                    attempts=attempts,
-                    retry_delay_s=retry_delay_s,
-                    protocol=protocol,
-                )
+                client = TrainerClient(host, port, **self._connect_kwargs)
                 self._clients.append(client)
                 self._idle.put(client)
         except ReproError:
@@ -1741,35 +1817,144 @@ class TrainerClientPool:
         with self._borrow() as client:
             return client.evaluate_similarity(model, seed=seed, policy=policy)
 
+    @staticmethod
+    def _seed_list(
+        seeds: Optional[Sequence[Optional[int]]], count: int, what: str
+    ) -> List[Optional[int]]:
+        if seeds is None:
+            return [None] * count
+        seed_list = list(seeds)
+        if len(seed_list) != count:
+            raise ValidationError(
+                f"got {count} {what} but {len(seed_list)} seeds"
+            )
+        return seed_list
+
     def classify_many(
         self,
         samples: Sequence[Sequence[float]],
         seeds: Optional[Sequence[Optional[int]]] = None,
-    ) -> List[ClassificationOutcome]:
+        return_errors: bool = False,
+    ) -> List[Any]:
         """Classify a batch across the pool; outcomes keep input order.
 
         ``seeds`` pins one seed per sample (``None`` entries let the
-        protocol draw fresh randomness).  The first failure is
-        re-raised after the whole batch has been attempted, so one bad
-        sample cannot silently drop its neighbours' results.
+        protocol draw fresh randomness).  By default the first failure
+        is re-raised after the whole batch has been attempted, so one
+        bad sample cannot silently drop its neighbours' results; with
+        ``return_errors=True`` failed positions hold a typed
+        :class:`~repro.exceptions.BatchItemError` instead (its
+        ``__cause__`` is the underlying failure) and nothing raises.
         """
         samples = [tuple(sample) for sample in samples]
-        if seeds is None:
-            seed_list: List[Optional[int]] = [None] * len(samples)
+        seed_list = self._seed_list(seeds, len(samples), "samples")
+
+        def run(client: TrainerClient, index: int) -> ClassificationOutcome:
+            return client.classify(samples[index], seed=seed_list[index])
+
+        def start(client: TrainerClient, index: int) -> SessionFuture:
+            return client.classify_async(samples[index], seed=seed_list[index])
+
+        return self._fan_out(len(samples), run, start, return_errors)
+
+    def evaluate_similarity_many(
+        self,
+        models: Sequence[SVMModel],
+        seeds: Optional[Sequence[Optional[int]]] = None,
+        policy: Optional[OutputPolicy] = None,
+        server_models: Optional[Sequence[Optional[str]]] = None,
+        return_errors: bool = False,
+    ) -> List[Any]:
+        """Run a batch of similarity sessions; outcomes keep input order.
+
+        The similarity twin of :meth:`classify_many` — this is the
+        fan-out the bulk-linkage TCP backend drives.  ``server_models``
+        optionally names, per item, which key of a multi-model server's
+        collection serves as the server-side model.  Error semantics
+        match :meth:`classify_many`, including ``return_errors``.
+        """
+        models = list(models)
+        seed_list = self._seed_list(seeds, len(models), "models")
+        if server_models is None:
+            key_list: List[Optional[str]] = [None] * len(models)
         else:
-            seed_list = list(seeds)
-            if len(seed_list) != len(samples):
+            key_list = list(server_models)
+            if len(key_list) != len(models):
                 raise ValidationError(
-                    f"got {len(samples)} samples but {len(seed_list)} seeds"
+                    f"got {len(models)} models but {len(key_list)} "
+                    "server_models"
                 )
-        if not samples:
+
+        def run(client: TrainerClient, index: int) -> PrivateSimilarityOutcome:
+            return client.evaluate_similarity(
+                models[index],
+                seed=seed_list[index],
+                policy=policy,
+                server_model=key_list[index],
+            )
+
+        def start(client: TrainerClient, index: int) -> SessionFuture:
+            return client.evaluate_similarity_async(
+                models[index],
+                seed=seed_list[index],
+                policy=policy,
+                server_model=key_list[index],
+            )
+
+        return self._fan_out(len(models), run, start, return_errors)
+
+    # -- batched fan-out -------------------------------------------------------
+
+    def _fan_out(
+        self,
+        count: int,
+        run: Any,
+        start: Any,
+        return_errors: bool,
+    ) -> List[Any]:
+        """Fan ``count`` sessions out across the pool, input-ordered.
+
+        Dispatches to the pipelined (v2) or thread-per-session (v1)
+        strategy.  Failures never scramble or drop neighbours: every
+        item's outcome (or typed error) lands at its own index.
+        """
+        if count == 0:
             return []
         if self._clients and self._clients[0].protocol == "v2":
-            return self._classify_many_pipelined(samples, seed_list)
-        results: List[Optional[ClassificationOutcome]] = [None] * len(samples)
+            return self._fan_out_pipelined(count, start, return_errors)
+        return self._fan_out_threaded(count, run, return_errors)
+
+    def _revive(self, client: TrainerClient) -> TrainerClient:
+        """Swap a possibly-dead pooled connection for a fresh one.
+
+        A v1 server closes the *whole connection* on a session error,
+        so after a failed item the borrowed connection may be unusable;
+        handing it back as-is would doom every later item that draws
+        it.  Reconnect is best-effort: if the server is truly gone the
+        dead client goes back and later items fail loudly (typed, at
+        their own index) rather than hang.
+        """
+        try:
+            fresh = TrainerClient(
+                self._host, self._port, **self._connect_kwargs
+            )
+        except ReproError:
+            return client
+        try:
+            client.close()
+        except ReproError:
+            pass
+        self._clients[self._clients.index(client)] = fresh
+        return fresh
+
+    def _fan_out_threaded(
+        self, count: int, run: Any, return_errors: bool
+    ) -> List[Any]:
+        """v1 fan-out: one worker thread per pooled connection."""
+        results: List[Any] = [None] * count
         errors: List[Tuple[int, BaseException]] = []
         pending: "queue.SimpleQueue[int]" = queue.SimpleQueue()
-        for index in range(len(samples)):
+        for index in range(count):
             pending.put(index)
 
         def worker() -> None:
@@ -1778,64 +1963,84 @@ class TrainerClientPool:
                     index = pending.get_nowait()
                 except queue.Empty:
                     return
+                client = self._idle.get()
                 try:
-                    with self._borrow() as client:
-                        results[index] = client.classify(
-                            samples[index], seed=seed_list[index]
-                        )
-                except BaseException as error:  # noqa: BLE001 — re-raised below
+                    results[index] = run(client, index)
+                except BaseException as error:  # noqa: BLE001 — surfaced below
+                    results[index] = self._batch_error(index, error)
                     errors.append((index, error))
+                    client = self._revive(client)
+                finally:
+                    self._idle.put(client)
 
         threads = [
             threading.Thread(target=worker, daemon=True)
-            for _ in range(min(self.size, len(samples)))
+            for _ in range(min(self.size, count))
         ]
         for thread in threads:
             thread.start()
         for thread in threads:
             thread.join()
-        if errors:
-            index, error = min(errors, key=lambda pair: pair[0])
-            raise error
-        return results  # type: ignore[return-value]
+        return self._finish_batch(results, errors, return_errors)
 
-    def _classify_many_pipelined(
-        self,
-        samples: List[Tuple[float, ...]],
-        seed_list: List[Optional[int]],
-    ) -> List[ClassificationOutcome]:
+    def _fan_out_pipelined(
+        self, count: int, start: Any, return_errors: bool
+    ) -> List[Any]:
         """v2 fan-out: pipeline sessions over the pooled connections.
 
-        Samples round-robin across the pool's multiplexed connections
+        Items round-robin across the pool's multiplexed connections
         with a bounded in-flight window (``pipeline`` sessions per
-        connection), collected in input order; like the v1 path, the
-        first failure is re-raised only after every sample has been
-        attempted.
+        connection), collected in input order.  A session that errors
+        or gets poisoned mid-window releases its in-flight slot the
+        moment it is collected — a failed start never occupies a slot,
+        and a collected failure frees one — so the window keeps
+        advancing.  Result waits are bounded by the pool's ``timeout``;
+        an expired wait cancels the session (releasing its server slot)
+        and surfaces as that item's typed error instead of deadlocking
+        the whole batch.
         """
-        results: List[Optional[ClassificationOutcome]] = [None] * len(samples)
+        results: List[Any] = [None] * count
         errors: List[Tuple[int, BaseException]] = []
         window = self.pipeline * len(self._clients)
         inflight: "collections.deque" = collections.deque()
 
         def collect(index: int, future: SessionFuture) -> None:
             try:
-                results[index] = future.result()
-            except BaseException as error:  # noqa: BLE001 — re-raised below
+                results[index] = future.result(self._timeout)
+            except BaseException as error:  # noqa: BLE001 — surfaced below
+                # Harmless when the session already finished (the
+                # common case: it failed); essential when the wait
+                # timed out with the session still running.
+                future.cancel("abandoned by batch fan-out")
+                results[index] = self._batch_error(index, error)
                 errors.append((index, error))
 
-        for index, sample in enumerate(samples):
+        for index in range(count):
             if len(inflight) >= window:
                 collect(*inflight.popleft())
             client = self._clients[index % len(self._clients)]
             try:
-                inflight.append(
-                    (index, client.classify_async(sample, seed=seed_list[index]))
-                )
-            except BaseException as error:  # noqa: BLE001 — re-raised below
+                inflight.append((index, start(client, index)))
+            except BaseException as error:  # noqa: BLE001 — surfaced below
+                results[index] = self._batch_error(index, error)
                 errors.append((index, error))
         while inflight:
             collect(*inflight.popleft())
-        if errors:
-            index, error = min(errors, key=lambda pair: pair[0])
+        return self._finish_batch(results, errors, return_errors)
+
+    @staticmethod
+    def _batch_error(index: int, error: BaseException) -> BatchItemError:
+        wrapped = BatchItemError(index, f"{type(error).__name__}: {error}")
+        wrapped.__cause__ = error
+        return wrapped
+
+    @staticmethod
+    def _finish_batch(
+        results: List[Any],
+        errors: List[Tuple[int, BaseException]],
+        return_errors: bool,
+    ) -> List[Any]:
+        if errors and not return_errors:
+            _, error = min(errors, key=lambda pair: pair[0])
             raise error
-        return results  # type: ignore[return-value]
+        return results

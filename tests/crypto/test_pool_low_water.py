@@ -1,0 +1,159 @@
+"""Low-water refills keep the shared randomizer pool warm under load.
+
+Regression suite for the batch-path pool-exhaustion bug: a sustained
+run (the linkage pipeline's chunked jobs) used to drain the shared
+Paillier pool dry, after which *every* encryption paid a cold inline
+``trigger="empty"`` refill.  With a low-water mark the pool tops itself
+up proactively, so ``repro_precompute_randomizers_available`` never
+silently hits zero mid-run and the refill counter attributes every
+top-up to its trigger.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.crypto.paillier import RandomizerPool, generate_keypair
+from repro.crypto.precompute import (
+    PrecomputeService,
+    SharedRandomizerPool,
+    reset_precompute_service,
+)
+from repro.exceptions import ValidationError
+from repro.obs.metrics import MetricsRegistry
+from repro.utils.rng import ReproRandom
+
+
+@pytest.fixture
+def registry():
+    previous = obs.get_metrics()
+    registry = MetricsRegistry()
+    obs.set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        obs.set_metrics(previous)
+
+
+@pytest.fixture
+def service():
+    reset_precompute_service()
+    try:
+        yield PrecomputeService(seed=7)
+    finally:
+        reset_precompute_service()
+
+
+@pytest.fixture
+def public_key():
+    public, _private = generate_keypair(bits=128, rng=ReproRandom(11))
+    return public
+
+
+def bits_of(public_key):
+    return str(public_key.n.bit_length())
+
+
+def raw_pool(public_key, batch=8, seed=3):
+    return RandomizerPool(public_key, ReproRandom(seed), batch=batch)
+
+
+class TestLowWaterRefill:
+    def test_available_never_hits_zero_during_sustained_takes(
+        self, public_key, registry
+    ):
+        pool = SharedRandomizerPool(raw_pool(public_key, batch=8), low_water=2)
+        pool.refill()
+        for _ in range(100):
+            pool.take()
+            assert pool.available > 0
+        # No take ever found the pool dry, so no cold inline refill.
+        refills = registry.counter("repro_precompute_pool_refills_total")
+        assert refills.value(trigger="empty", bits=bits_of(public_key)) == 0
+        assert refills.value(trigger="low-water", bits=bits_of(public_key)) > 0
+
+    def test_available_gauge_stays_positive(self, public_key, registry):
+        pool = SharedRandomizerPool(raw_pool(public_key, batch=8), low_water=2)
+        pool.refill()
+        gauge = registry.gauge("repro_precompute_randomizers_available")
+        for _ in range(50):
+            pool.take()
+            assert gauge.value(bits=bits_of(public_key)) > 0
+
+    def test_zero_low_water_restores_drain_then_refill(
+        self, public_key, registry
+    ):
+        pool = SharedRandomizerPool(raw_pool(public_key, batch=8), low_water=0)
+        pool.refill()
+        for _ in range(9):  # batch of 8 + one take against a dry pool
+            pool.take()
+        refills = registry.counter("repro_precompute_pool_refills_total")
+        assert refills.value(trigger="empty", bits=bits_of(public_key)) == 1
+        assert refills.value(trigger="low-water", bits=bits_of(public_key)) == 0
+
+    def test_negative_low_water_rejected(self, public_key):
+        with pytest.raises(ValidationError, match="low_water"):
+            SharedRandomizerPool(raw_pool(public_key), low_water=-1)
+
+    def test_refills_counted_per_trigger(self, public_key, registry):
+        pool = SharedRandomizerPool(raw_pool(public_key, batch=4), low_water=1)
+        pool.refill()  # manual warm-up
+        for _ in range(20):
+            pool.take()
+        refills = registry.counter("repro_precompute_pool_refills_total")
+        assert refills.value(trigger="manual", bits=bits_of(public_key)) == 1
+        low_water = refills.value(trigger="low-water", bits=bits_of(public_key))
+        assert low_water >= 1
+        assert refills.total() == 1 + low_water + refills.value(
+            trigger="empty", bits=bits_of(public_key)
+        )
+
+
+class TestServiceDefaults:
+    def test_service_pool_defaults_to_quarter_batch_low_water(
+        self, service, public_key
+    ):
+        pool = service.paillier_pool(public_key, batch=64)
+        assert pool.low_water == 16
+
+    def test_service_pool_survives_a_batch_run_warm(
+        self, service, public_key, registry
+    ):
+        pool = service.paillier_pool(public_key, batch=16)
+        for _ in range(200):
+            pool.take()
+            assert pool.available > 0
+        refills = registry.counter("repro_precompute_pool_refills_total")
+        assert refills.value(trigger="empty", bits=bits_of(public_key)) == 0
+
+    def test_explicit_zero_low_water_honoured(self, service, public_key):
+        pool = service.paillier_pool(public_key, batch=8, low_water=0)
+        assert pool.low_water == 0
+
+
+class TestShardedRefillDisjointness:
+    def test_exhausted_shards_refill_disjointly(self, public_key):
+        """Two spawn-style workers install disjoint shards of one pool;
+        once both drain their shard, their refills must not converge
+        onto the same rng stream (randomizer reuse across ciphertexts
+        breaks semantic security)."""
+        parent = PrecomputeService(seed=7)
+        source = parent.paillier_pool(public_key, batch=8)
+        source.refill(8)
+
+        drawn = {}
+        for shard_index in range(2):
+            worker = PrecomputeService(seed=7)
+            worker.install_state(
+                parent.export_state(
+                    shard_index=shard_index, shard_count=2
+                )
+            )
+            pool = worker.paillier_pool(public_key, warm=False)
+            # Drain the installed shard, then keep going so every later
+            # take comes from post-shard refills.
+            drawn[shard_index] = [pool.take() for _ in range(40)]
+            reset_precompute_service()
+        overlap = set(drawn[0]) & set(drawn[1])
+        assert overlap == set()

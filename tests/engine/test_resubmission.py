@@ -1,0 +1,217 @@
+"""Resubmission determinism and multi-model serving in the engine.
+
+Regression suite for the retry path: a retried job must rerun from the
+parent's *pristine* copy — same seed, same payload — so retries are
+invisible in the results (bit-identical to a clean run), and a job
+that exhausts its budget must say *which* job (and linkage chunk tag)
+died.  Also pins the keyed-models serving and the ``sync()`` lifecycle
+the bulk-linkage pipeline is built on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core.similarity import evaluate_similarity_private
+from repro.engine import EnginePolicy, ProtocolEngine
+from repro.exceptions import ValidationError
+from repro.ml.svm.model import make_linear_model
+from repro.obs.metrics import MetricsRegistry
+
+SEED = 20160627
+
+
+@pytest.fixture(scope="module")
+def model():
+    return make_linear_model([1.5, -2.0, 0.5], bias=0.25)
+
+
+@pytest.fixture(scope="module")
+def other_model():
+    return make_linear_model([1.4, -1.8, 0.6], bias=0.2)
+
+
+@pytest.fixture
+def registry():
+    previous = obs.get_metrics()
+    registry = MetricsRegistry()
+    obs.set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        obs.set_metrics(previous)
+
+
+class TestRetriedJobsAreInvisible:
+    def test_retried_similarity_is_bit_identical(
+        self, model, other_model, fast_config, registry
+    ):
+        """A job that fails twice then succeeds returns exactly what an
+        unfailed run returns: the resubmission reruns the pristine job
+        with its original seed."""
+        seed = 4242
+        with ProtocolEngine(
+            model, config=fast_config, workers=2, seed=SEED,
+            policy=EnginePolicy(max_retries=3),
+        ) as engine:
+            engine.submit_similarity(
+                other_model, seed=seed, inject_failures=2
+            )
+            report = engine.drain()
+        (result,) = report.results
+        assert result.ok
+        assert result.attempts == 3
+        reference = evaluate_similarity_private(
+            model, other_model, config=fast_config, seed=seed
+        )
+        assert result.t_squared == reference.t_squared
+        assert result.t == reference.t
+        assert report.metrics.counter(
+            "repro_engine_retries_total"
+        ).total() == 2
+
+    def test_retried_classification_keeps_derived_seed(
+        self, model, fast_config
+    ):
+        """Without an explicit seed the retry must reuse the seed the
+        job was *submitted* with, not derive a fresh one."""
+        clean = self._one_classification(model, fast_config, failures=0)
+        retried = self._one_classification(model, fast_config, failures=1)
+        assert retried.label == clean.label
+        assert retried.value == clean.value
+
+    @staticmethod
+    def _one_classification(model, fast_config, failures):
+        with ProtocolEngine(
+            model, config=fast_config, workers=1, seed=SEED,
+            policy=EnginePolicy(max_retries=2),
+        ) as engine:
+            engine.submit_classification(
+                [0.1, 0.2, 0.3], inject_failures=failures
+            )
+            (result,) = engine.drain().results
+        assert result.ok
+        return result
+
+
+class TestExhaustedRetriesAreAttributable:
+    def test_error_names_job_and_tag(self, model, other_model, fast_config):
+        with ProtocolEngine(
+            model, config=fast_config, workers=1, seed=SEED,
+            policy=EnginePolicy(max_retries=1),
+        ) as engine:
+            engine.submit_similarity(
+                other_model, inject_failures=5, tag="chunk-abc:R2"
+            )
+            (result,) = engine.drain().results
+        assert not result.ok
+        assert result.tag == "chunk-abc:R2"
+        assert "job 0" in result.error
+        assert "[chunk-abc:R2]" in result.error
+        assert "after 2 attempts" in result.error
+
+    def test_untagged_error_still_names_the_job(self, model, fast_config):
+        with ProtocolEngine(
+            model, config=fast_config, workers=1, seed=SEED,
+            policy=EnginePolicy(max_retries=0),
+        ) as engine:
+            engine.submit_classification([0.1, 0.2, 0.3], inject_failures=5)
+            (result,) = engine.drain().results
+        assert not result.ok
+        assert "job 0 failed after 1 attempts" in result.error
+
+
+class TestSyncLifecycle:
+    def test_sync_settles_waves_without_killing_the_fleet(
+        self, model, other_model, fast_config
+    ):
+        seeds = [101, 102, 103]
+        references = [
+            evaluate_similarity_private(
+                model, other_model, config=fast_config, seed=seed
+            )
+            for seed in seeds
+        ]
+        with ProtocolEngine(
+            model, config=fast_config, workers=2, seed=SEED
+        ) as engine:
+            first = []
+            for seed in seeds[:2]:
+                engine.submit_similarity(other_model, seed=seed)
+            first = engine.sync()
+            assert engine.sync() == ()  # nothing newly in flight
+            engine.submit_similarity(other_model, seed=seeds[2])
+            second = engine.sync()
+            report = engine.drain()
+        assert [r.t_squared for r in first] == [
+            ref.t_squared for ref in references[:2]
+        ]
+        assert [r.t_squared for r in second] == [references[2].t_squared]
+        # Results settled by sync() are not re-reported by drain().
+        assert report.results == ()
+
+    def test_sync_retries_like_drain(self, model, fast_config):
+        with ProtocolEngine(
+            model, config=fast_config, workers=1, seed=SEED,
+            policy=EnginePolicy(max_retries=2),
+        ) as engine:
+            engine.submit_classification([0.1, 0.2, 0.3], inject_failures=1)
+            (result,) = engine.sync()
+            engine.drain()
+        assert result.ok
+        assert result.attempts == 2
+
+
+class TestKeyedModels:
+    def test_left_key_selects_the_model(
+        self, model, other_model, fast_config
+    ):
+        alt = make_linear_model([0.9, -1.1, 0.3], bias=-0.125)
+        with ProtocolEngine(
+            models={"a": model, "b": alt}, config=fast_config,
+            workers=2, seed=SEED,
+        ) as engine:
+            engine.submit_similarity(other_model, seed=7, left_key="b")
+            engine.submit_similarity(other_model, seed=7, left_key="a")
+            results = engine.drain().results
+        expected_b = evaluate_similarity_private(
+            alt, other_model, config=fast_config, seed=7
+        )
+        expected_a = evaluate_similarity_private(
+            model, other_model, config=fast_config, seed=7
+        )
+        assert results[0].t_squared == expected_b.t_squared
+        assert results[1].t_squared == expected_a.t_squared
+
+    def test_default_model_is_first_sorted_key(
+        self, model, other_model, fast_config
+    ):
+        alt = make_linear_model([0.9, -1.1, 0.3], bias=-0.125)
+        with ProtocolEngine(
+            models={"z": alt, "a": model}, config=fast_config,
+            workers=1, seed=SEED,
+        ) as engine:
+            engine.submit_similarity(other_model, seed=9)
+            (result,) = engine.drain().results
+        reference = evaluate_similarity_private(
+            model, other_model, config=fast_config, seed=9
+        )
+        assert result.t_squared == reference.t_squared
+
+    def test_unknown_left_key_fails_loud_with_known_keys(
+        self, model, other_model, fast_config
+    ):
+        with ProtocolEngine(
+            models={"a": model}, config=fast_config, workers=1, seed=SEED,
+            policy=EnginePolicy(max_retries=0),
+        ) as engine:
+            engine.submit_similarity(other_model, left_key="missing")
+            (result,) = engine.drain().results
+        assert not result.ok
+        assert "missing" in result.error
+        assert "'a'" in result.error
+
+    def test_engine_requires_some_model(self, fast_config):
+        with pytest.raises(ValidationError, match="model"):
+            ProtocolEngine(config=fast_config)

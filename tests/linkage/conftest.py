@@ -1,0 +1,49 @@
+"""Shared fixtures for the bulk-linkage suite.
+
+Collections are deliberately tiny (2×3 pairs) with the lightest
+protocol parameters: every scored pair runs the full private T²
+protocol, so the suite budget is pairs × ~25 ms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ompe import OMPEConfig
+from repro.linkage import LinkageJobSpec
+from repro.math.groups import fast_group
+from repro.ml.svm.model import make_linear_model
+
+
+@pytest.fixture(scope="session")
+def light_config():
+    return OMPEConfig(
+        security_degree=1, cover_expansion=2, group=fast_group()
+    )
+
+
+@pytest.fixture(scope="session")
+def left_models():
+    return {
+        f"L{i}": make_linear_model([0.5 + 0.1 * i, -0.4], 0.1 * i)
+        for i in range(2)
+    }
+
+
+@pytest.fixture(scope="session")
+def right_models():
+    return {
+        f"R{j}": make_linear_model([0.55 + 0.1 * j, -0.35], 0.05 * j)
+        for j in range(3)
+    }
+
+
+@pytest.fixture
+def small_spec(left_models, right_models, light_config):
+    return LinkageJobSpec(
+        left_models,
+        right_models,
+        chunk_pairs=2,
+        seed=7,
+        config=light_config,
+    )

@@ -1,0 +1,165 @@
+"""TCP linkage backend: bit-identity with serial, model selection.
+
+Real loopback sockets, so the module is ``socket``-marked and runs in
+the dedicated serial CI job under the SIGALRM hard timeout.  The load-
+bearing assertion: the TCP backend writes **the same store bytes** as
+the in-process serial baseline — per-pair seeds derive from record
+keys, so transport cannot leak into results.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.similarity import evaluate_similarity_private
+from repro.exceptions import LinkageError, ProtocolError
+from repro.linkage import (
+    LinkageJobSpec,
+    LinkageResultStore,
+    SerialLinkageRunner,
+    ServiceLinkageRunner,
+    run_linkage,
+)
+from repro.net.service import TrainerClient, TrainerClientPool, TrainerServer
+
+pytestmark = pytest.mark.socket
+
+
+def chunk_bytes(spec, store_root):
+    store = LinkageResultStore(store_root, spec.fingerprint())
+    return {
+        chunk.chunk_id: store.read_chunk_bytes(chunk.chunk_id)
+        for chunk in spec.chunks()
+    }
+
+
+class _Peer(threading.Thread):
+    def __init__(self, target):
+        super().__init__(daemon=True)
+        self._target = target
+        self.result = None
+        self.error = None
+
+    def run(self):
+        try:
+            self.result = self._target()
+        except BaseException as error:  # noqa: BLE001 — reported on join
+            self.error = error
+
+    def join_result(self, timeout=30.0):
+        self.join(timeout)
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+@pytest.fixture
+def served_left(left_models, light_config):
+    server = TrainerServer(
+        models=left_models, config=light_config, max_connections=4
+    )
+    peer = _Peer(lambda: server.serve_forever(accept_timeout=30.0))
+    peer.start()
+    try:
+        yield server
+    finally:
+        server.stop()
+        peer.join_result()
+        server.close()
+
+
+class TestTcpBackend:
+    def test_store_bytes_and_matches_identical_to_serial(
+        self, small_spec, served_left, light_config, tmp_path
+    ):
+        serial = run_linkage(
+            small_spec, SerialLinkageRunner(), tmp_path / "serial"
+        )
+        host, port = served_left.address
+        pool = TrainerClientPool(
+            host, port, size=2, config=light_config
+        )
+        tcp = run_linkage(
+            small_spec,
+            ServiceLinkageRunner(pool, owns_pool=True),
+            tmp_path / "tcp",
+        )
+        assert chunk_bytes(small_spec, tmp_path / "serial") == chunk_bytes(
+            small_spec, tmp_path / "tcp"
+        )
+        assert tcp.matches == serial.matches
+
+    def test_tcp_resumes_a_serial_store(
+        self, small_spec, served_left, light_config, tmp_path
+    ):
+        store = tmp_path / "store"
+        serial = run_linkage(small_spec, SerialLinkageRunner(), store)
+        host, port = served_left.address
+        pool = TrainerClientPool(host, port, size=2, config=light_config)
+        resumed = run_linkage(
+            small_spec, ServiceLinkageRunner(pool, owns_pool=True), store
+        )
+        assert resumed.pairs_scored == 0
+        assert resumed.chunks_resumed == serial.chunks_total
+        assert resumed.matches == serial.matches
+
+    def test_unknown_server_model_is_a_loud_linkage_error(
+        self, left_models, right_models, light_config, served_left, tmp_path
+    ):
+        # The client-side spec knows a left record the server does not
+        # host; the failing chunk must surface with its id and pair.
+        from repro.ml.svm.model import make_linear_model
+
+        left = dict(left_models)
+        left["LX"] = make_linear_model([0.9, -0.2], 0.3)
+        spec = LinkageJobSpec(
+            left, right_models, chunk_pairs=2, seed=7, config=light_config
+        )
+        host, port = served_left.address
+        pool = TrainerClientPool(host, port, size=2, config=light_config)
+        with pytest.raises(LinkageError, match="LX"):
+            run_linkage(
+                spec,
+                ServiceLinkageRunner(pool, owns_pool=True),
+                tmp_path / "store",
+            )
+
+
+class TestModelSelection:
+    def test_session_serves_the_requested_left_model(
+        self, left_models, right_models, served_left, light_config
+    ):
+        host, port = served_left.address
+        right = right_models["R0"]
+        with TrainerClient(host, port, config=light_config) as client:
+            outcome = client.evaluate_similarity(
+                right, seed=42, server_model="L1"
+            )
+        reference = evaluate_similarity_private(
+            left_models["L1"], right, config=light_config, seed=42
+        )
+        assert outcome.t_squared == reference.t_squared
+
+    def test_default_is_first_key_in_sorted_order(
+        self, left_models, right_models, served_left, light_config
+    ):
+        host, port = served_left.address
+        right = right_models["R1"]
+        with TrainerClient(host, port, config=light_config) as client:
+            outcome = client.evaluate_similarity(right, seed=43)
+        reference = evaluate_similarity_private(
+            left_models["L0"], right, config=light_config, seed=43
+        )
+        assert outcome.t_squared == reference.t_squared
+
+    def test_unknown_key_refused_with_hosted_keys_named(
+        self, right_models, served_left, light_config
+    ):
+        host, port = served_left.address
+        with TrainerClient(host, port, config=light_config) as client:
+            with pytest.raises(ProtocolError, match="L0"):
+                client.evaluate_similarity(
+                    right_models["R0"], seed=44, server_model="nope"
+                )

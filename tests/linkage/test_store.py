@@ -1,0 +1,171 @@
+"""The crash-resumable result store: canonical bytes, scan, quarantine."""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro import obs
+from repro.exceptions import ResultStoreCorruption, ResultStoreError
+from repro.linkage import LinkageResultStore, PairScore
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    previous = obs.get_metrics()
+    registry = MetricsRegistry()
+    obs.set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        obs.set_metrics(previous)
+
+
+SCORES = [
+    PairScore(left="L0", right="R0", t=0.25, t2_num=1, t2_den=16),
+    PairScore(left="L0", right="R1", t=0.5, t2_num=1, t2_den=4),
+]
+
+
+class TestPairScore:
+    def test_canonical_encode_decode_round_trip(self):
+        for score in SCORES:
+            line = score.encode()
+            assert PairScore.decode(line) == score
+            # Canonical: sorted keys, no whitespace.
+            assert line == json.dumps(
+                json.loads(line), sort_keys=True, separators=(",", ":")
+            )
+
+    def test_exact_t_squared(self):
+        score = PairScore.from_outcome("a", "b", 0.5, Fraction(3, 12))
+        assert (score.t2_num, score.t2_den) == (1, 4)
+        assert score.t_squared == Fraction(1, 4)
+
+    def test_malformed_lines_rejected(self):
+        for line in [
+            "[]",
+            '{"left":"a","right":"b","t":0.5}',
+            '{"left":"a","right":"b","t":0.5,"t2":[1]}',
+            '{"left":"a","right":"b","t":0.5,"t2":[1.5,2]}',
+            '{"left":1,"right":"b","t":0.5,"t2":[1,4]}',
+        ]:
+            with pytest.raises((ValueError, KeyError)):
+                PairScore.decode(line)
+
+
+class TestStoreLifecycle:
+    def test_write_then_load_round_trip(self, tmp_path):
+        store = LinkageResultStore(tmp_path / "store", "fp1")
+        store.write_chunk("c1", SCORES)
+        assert store.load_chunk("c1") == SCORES
+        scan = store.scan(["c1", "c2"])
+        assert scan.completed == {"c1": len(SCORES)}
+        assert scan.corrupt == ()
+
+    def test_rewrite_is_byte_identical(self, tmp_path):
+        store = LinkageResultStore(tmp_path / "store", "fp1")
+        store.write_chunk("c1", SCORES)
+        first = store.read_chunk_bytes("c1")
+        store.write_chunk("c1", SCORES)
+        assert store.read_chunk_bytes("c1") == first
+
+    def test_empty_chunk_is_a_valid_completion(self, tmp_path):
+        # A chunk whose every pair failed the threshold still completes.
+        store = LinkageResultStore(tmp_path / "store", "fp1")
+        store.write_chunk("c1", [])
+        assert store.load_chunk("c1") == []
+        assert store.scan(["c1"]).completed == {"c1": 0}
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        LinkageResultStore(tmp_path / "store", "fp1")
+        with pytest.raises(ResultStoreError, match="different"):
+            LinkageResultStore(tmp_path / "store", "fp2")
+
+    def test_reopen_with_same_fingerprint_keeps_chunks(self, tmp_path):
+        store = LinkageResultStore(tmp_path / "store", "fp1")
+        store.write_chunk("c1", SCORES)
+        reopened = LinkageResultStore(tmp_path / "store", "fp1")
+        assert reopened.load_chunk("c1") == SCORES
+
+    def test_unreadable_manifest_is_loud(self, tmp_path):
+        root = tmp_path / "store"
+        LinkageResultStore(root, "fp1")
+        (root / "manifest.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(ResultStoreError, match="manifest"):
+            LinkageResultStore(root, "fp1")
+
+
+class TestQuarantine:
+    def _store_with_chunk(self, tmp_path):
+        store = LinkageResultStore(tmp_path / "store", "fp1")
+        store.write_chunk("c1", SCORES)
+        return store
+
+    def test_truncated_tail_quarantined(self, tmp_path, registry):
+        store = self._store_with_chunk(tmp_path)
+        path = store.chunk_path("c1")
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])  # hard-kill mid-write
+        scan = store.scan(["c1"])
+        assert scan.completed == {}
+        (error,) = scan.corrupt
+        assert isinstance(error, ResultStoreCorruption)
+        assert error.chunk_id == "c1"
+        assert not path.exists()
+        assert (store.root / "quarantine" / path.name).exists()
+        assert (
+            registry.counter("repro_linkage_store_corruptions_total").total()
+            == 1
+        )
+
+    def test_missing_done_marker_quarantined(self, tmp_path):
+        store = self._store_with_chunk(tmp_path)
+        path = store.chunk_path("c1")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n", encoding="utf-8")
+        scan = store.scan(["c1"])
+        (error,) = scan.corrupt
+        assert "done marker" in str(error)
+
+    def test_corrupt_pair_line_quarantined(self, tmp_path):
+        store = self._store_with_chunk(tmp_path)
+        path = store.chunk_path("c1")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[0] = lines[0][: len(lines[0]) // 2]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        scan = store.scan(["c1"])
+        (error,) = scan.corrupt
+        assert "line 1" in str(error)
+
+    def test_pair_count_mismatch_quarantined(self, tmp_path):
+        store = self._store_with_chunk(tmp_path)
+        path = store.chunk_path("c1")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        del lines[0]  # marker now claims more pairs than are present
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        scan = store.scan(["c1"])
+        assert len(scan.corrupt) == 1
+
+    def test_quarantine_never_clobbers(self, tmp_path):
+        store = self._store_with_chunk(tmp_path)
+        for _ in range(2):
+            path = store.chunk_path("c1")
+            raw = path.read_bytes()
+            path.write_bytes(raw[:-3])
+            assert len(store.scan(["c1"]).corrupt) == 1
+            store.write_chunk("c1", SCORES)
+        names = sorted(p.name for p in (store.root / "quarantine").iterdir())
+        assert names == ["c1.jsonl", "c1.jsonl.1"]
+
+    def test_recompute_after_quarantine_restores_bytes(self, tmp_path):
+        store = self._store_with_chunk(tmp_path)
+        pristine = store.read_chunk_bytes("c1")
+        path = store.chunk_path("c1")
+        path.write_bytes(pristine[:-1])
+        assert len(store.scan(["c1"]).corrupt) == 1
+        store.write_chunk("c1", SCORES)
+        assert store.read_chunk_bytes("c1") == pristine
